@@ -1,0 +1,83 @@
+// google-benchmark microbenchmarks of the reference field arithmetic —
+// the substrate every verification run leans on.
+
+#include "field/field_catalog.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+namespace {
+
+using gfr::field::Field;
+
+const Field& field_for(int index) {
+    static const std::vector<Field> fields = [] {
+        std::vector<Field> out;
+        for (const auto& spec : gfr::field::table5_fields()) {
+            out.push_back(spec.make());
+        }
+        return out;
+    }();
+    return fields.at(static_cast<std::size_t>(index));
+}
+
+void BM_FieldMul(benchmark::State& state) {
+    const Field& f = field_for(static_cast<int>(state.range(0)));
+    std::mt19937_64 rng{42};
+    const auto a = f.random_element(rng);
+    const auto b = f.random_element(rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.mul(a, b));
+    }
+    state.SetLabel("m=" + std::to_string(f.degree()));
+}
+BENCHMARK(BM_FieldMul)->DenseRange(0, 8);
+
+void BM_FieldSqr(benchmark::State& state) {
+    const Field& f = field_for(static_cast<int>(state.range(0)));
+    std::mt19937_64 rng{43};
+    const auto a = f.random_element(rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.sqr(a));
+    }
+    state.SetLabel("m=" + std::to_string(f.degree()));
+}
+BENCHMARK(BM_FieldSqr)->Arg(0)->Arg(1)->Arg(7);
+
+void BM_FieldInv(benchmark::State& state) {
+    const Field& f = field_for(static_cast<int>(state.range(0)));
+    std::mt19937_64 rng{44};
+    auto a = f.random_element(rng);
+    if (a.is_zero()) {
+        a = f.one();
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.inv(a));
+    }
+    state.SetLabel("m=" + std::to_string(f.degree()));
+}
+BENCHMARK(BM_FieldInv)->Arg(0)->Arg(1)->Arg(7);
+
+void BM_PolyMul(benchmark::State& state) {
+    std::mt19937_64 rng{45};
+    const int deg = static_cast<int>(state.range(0));
+    gfr::gf2::Poly a;
+    gfr::gf2::Poly b;
+    for (int i = 0; i <= deg; ++i) {
+        if (rng() & 1U) {
+            a.set_coeff(i, true);
+        }
+        if (rng() & 1U) {
+            b.set_coeff(i, true);
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a * b);
+    }
+}
+BENCHMARK(BM_PolyMul)->Arg(63)->Arg(162)->Arg(570);
+
+}  // namespace
+
+BENCHMARK_MAIN();

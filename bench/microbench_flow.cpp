@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks of the EDA pipeline itself: netlist
+// generation, synthesis passes, LUT mapping and word-parallel simulation.
+
+#include "field/field_catalog.h"
+#include "fpga/flow.h"
+#include "multipliers/generator.h"
+#include "netlist/passes.h"
+#include "netlist/simulate.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+namespace {
+
+using namespace gfr;
+
+void BM_BuildMultiplier(benchmark::State& state) {
+    const field::Field fld = field::Field::type2(64, 23);
+    const auto method = static_cast<mult::Method>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mult::build_multiplier(method, fld));
+    }
+    state.SetLabel(std::string{mult::method_info(method).key} + " m=64");
+}
+BENCHMARK(BM_BuildMultiplier)
+    ->Arg(static_cast<int>(mult::Method::PaarMastrovito))
+    ->Arg(static_cast<int>(mult::Method::ReyhaniHasan))
+    ->Arg(static_cast<int>(mult::Method::Imana2016Paren))
+    ->Arg(static_cast<int>(mult::Method::Date2018Flat));
+
+void BM_SynthesizeFlat(benchmark::State& state) {
+    const field::Field fld = field::Field::type2(static_cast<int>(state.range(0)),
+                                                 static_cast<int>(state.range(1)));
+    const auto nl = mult::build_multiplier(mult::Method::Date2018Flat, fld);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(netlist::synthesize(nl, netlist::SynthOptions{}));
+    }
+    state.SetLabel("m=" + std::to_string(fld.degree()));
+}
+BENCHMARK(BM_SynthesizeFlat)->Args({8, 2})->Args({64, 23});
+
+void BM_MapToLuts(benchmark::State& state) {
+    const field::Field fld = field::Field::type2(static_cast<int>(state.range(0)),
+                                                 static_cast<int>(state.range(1)));
+    const auto nl =
+        netlist::dce(mult::build_multiplier(mult::Method::Date2018Flat, fld));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fpga::map_to_luts(nl));
+    }
+    state.SetLabel("m=" + std::to_string(fld.degree()));
+}
+BENCHMARK(BM_MapToLuts)->Args({8, 2})->Args({64, 23});
+
+void BM_SimulateNetlist64Lanes(benchmark::State& state) {
+    const field::Field fld = field::Field::type2(static_cast<int>(state.range(0)),
+                                                 static_cast<int>(state.range(1)));
+    const auto nl = mult::build_multiplier(mult::Method::Date2018Flat, fld);
+    netlist::Simulator sim{nl};
+    std::mt19937_64 rng{7};
+    std::vector<std::uint64_t> in(nl.inputs().size());
+    for (auto& w : in) {
+        w = rng();
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.run(in));
+    }
+    // 64 field multiplications per sweep.
+    state.SetItemsProcessed(state.iterations() * 64);
+    state.SetLabel("m=" + std::to_string(fld.degree()));
+}
+BENCHMARK(BM_SimulateNetlist64Lanes)->Args({8, 2})->Args({64, 23})->Args({163, 66});
+
+void BM_FullFlow(benchmark::State& state) {
+    const field::Field fld = field::Field::type2(static_cast<int>(state.range(0)),
+                                                 static_cast<int>(state.range(1)));
+    const auto nl = mult::build_multiplier(mult::Method::Date2018Flat, fld);
+    fpga::FlowOptions opts;
+    opts.synthesis_freedom = true;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fpga::run_flow(nl, opts));
+    }
+    state.SetLabel("m=" + std::to_string(fld.degree()));
+}
+BENCHMARK(BM_FullFlow)->Args({8, 2})->Args({64, 23});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Export the HDL the paper's flow starts from: structural VHDL (and Verilog,
+// plus post-mapping LUT-level Verilog) for any (m, n, method).
+//
+//   vhdl_export [m n method_key out_prefix]
+//   defaults: 8 2 date2018 ./gf2m_mult
+
+#include "field/gf2m.h"
+#include "fpga/flow.h"
+#include "multipliers/generator.h"
+#include "netlist/emit_verilog.h"
+#include "netlist/emit_vhdl.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+void write_file(const std::string& path, const std::string& content) {
+    std::ofstream out{path};
+    out << content;
+    std::printf("wrote %-28s (%zu bytes)\n", path.c_str(), content.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace gfr;
+
+    const int m = argc > 1 ? std::atoi(argv[1]) : 8;
+    const int n = argc > 2 ? std::atoi(argv[2]) : 2;
+    const std::string method_key = argc > 3 ? argv[3] : "date2018";
+    const std::string prefix = argc > 4 ? argv[4] : "./gf2m_mult";
+
+    const mult::MethodInfo* info = nullptr;
+    for (const auto& mi : mult::all_methods()) {
+        if (mi.key == method_key) {
+            info = &mi;
+        }
+    }
+    if (info == nullptr) {
+        std::fprintf(stderr, "unknown method '%s'; options:", method_key.c_str());
+        for (const auto& mi : mult::all_methods()) {
+            std::fprintf(stderr, " %s", std::string{mi.key}.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
+
+    const field::Field fld = field::Field::type2(m, n);
+    std::printf("generating %s multiplier for %s\n", std::string{info->key}.c_str(),
+                fld.to_string().c_str());
+    const auto nl = mult::build_multiplier(info->method, fld);
+    const auto stats = nl.stats();
+    std::printf("gate netlist: %d AND, %d XOR, delay %s\n", stats.n_and, stats.n_xor,
+                stats.delay_string().c_str());
+
+    const std::string entity =
+        "gf2m_mult_" + std::to_string(m) + "_" + std::to_string(n);
+    write_file(prefix + ".vhd", netlist::emit_vhdl(nl, entity));
+    write_file(prefix + ".v", netlist::emit_verilog(nl, entity));
+
+    fpga::FlowOptions opts;
+    opts.synthesis_freedom = info->synthesis_freedom;
+    const auto flow = fpga::run_flow(nl, opts);
+    write_file(prefix + "_mapped.v",
+               fpga::emit_verilog_luts(flow.network, entity + "_mapped"));
+    std::printf("mapped: %d LUT6, depth %d, %.2f ns (model)\n", flow.luts,
+                flow.lut_depth, flow.delay_ns);
+    return 0;
+}

@@ -1,0 +1,29 @@
+#include "field/field_catalog.h"
+
+namespace gfr::field {
+
+std::string FieldSpec::label() const {
+    std::string out = "(" + std::to_string(m) + "," + std::to_string(n) + ")";
+    if (!origin.empty()) {
+        out += " " + origin;
+    }
+    return out;
+}
+
+const std::vector<FieldSpec>& table5_fields() {
+    static const std::vector<FieldSpec> fields = {
+        {8, 2, ""},       {64, 23, ""},      {113, 4, "SECG"},
+        {113, 34, "SECG"}, {122, 49, ""},    {139, 59, ""},
+        {148, 72, ""},    {163, 66, "NIST"}, {163, 68, "NIST"},
+    };
+    return fields;
+}
+
+const std::vector<int>& nist_ecdsa_degrees() {
+    static const std::vector<int> degrees = {163, 233, 283, 409, 571};
+    return degrees;
+}
+
+Field gf256_paper_field() { return Field::type2(8, 2); }
+
+}  // namespace gfr::field

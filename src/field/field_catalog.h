@@ -1,0 +1,42 @@
+#ifndef GFR_FIELD_FIELD_CATALOG_H
+#define GFR_FIELD_FIELD_CATALOG_H
+
+// Catalog of the binary fields used in the paper's evaluation (Table V) and
+// the standards bodies it cites.
+//
+//   - Paper Table V rows: (8,2), (64,23), (113,4), (113,34), (122,49),
+//     (139,59), (148,72), (163,66), (163,68).
+//   - SECG recommends GF(2^113); NIST ECDSA recommends degrees
+//     163, 233, 283, 409, 571 (all constructible from type II pentanomials,
+//     which is the paper's motivating claim).
+
+#include "field/gf2m.h"
+
+#include <string>
+#include <vector>
+
+namespace gfr::field {
+
+/// One evaluation field: type II pentanomial parameters plus provenance.
+struct FieldSpec {
+    int m = 0;
+    int n = 0;
+    std::string origin;  // "", "SECG", "NIST", ...
+
+    [[nodiscard]] Field make() const { return Field::type2(m, n); }
+    [[nodiscard]] std::string label() const;  // "(8,2)" / "(113,4) SECG"
+};
+
+/// The nine (m, n) pairs of Table V, in table order.
+const std::vector<FieldSpec>& table5_fields();
+
+/// The five NIST ECDSA binary-field degrees.
+const std::vector<int>& nist_ecdsa_degrees();
+
+/// GF(2^8) with f = y^8 + y^4 + y^3 + y^2 + 1 — the worked example of the
+/// whole paper (Tables I-IV).
+Field gf256_paper_field();
+
+}  // namespace gfr::field
+
+#endif  // GFR_FIELD_FIELD_CATALOG_H

@@ -1,0 +1,79 @@
+#include "fpga/cut.h"
+
+#include <bit>
+
+namespace gfr::fpga {
+
+Cut Cut::trivial(netlist::NodeId node) {
+    Cut c;
+    c.leaves[0] = node;
+    c.size = 1;
+    c.signature = std::uint64_t{1} << (node % 64);
+    return c;
+}
+
+std::optional<Cut> Cut::merge(const Cut& a, const Cut& b, int k) {
+    if (std::popcount(a.signature | b.signature) > k) {
+        return std::nullopt;  // at least popcount distinct leaves
+    }
+    Cut out;
+    int ia = 0;
+    int ib = 0;
+    while (ia < a.size || ib < b.size) {
+        netlist::NodeId next = 0;
+        if (ia < a.size && ib < b.size) {
+            if (a.leaves[static_cast<std::size_t>(ia)] < b.leaves[static_cast<std::size_t>(ib)]) {
+                next = a.leaves[static_cast<std::size_t>(ia++)];
+            } else if (b.leaves[static_cast<std::size_t>(ib)] <
+                       a.leaves[static_cast<std::size_t>(ia)]) {
+                next = b.leaves[static_cast<std::size_t>(ib++)];
+            } else {
+                next = a.leaves[static_cast<std::size_t>(ia)];
+                ++ia;
+                ++ib;
+            }
+        } else if (ia < a.size) {
+            next = a.leaves[static_cast<std::size_t>(ia++)];
+        } else {
+            next = b.leaves[static_cast<std::size_t>(ib++)];
+        }
+        if (out.size == k) {
+            return std::nullopt;
+        }
+        out.leaves[out.size++] = next;
+    }
+    out.signature = a.signature | b.signature;
+    return out;
+}
+
+bool Cut::same_leaves(const Cut& other) const {
+    if (size != other.size || signature != other.signature) {
+        return false;
+    }
+    for (int i = 0; i < size; ++i) {
+        if (leaves[static_cast<std::size_t>(i)] != other.leaves[static_cast<std::size_t>(i)]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool Cut::subset_of(const Cut& other) const {
+    if (size > other.size || (signature & ~other.signature) != 0) {
+        return false;
+    }
+    int j = 0;
+    for (int i = 0; i < size; ++i) {
+        while (j < other.size &&
+               other.leaves[static_cast<std::size_t>(j)] < leaves[static_cast<std::size_t>(i)]) {
+            ++j;
+        }
+        if (j == other.size ||
+            other.leaves[static_cast<std::size_t>(j)] != leaves[static_cast<std::size_t>(i)]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace gfr::fpga

@@ -1,0 +1,41 @@
+#ifndef GFR_FPGA_CUT_H
+#define GFR_FPGA_CUT_H
+
+// Cuts for K-LUT technology mapping.  A cut of node v is a set of <= K nodes
+// ("leaves") such that every path from the primary inputs to v passes through
+// a leaf; the cone between leaves and v can then be implemented by one K-LUT.
+// Cuts are built bottom-up by merging fanin cuts (Cong & Ding / ABC style).
+
+#include "netlist/netlist.h"
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace gfr::fpga {
+
+struct Cut {
+    static constexpr int kMaxLeaves = 6;
+
+    std::array<netlist::NodeId, kMaxLeaves> leaves{};  // sorted, first `size`
+    std::uint8_t size = 0;
+    int depth = 0;          ///< LUT levels when this cut implements the node
+    double area_flow = 0;   ///< estimated area share (lower = cheaper)
+    std::uint64_t signature = 0;  ///< bloom filter of leaves for fast rejects
+
+    /// Single-leaf cut {node} — the node seen as a leaf by its fanouts.
+    static Cut trivial(netlist::NodeId node);
+
+    /// Union of two cuts if it fits in `k` leaves; nullopt otherwise.
+    static std::optional<Cut> merge(const Cut& a, const Cut& b, int k);
+
+    [[nodiscard]] bool same_leaves(const Cut& other) const;
+
+    /// True iff every leaf of `other` is also a leaf of *this (dominance:
+    /// a smaller cut dominates a larger one with equal quality).
+    [[nodiscard]] bool subset_of(const Cut& other) const;
+};
+
+}  // namespace gfr::fpga
+
+#endif  // GFR_FPGA_CUT_H

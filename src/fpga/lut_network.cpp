@@ -1,0 +1,148 @@
+#include "fpga/lut_network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gfr::fpga {
+
+std::vector<int> LutNetwork::levels() const {
+    std::vector<int> level(luts.size(), 0);
+    for (std::size_t i = 0; i < luts.size(); ++i) {
+        int max_in = 0;
+        for (const auto ref : luts[i].fanins) {
+            if (ref >= input_count()) {
+                max_in = std::max(max_in, level[static_cast<std::size_t>(ref - input_count())]);
+            }
+        }
+        level[i] = 1 + max_in;
+    }
+    return level;
+}
+
+int LutNetwork::depth() const {
+    const auto level = levels();
+    int out = 0;
+    for (const auto& [name, ref] : outputs) {
+        if (ref >= input_count()) {
+            out = std::max(out, level[static_cast<std::size_t>(ref - input_count())]);
+        }
+    }
+    return out;
+}
+
+std::vector<int> LutNetwork::fanout_counts() const {
+    std::vector<int> fanout(input_names.size() + luts.size(), 0);
+    for (const auto& lut : luts) {
+        for (const auto ref : lut.fanins) {
+            if (ref >= 0) {
+                ++fanout[static_cast<std::size_t>(ref)];
+            }
+        }
+    }
+    for (const auto& [name, ref] : outputs) {
+        if (ref >= 0) {
+            ++fanout[static_cast<std::size_t>(ref)];
+        }
+    }
+    return fanout;
+}
+
+std::vector<std::uint64_t> LutNetwork::simulate(
+    std::span<const std::uint64_t> input_words) const {
+    if (input_words.size() != input_names.size()) {
+        throw std::invalid_argument{"LutNetwork::simulate: wrong number of input words"};
+    }
+    std::vector<std::uint64_t> value(input_names.size() + luts.size(), 0);
+    std::copy(input_words.begin(), input_words.end(), value.begin());
+    for (std::size_t i = 0; i < luts.size(); ++i) {
+        const auto& lut = luts[i];
+        std::uint64_t out = 0;
+        for (int lane = 0; lane < 64; ++lane) {
+            unsigned idx = 0;
+            for (std::size_t j = 0; j < lut.fanins.size(); ++j) {
+                const auto ref = lut.fanins[j];
+                const std::uint64_t bit =
+                    (ref < 0) ? 0 : (value[static_cast<std::size_t>(ref)] >> lane) & 1U;
+                idx |= static_cast<unsigned>(bit) << j;
+            }
+            out |= ((lut.truth >> idx) & 1U) << lane;
+        }
+        value[input_names.size() + i] = out;
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(outputs.size());
+    for (const auto& [name, ref] : outputs) {
+        out.push_back(ref < 0 ? 0 : value[static_cast<std::size_t>(ref)]);
+    }
+    return out;
+}
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+    std::string out;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    if (out.empty()) {
+        out = "p";
+    }
+    return out;
+}
+
+std::string hex64(std::uint64_t v) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out = "64'h";
+    for (int shift = 60; shift >= 0; shift -= 4) {
+        out += kDigits[(v >> shift) & 0xF];
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string emit_verilog_luts(const LutNetwork& net, const std::string& module_name) {
+    std::string out = "module " + sanitize(module_name) + " (\n";
+    for (const auto& name : net.input_names) {
+        out += "  input  wire " + sanitize(name) + ",\n";
+    }
+    for (std::size_t i = 0; i < net.outputs.size(); ++i) {
+        out += "  output wire " + sanitize(net.outputs[i].first);
+        out += (i + 1 < net.outputs.size()) ? ",\n" : "\n";
+    }
+    out += ");\n";
+
+    auto ref_name = [&](std::int32_t ref) -> std::string {
+        if (ref < 0) {
+            return "1'b0";
+        }
+        if (ref < net.input_count()) {
+            return sanitize(net.input_names[static_cast<std::size_t>(ref)]);
+        }
+        return "lut" + std::to_string(ref - net.input_count());
+    };
+
+    for (std::size_t i = 0; i < net.luts.size(); ++i) {
+        const auto& lut = net.luts[i];
+        out += "  wire lut" + std::to_string(i) + ";\n";
+        out += "  localparam [63:0] INIT" + std::to_string(i) + " = " + hex64(lut.truth) +
+               ";\n";
+        out += "  assign lut" + std::to_string(i) + " = INIT" + std::to_string(i) + "[{";
+        for (std::size_t j = lut.fanins.size(); j-- > 0;) {
+            out += ref_name(lut.fanins[j]);
+            if (j > 0) {
+                out += ", ";
+            }
+        }
+        out += "}];\n";
+    }
+    for (const auto& [name, ref] : net.outputs) {
+        out += "  assign " + sanitize(name) + " = " + ref_name(ref) + ";\n";
+    }
+    out += "endmodule\n";
+    return out;
+}
+
+}  // namespace gfr::fpga

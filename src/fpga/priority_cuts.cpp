@@ -1,0 +1,326 @@
+#include "fpga/priority_cuts.h"
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gfr::fpga {
+
+using netlist::GateKind;
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+constexpr int kInfinity = std::numeric_limits<int>::max() / 2;
+
+/// The classic 6-variable minterm masks: variable v of a <= 6-input cone.
+constexpr std::uint64_t kVarMask[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+
+struct NodeState {
+    std::vector<Cut> cuts;  // priority list; trivial cut appended last
+    int best_depth = 0;
+    double area_flow = 0;
+    int est_refs = 1;
+};
+
+/// Truth table of the cone rooted at `root` with the given leaves, by
+/// recursive evaluation over minterm masks.
+std::uint64_t cone_truth(const Netlist& nl, NodeId root, const Cut& cut) {
+    std::unordered_map<NodeId, std::uint64_t> value;
+    for (int i = 0; i < cut.size; ++i) {
+        value[cut.leaves[static_cast<std::size_t>(i)]] = kVarMask[i];
+    }
+    auto eval = [&](auto&& self, NodeId id) -> std::uint64_t {
+        const auto it = value.find(id);
+        if (it != value.end()) {
+            return it->second;
+        }
+        const auto& n = nl.node(id);
+        std::uint64_t v = 0;
+        switch (n.kind) {
+            case GateKind::Const0:
+                v = 0;
+                break;
+            case GateKind::Input:
+                throw std::logic_error{"cone_truth: reached an input that is not a leaf"};
+            case GateKind::And2:
+                v = self(self, n.a) & self(self, n.b);
+                break;
+            case GateKind::Xor2:
+                v = self(self, n.a) ^ self(self, n.b);
+                break;
+        }
+        value.emplace(id, v);
+        return v;
+    };
+    return eval(eval, root);
+}
+
+}  // namespace
+
+LutNetwork map_to_luts(const Netlist& nl, const MapperOptions& options) {
+    if (options.lut_inputs < 2 || options.lut_inputs > Cut::kMaxLeaves) {
+        throw std::invalid_argument{"map_to_luts: lut_inputs must be in [2,6]"};
+    }
+    const int k = options.lut_inputs;
+    const auto reachable = nl.reachable_from_outputs();
+    const auto fanout = nl.fanout_counts();
+
+    std::vector<NodeState> state(nl.node_count());
+
+    // ---- Forward pass: priority cuts, depth-first ordering. ----
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+        if (!reachable[id]) {
+            continue;
+        }
+        auto& st = state[id];
+        st.est_refs = std::max(1, fanout[id]);
+        const auto& n = nl.node(id);
+        if (n.kind == GateKind::Input || n.kind == GateKind::Const0) {
+            st.best_depth = 0;
+            st.area_flow = 0;
+            st.cuts.push_back(Cut::trivial(id));
+            continue;
+        }
+
+        // With hard boundaries, a multi-fanout gate fanin is only visible as
+        // a leaf: its logic is instantiated once and never duplicated.
+        const Cut trivial_a = Cut::trivial(n.a);
+        const Cut trivial_b = Cut::trivial(n.b);
+        auto fanin_cuts = [&](NodeId fanin,
+                              const Cut& trivial) -> std::span<const Cut> {
+            const auto& fn = nl.node(fanin);
+            const bool boundary = options.respect_fanout_boundaries &&
+                                  fanout[fanin] > 1 &&
+                                  (fn.kind == GateKind::And2 || fn.kind == GateKind::Xor2);
+            if (boundary) {
+                return {&trivial, 1};
+            }
+            return {state[fanin].cuts.data(), state[fanin].cuts.size()};
+        };
+
+        std::vector<Cut> candidates;
+        for (const auto& ca : fanin_cuts(n.a, trivial_a)) {
+            for (const auto& cb : fanin_cuts(n.b, trivial_b)) {
+                auto merged = Cut::merge(ca, cb, k);
+                if (!merged) {
+                    continue;
+                }
+                auto& cut = *merged;
+                cut.depth = 0;
+                cut.area_flow = 1.0;  // this LUT
+                for (int i = 0; i < cut.size; ++i) {
+                    const NodeId leaf = cut.leaves[static_cast<std::size_t>(i)];
+                    cut.depth = std::max(cut.depth, state[leaf].best_depth);
+                    cut.area_flow += state[leaf].area_flow;
+                }
+                cut.depth += 1;
+                candidates.push_back(cut);
+            }
+        }
+        // Dedupe identical leaf sets and drop dominated cuts.
+        std::sort(candidates.begin(), candidates.end(), [](const Cut& x, const Cut& y) {
+            if (x.depth != y.depth) {
+                return x.depth < y.depth;
+            }
+            if (x.area_flow != y.area_flow) {
+                return x.area_flow < y.area_flow;
+            }
+            return x.size < y.size;
+        });
+        std::vector<Cut> kept;
+        for (const auto& c : candidates) {
+            bool redundant = false;
+            for (const auto& kc : kept) {
+                if (kc.same_leaves(c) || (kc.subset_of(c) && kc.depth <= c.depth)) {
+                    redundant = true;
+                    break;
+                }
+            }
+            if (!redundant) {
+                kept.push_back(c);
+                if (static_cast<int>(kept.size()) >= options.cuts_per_node) {
+                    break;
+                }
+            }
+        }
+        if (kept.empty()) {
+            throw std::logic_error{"map_to_luts: node has no feasible cut"};
+        }
+        // Guarantee an area-cheap alternative survives the depth-first prune,
+        // so area recovery has something to pick on non-critical paths.
+        const Cut* cheapest = &candidates.front();
+        for (const auto& c : candidates) {
+            if (c.area_flow < cheapest->area_flow) {
+                cheapest = &c;
+            }
+        }
+        bool have_cheapest = false;
+        for (const auto& kc : kept) {
+            if (kc.same_leaves(*cheapest)) {
+                have_cheapest = true;
+                break;
+            }
+        }
+        if (!have_cheapest) {
+            kept.back() = *cheapest;
+        }
+        st.best_depth = kept.front().depth;
+        st.area_flow = kept.front().area_flow / st.est_refs;
+        st.cuts = std::move(kept);
+        st.cuts.push_back(Cut::trivial(id));  // visible to fanouts as a leaf
+    }
+
+    // ---- Required times. ----
+    int global_depth = 0;
+    for (const auto& out : nl.outputs()) {
+        global_depth = std::max(global_depth, state[out.node].best_depth);
+    }
+
+    // ---- Backward covering with iterated area recovery. ----
+    // Each round chooses, per required node, the min-area cut still meeting
+    // its required time; leaf "area" is an area-flow estimate whose reference
+    // counts come from the previous round's actual cover (classic if-mapper
+    // area iteration).  Depth never degrades: the depth-best cut always
+    // satisfies the required time.
+    std::vector<bool> used(nl.node_count(), false);
+    std::vector<const Cut*> chosen(nl.node_count(), nullptr);
+    std::vector<double> area_est(nl.node_count(), 0.0);
+    const int rounds = options.area_recovery ? 3 : 1;
+
+    for (int round = 0; round < rounds; ++round) {
+        // Refresh per-node area estimates with current est_refs.
+        for (NodeId id = 0; id < nl.node_count(); ++id) {
+            if (!reachable[id]) {
+                continue;
+            }
+            const auto& n = nl.node(id);
+            if (n.kind == GateKind::Input || n.kind == GateKind::Const0) {
+                area_est[id] = 0.0;
+                continue;
+            }
+            double best = 0.0;
+            bool first = true;
+            for (const auto& c : state[id].cuts) {
+                if (c.size == 1 && c.leaves[0] == id) {
+                    continue;
+                }
+                double af = 1.0;
+                for (int i = 0; i < c.size; ++i) {
+                    af += area_est[c.leaves[static_cast<std::size_t>(i)]];
+                }
+                if (first || af < best) {
+                    best = af;
+                    first = false;
+                }
+            }
+            area_est[id] = best / state[id].est_refs;
+        }
+
+        std::vector<int> required(nl.node_count(), kInfinity);
+        std::fill(used.begin(), used.end(), false);
+        for (const auto& out : nl.outputs()) {
+            required[out.node] = global_depth;
+            const auto& n = nl.node(out.node);
+            if (n.kind != GateKind::Input && n.kind != GateKind::Const0) {
+                used[out.node] = true;
+            }
+        }
+        for (NodeId idp = static_cast<NodeId>(nl.node_count()); idp-- > 0;) {
+            if (!used[idp]) {
+                continue;
+            }
+            const auto& st = state[idp];
+            const Cut* pick = nullptr;
+            double pick_area = 0.0;
+            for (const auto& c : st.cuts) {
+                if (c.size == 1 && c.leaves[0] == idp) {
+                    continue;  // trivial cut cannot implement its own node
+                }
+                if (!options.area_recovery) {
+                    pick = &c;  // cuts are depth-sorted; first is depth-best
+                    break;
+                }
+                if (c.depth > required[idp]) {
+                    continue;
+                }
+                double af = 1.0;
+                for (int i = 0; i < c.size; ++i) {
+                    af += area_est[c.leaves[static_cast<std::size_t>(i)]];
+                }
+                if (pick == nullptr || af < pick_area ||
+                    (af == pick_area && c.depth < pick->depth)) {
+                    pick = &c;
+                    pick_area = af;
+                }
+            }
+            if (pick == nullptr) {
+                pick = &st.cuts.front();  // depth-best always meets required
+            }
+            chosen[idp] = pick;
+            for (int i = 0; i < pick->size; ++i) {
+                const NodeId leaf = pick->leaves[static_cast<std::size_t>(i)];
+                const auto& ln = nl.node(leaf);
+                if (ln.kind != GateKind::Input && ln.kind != GateKind::Const0) {
+                    used[leaf] = true;
+                }
+                required[leaf] = std::min(required[leaf], required[idp] - 1);
+            }
+        }
+
+        if (round + 1 < rounds) {
+            // Re-estimate reference counts from the actual cover.
+            std::vector<int> refs(nl.node_count(), 0);
+            for (NodeId id = 0; id < nl.node_count(); ++id) {
+                if (!used[id] || chosen[id] == nullptr) {
+                    continue;
+                }
+                for (int i = 0; i < chosen[id]->size; ++i) {
+                    ++refs[chosen[id]->leaves[static_cast<std::size_t>(i)]];
+                }
+            }
+            for (const auto& out : nl.outputs()) {
+                ++refs[out.node];
+            }
+            for (NodeId id = 0; id < nl.node_count(); ++id) {
+                if (reachable[id]) {
+                    state[id].est_refs = std::max(1, refs[id]);
+                }
+            }
+        }
+    }
+
+    // ---- Emit the LUT network. ----
+    LutNetwork net;
+    net.input_names.reserve(nl.inputs().size());
+    std::vector<std::int32_t> ref(nl.node_count(), LutNetwork::kConst0Ref);
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+        net.input_names.push_back(nl.inputs()[i].name);
+        ref[nl.inputs()[i].node] = static_cast<std::int32_t>(i);
+    }
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+        if (!used[id]) {
+            continue;
+        }
+        const Cut& cut = *chosen[id];
+        LutNetwork::Lut lut;
+        lut.fanins.reserve(static_cast<std::size_t>(cut.size));
+        for (int i = 0; i < cut.size; ++i) {
+            lut.fanins.push_back(ref[cut.leaves[static_cast<std::size_t>(i)]]);
+        }
+        lut.truth = cone_truth(nl, id, cut);
+        ref[id] = static_cast<std::int32_t>(net.input_names.size() + net.luts.size());
+        net.luts.push_back(std::move(lut));
+    }
+    for (const auto& out : nl.outputs()) {
+        net.outputs.emplace_back(out.name, ref[out.node]);
+    }
+    return net;
+}
+
+}  // namespace gfr::fpga

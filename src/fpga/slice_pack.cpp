@@ -1,0 +1,117 @@
+#include "fpga/slice_pack.h"
+
+#include <stdexcept>
+
+namespace gfr::fpga {
+
+SliceResult pack_slices(const LutNetwork& net, const SliceOptions& options) {
+    if (options.luts_per_slice < 1) {
+        throw std::invalid_argument{"pack_slices: luts_per_slice must be >= 1"};
+    }
+    SliceResult result;
+    result.slice_of.assign(net.luts.size(), -1);
+    std::vector<int> occupancy;  // per slice
+
+    for (std::size_t i = 0; i < net.luts.size(); ++i) {
+        // Prefer the fullest not-yet-full slice among the fanin LUTs' slices
+        // (pack related logic tightly; unrelated logic never shares a slice).
+        int best_slice = -1;
+        for (const auto ref : net.luts[i].fanins) {
+            if (ref < net.input_count()) {
+                continue;  // primary input or constant
+            }
+            const int s = result.slice_of[static_cast<std::size_t>(ref - net.input_count())];
+            if (s >= 0 && occupancy[static_cast<std::size_t>(s)] < options.luts_per_slice &&
+                (best_slice < 0 || occupancy[static_cast<std::size_t>(s)] >
+                                       occupancy[static_cast<std::size_t>(best_slice)])) {
+                best_slice = s;
+            }
+        }
+        if (best_slice < 0) {
+            best_slice = static_cast<int>(occupancy.size());
+            occupancy.push_back(0);
+        }
+        ++occupancy[static_cast<std::size_t>(best_slice)];
+        result.slice_of[i] = best_slice;
+    }
+
+    // Merge phase: fold connected, partially-filled slices together until the
+    // target fill is reached — the "packing pressure" a real placer applies.
+    // Union-find over slice ids keeps the merging near-linear.
+    std::vector<int> parent(occupancy.size());
+    for (std::size_t i = 0; i < parent.size(); ++i) {
+        parent[i] = static_cast<int>(i);
+    }
+    auto find = [&](int s) {
+        while (parent[static_cast<std::size_t>(s)] != s) {
+            parent[static_cast<std::size_t>(s)] =
+                parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(s)])];
+            s = parent[static_cast<std::size_t>(s)];
+        }
+        return s;
+    };
+    int live = static_cast<int>(occupancy.size());
+    auto current_fill = [&] {
+        return live == 0 ? 0.0
+                         : static_cast<double>(net.luts.size()) /
+                               (static_cast<double>(live) * options.luts_per_slice);
+    };
+
+    if (!net.luts.empty()) {
+        bool merged_any = true;
+        while (merged_any && current_fill() < options.target_fill) {
+            merged_any = false;
+            // Wire-connected slice pairs, smallest combined occupancy first.
+            for (std::size_t i = 0; i < net.luts.size(); ++i) {
+                const int si = find(result.slice_of[i]);
+                for (const auto ref : net.luts[i].fanins) {
+                    if (ref < net.input_count()) {
+                        continue;
+                    }
+                    const int sj = find(
+                        result.slice_of[static_cast<std::size_t>(ref - net.input_count())]);
+                    if (si == sj) {
+                        continue;
+                    }
+                    if (occupancy[static_cast<std::size_t>(si)] +
+                            occupancy[static_cast<std::size_t>(sj)] <=
+                        options.luts_per_slice) {
+                        occupancy[static_cast<std::size_t>(si)] +=
+                            occupancy[static_cast<std::size_t>(sj)];
+                        occupancy[static_cast<std::size_t>(sj)] = 0;
+                        parent[static_cast<std::size_t>(sj)] = si;
+                        --live;
+                        merged_any = true;
+                        break;
+                    }
+                }
+                if (current_fill() >= options.target_fill) {
+                    break;
+                }
+            }
+        }
+        // Compact slice ids.
+        std::vector<int> remap(parent.size(), -1);
+        int next = 0;
+        for (std::size_t i = 0; i < net.luts.size(); ++i) {
+            const int root = find(result.slice_of[i]);
+            if (remap[static_cast<std::size_t>(root)] < 0) {
+                remap[static_cast<std::size_t>(root)] = next++;
+            }
+            result.slice_of[i] = remap[static_cast<std::size_t>(root)];
+        }
+        occupancy.assign(static_cast<std::size_t>(next), 0);
+        for (const int s : result.slice_of) {
+            ++occupancy[static_cast<std::size_t>(s)];
+        }
+    }
+
+    result.n_slices = static_cast<int>(occupancy.size());
+    result.avg_fill = occupancy.empty()
+                          ? 0.0
+                          : static_cast<double>(net.luts.size()) /
+                                static_cast<double>(occupancy.size());
+    return result;
+}
+
+}  // namespace gfr::fpga

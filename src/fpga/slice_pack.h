@@ -1,0 +1,35 @@
+#ifndef GFR_FPGA_SLICE_PACK_H
+#define GFR_FPGA_SLICE_PACK_H
+
+// Slice packing: clustering mapped LUTs into Artix-7 style slices (4 LUT6
+// per slice).  A connectivity-driven greedy models the packer/placer: a LUT
+// joins a slice that already hosts one of its fanins (keeping local routes
+// local) when there is room, otherwise it opens a new slice.  Like the real
+// tool flow, this leaves slices partially filled — Table V's observed
+// LUTs-per-slice ratios are ~2.7-3.2, not the theoretical 4.
+
+#include "fpga/lut_network.h"
+
+namespace gfr::fpga {
+
+struct SliceOptions {
+    int luts_per_slice = 4;  ///< Artix-7: four 6-LUTs per slice
+    /// Post-pass: merge connected, partially-filled slices until the mean
+    /// fill reaches this fraction of capacity (or no legal merge remains).
+    /// Table V's designs sit near 0.70-0.78 (2.8-3.1 LUTs per 4-LUT slice).
+    double target_fill = 0.74;
+};
+
+struct SliceResult {
+    int n_slices = 0;
+    double avg_fill = 0;  ///< mean LUTs per occupied slice
+
+    /// Slice index per LUT (same order as LutNetwork::luts).
+    std::vector<int> slice_of;
+};
+
+SliceResult pack_slices(const LutNetwork& net, const SliceOptions& options = {});
+
+}  // namespace gfr::fpga
+
+#endif  // GFR_FPGA_SLICE_PACK_H

@@ -1,0 +1,47 @@
+#include "fpga/timing_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gfr::fpga {
+
+double TimingModel::congestion(int lut_count) const {
+    const double ratio =
+        std::max(1.0, static_cast<double>(lut_count) / congestion_ref_luts);
+    return 1.0 + congestion_factor * std::log2(ratio);
+}
+
+double TimingModel::net_delay(int fanout, double congestion_scale) const {
+    return (t_net_base + t_net_fanout * std::log2(1.0 + static_cast<double>(fanout))) *
+           congestion_scale;
+}
+
+double critical_path_ns(const LutNetwork& net, const TimingModel& model) {
+    const double cong = model.congestion(net.lut_count());
+    const auto fanout = net.fanout_counts();
+
+    std::vector<double> arrival(net.input_names.size() + net.luts.size(), 0.0);
+    for (std::size_t i = 0; i < net.input_names.size(); ++i) {
+        arrival[i] = model.t_io_in;
+    }
+    for (std::size_t i = 0; i < net.luts.size(); ++i) {
+        double worst = 0.0;
+        for (const auto ref : net.luts[i].fanins) {
+            if (ref < 0) {
+                continue;  // constant
+            }
+            const double a = arrival[static_cast<std::size_t>(ref)] +
+                             model.net_delay(fanout[static_cast<std::size_t>(ref)], cong);
+            worst = std::max(worst, a);
+        }
+        arrival[net.input_names.size() + i] = worst + model.t_lut;
+    }
+    double path = 0.0;
+    for (const auto& [name, ref] : net.outputs) {
+        const double a = (ref < 0) ? 0.0 : arrival[static_cast<std::size_t>(ref)];
+        path = std::max(path, a + model.net_delay(1, cong) + model.t_io_out);
+    }
+    return path;
+}
+
+}  // namespace gfr::fpga

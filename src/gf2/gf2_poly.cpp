@@ -1,0 +1,271 @@
+#include "gf2/gf2_poly.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace gfr::gf2 {
+
+namespace {
+constexpr int kWordBits = 64;
+}  // namespace
+
+void Poly::normalize() {
+    while (!words_.empty() && words_.back() == 0) {
+        words_.pop_back();
+    }
+}
+
+Poly Poly::monomial(int degree) {
+    if (degree < 0) {
+        throw std::invalid_argument{"Poly::monomial: negative degree"};
+    }
+    Poly p;
+    p.words_.assign(static_cast<std::size_t>(degree / kWordBits) + 1, 0);
+    p.words_.back() = std::uint64_t{1} << (degree % kWordBits);
+    return p;
+}
+
+Poly Poly::from_exponents(std::initializer_list<int> exponents) {
+    return from_exponents(std::vector<int>{exponents});
+}
+
+Poly Poly::from_exponents(const std::vector<int>& exponents) {
+    Poly p;
+    for (const int e : exponents) {
+        p.set_coeff(e, !p.coeff(e));  // duplicates cancel mod 2
+    }
+    return p;
+}
+
+Poly Poly::from_words(std::vector<std::uint64_t> words) {
+    Poly p;
+    p.words_ = std::move(words);
+    p.normalize();
+    return p;
+}
+
+bool Poly::is_one() const noexcept {
+    return words_.size() == 1 && words_[0] == 1;
+}
+
+int Poly::degree() const noexcept {
+    if (words_.empty()) {
+        return -1;
+    }
+    const int top = static_cast<int>(words_.size()) - 1;
+    return top * kWordBits + (kWordBits - 1 - std::countl_zero(words_.back()));
+}
+
+bool Poly::coeff(int k) const noexcept {
+    if (k < 0) {
+        return false;
+    }
+    const auto w = static_cast<std::size_t>(k / kWordBits);
+    if (w >= words_.size()) {
+        return false;
+    }
+    return (words_[w] >> (k % kWordBits)) & 1U;
+}
+
+void Poly::set_coeff(int k, bool value) {
+    if (k < 0) {
+        throw std::invalid_argument{"Poly::set_coeff: negative exponent"};
+    }
+    const auto w = static_cast<std::size_t>(k / kWordBits);
+    if (value) {
+        if (w >= words_.size()) {
+            words_.resize(w + 1, 0);
+        }
+        words_[w] |= std::uint64_t{1} << (k % kWordBits);
+    } else if (w < words_.size()) {
+        words_[w] &= ~(std::uint64_t{1} << (k % kWordBits));
+        normalize();
+    }
+}
+
+int Poly::weight() const noexcept {
+    int count = 0;
+    for (const auto w : words_) {
+        count += std::popcount(w);
+    }
+    return count;
+}
+
+std::vector<int> Poly::support() const {
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(weight()));
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+        std::uint64_t w = words_[wi];
+        while (w != 0) {
+            const int bit = std::countr_zero(w);
+            out.push_back(static_cast<int>(wi) * kWordBits + bit);
+            w &= w - 1;
+        }
+    }
+    return out;
+}
+
+Poly operator+(const Poly& a, const Poly& b) {
+    Poly out = a;
+    out += b;
+    return out;
+}
+
+Poly& Poly::operator+=(const Poly& rhs) {
+    if (rhs.words_.size() > words_.size()) {
+        words_.resize(rhs.words_.size(), 0);
+    }
+    for (std::size_t i = 0; i < rhs.words_.size(); ++i) {
+        words_[i] ^= rhs.words_[i];
+    }
+    normalize();
+    return *this;
+}
+
+Poly operator<<(const Poly& a, int shift) {
+    if (shift < 0) {
+        throw std::invalid_argument{"Poly::operator<<: negative shift"};
+    }
+    if (a.is_zero() || shift == 0) {
+        return a;
+    }
+    const int word_shift = shift / kWordBits;
+    const int bit_shift = shift % kWordBits;
+    std::vector<std::uint64_t> out(a.words_.size() + static_cast<std::size_t>(word_shift) + 1, 0);
+    for (std::size_t i = 0; i < a.words_.size(); ++i) {
+        out[i + static_cast<std::size_t>(word_shift)] ^= a.words_[i] << bit_shift;
+        if (bit_shift != 0) {
+            out[i + static_cast<std::size_t>(word_shift) + 1] ^=
+                a.words_[i] >> (kWordBits - bit_shift);
+        }
+    }
+    return Poly::from_words(std::move(out));
+}
+
+Poly operator>>(const Poly& a, int shift) {
+    if (shift < 0) {
+        throw std::invalid_argument{"Poly::operator>>: negative shift"};
+    }
+    const int word_shift = shift / kWordBits;
+    const int bit_shift = shift % kWordBits;
+    if (static_cast<std::size_t>(word_shift) >= a.words_.size()) {
+        return Poly{};
+    }
+    std::vector<std::uint64_t> out(a.words_.size() - static_cast<std::size_t>(word_shift), 0);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = a.words_[i + static_cast<std::size_t>(word_shift)] >> bit_shift;
+        if (bit_shift != 0 && i + static_cast<std::size_t>(word_shift) + 1 < a.words_.size()) {
+            out[i] ^= a.words_[i + static_cast<std::size_t>(word_shift) + 1]
+                      << (kWordBits - bit_shift);
+        }
+    }
+    return Poly::from_words(std::move(out));
+}
+
+Poly operator*(const Poly& a, const Poly& b) {
+    if (a.is_zero() || b.is_zero()) {
+        return Poly{};
+    }
+    // Comb multiplication: for every set bit of a, XOR a shifted copy of b.
+    // Work over raw words to avoid repeated reallocation.
+    const std::size_t out_words =
+        static_cast<std::size_t>((a.degree() + b.degree()) / kWordBits) + 1;
+    std::vector<std::uint64_t> acc(out_words + 1, 0);
+    for (std::size_t wi = 0; wi < a.words_.size(); ++wi) {
+        std::uint64_t w = a.words_[wi];
+        while (w != 0) {
+            const int bit = std::countr_zero(w);
+            w &= w - 1;
+            const int shift = static_cast<int>(wi) * kWordBits + bit;
+            const int ws = shift / kWordBits;
+            const int bs = shift % kWordBits;
+            for (std::size_t bj = 0; bj < b.words_.size(); ++bj) {
+                acc[bj + static_cast<std::size_t>(ws)] ^= b.words_[bj] << bs;
+                if (bs != 0) {
+                    acc[bj + static_cast<std::size_t>(ws) + 1] ^=
+                        b.words_[bj] >> (kWordBits - bs);
+                }
+            }
+        }
+    }
+    return Poly::from_words(std::move(acc));
+}
+
+Poly Poly::square() const {
+    // Squaring over GF(2) interleaves each coefficient bit with a zero bit.
+    Poly out;
+    for (const int e : support()) {
+        out.set_coeff(2 * e, true);
+    }
+    return out;
+}
+
+std::pair<Poly, Poly> Poly::divmod(const Poly& num, const Poly& den) {
+    if (den.is_zero()) {
+        throw std::invalid_argument{"Poly::divmod: division by zero polynomial"};
+    }
+    Poly rem = num;
+    Poly quot;
+    const int dd = den.degree();
+    int rd = rem.degree();
+    while (rd >= dd) {
+        const int shift = rd - dd;
+        quot.set_coeff(shift, true);
+        rem += den << shift;
+        rd = rem.degree();
+    }
+    return {std::move(quot), std::move(rem)};
+}
+
+Poly operator%(const Poly& a, const Poly& b) { return Poly::divmod(a, b).second; }
+
+Poly operator/(const Poly& a, const Poly& b) { return Poly::divmod(a, b).first; }
+
+Poly Poly::gcd(Poly a, Poly b) {
+    while (!b.is_zero()) {
+        Poly r = a % b;
+        a = std::move(b);
+        b = std::move(r);
+    }
+    return a;
+}
+
+Poly Poly::mulmod(const Poly& a, const Poly& b, const Poly& f) {
+    return (a * b) % f;
+}
+
+Poly Poly::sqrmod(const Poly& a, const Poly& f) { return a.square() % f; }
+
+Poly Poly::pow2k_mod(const Poly& a, int k, const Poly& f) {
+    if (k < 0) {
+        throw std::invalid_argument{"Poly::pow2k_mod: negative k"};
+    }
+    Poly acc = a % f;
+    for (int i = 0; i < k; ++i) {
+        acc = sqrmod(acc, f);
+    }
+    return acc;
+}
+
+std::string Poly::to_string() const {
+    if (is_zero()) {
+        return "0";
+    }
+    std::string out;
+    const auto exps = support();
+    for (auto it = exps.rbegin(); it != exps.rend(); ++it) {
+        if (!out.empty()) {
+            out += " + ";
+        }
+        if (*it == 0) {
+            out += "1";
+        } else if (*it == 1) {
+            out += "y";
+        } else {
+            out += "y^" + std::to_string(*it);
+        }
+    }
+    return out;
+}
+
+}  // namespace gfr::gf2

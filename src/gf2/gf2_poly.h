@@ -1,0 +1,111 @@
+#ifndef GFR_GF2_GF2_POLY_H
+#define GFR_GF2_GF2_POLY_H
+
+// Dense polynomials over GF(2).
+//
+// A polynomial f(y) = sum f_k y^k with f_k in {0,1} is stored as a little-endian
+// bit vector: bit (k % 64) of word (k / 64) holds f_k.  All arithmetic is
+// carry-less: addition is XOR, multiplication is the shift-and-XOR "comb".
+//
+// This is the base substrate for everything above it: field reduction,
+// Mastrovito matrices, irreducibility testing and the pentanomial catalog.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gfr::gf2 {
+
+/// Immutable-by-convention dense GF(2)[y] polynomial.
+///
+/// Invariant: words_ has no trailing zero word, so degree() is O(1) on the
+/// last word and equality is plain vector comparison.  The zero polynomial is
+/// the empty word vector and has degree() == -1.
+class Poly {
+public:
+    /// The zero polynomial.
+    Poly() = default;
+
+    /// y^degree.  Requires degree >= 0.
+    static Poly monomial(int degree);
+
+    /// The constant 1.
+    static Poly one() { return monomial(0); }
+
+    /// Polynomial with exactly the listed exponents set, e.g. {8,4,3,2,0}.
+    /// Duplicate exponents cancel (mod-2 semantics).
+    static Poly from_exponents(std::initializer_list<int> exponents);
+    static Poly from_exponents(const std::vector<int>& exponents);
+
+    /// Build from raw little-endian words (trailing zeros allowed; normalised).
+    static Poly from_words(std::vector<std::uint64_t> words);
+
+    [[nodiscard]] bool is_zero() const noexcept { return words_.empty(); }
+    [[nodiscard]] bool is_one() const noexcept;
+
+    /// Degree of the polynomial; -1 for the zero polynomial.
+    [[nodiscard]] int degree() const noexcept;
+
+    /// Coefficient of y^k (k may exceed degree; such coefficients are 0).
+    [[nodiscard]] bool coeff(int k) const noexcept;
+
+    /// Set/clear the coefficient of y^k.
+    void set_coeff(int k, bool value);
+
+    /// Number of nonzero coefficients.
+    [[nodiscard]] int weight() const noexcept;
+
+    /// Exponents with nonzero coefficient, ascending.
+    [[nodiscard]] std::vector<int> support() const;
+
+    /// Raw words, little-endian, normalised (no trailing zero word).
+    [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+    // --- Ring operations -------------------------------------------------
+
+    friend Poly operator+(const Poly& a, const Poly& b);   // XOR of coefficients
+    Poly& operator+=(const Poly& rhs);
+
+    friend Poly operator*(const Poly& a, const Poly& b);   // carry-less product
+
+    friend Poly operator<<(const Poly& a, int shift);      // multiply by y^shift
+    friend Poly operator>>(const Poly& a, int shift);      // drop low terms
+
+    friend bool operator==(const Poly& a, const Poly& b) = default;
+
+    /// Square in GF(2)[y]: interleave coefficients with zeros (Frobenius).
+    [[nodiscard]] Poly square() const;
+
+    /// Quotient and remainder of num / den.  Requires den != 0.
+    static std::pair<Poly, Poly> divmod(const Poly& num, const Poly& den);
+
+    friend Poly operator%(const Poly& a, const Poly& b);
+    friend Poly operator/(const Poly& a, const Poly& b);
+
+    /// Greatest common divisor (monic by construction over GF(2)).
+    static Poly gcd(Poly a, Poly b);
+
+    /// a * b mod f.  Requires f != 0.
+    static Poly mulmod(const Poly& a, const Poly& b, const Poly& f);
+
+    /// a^2 mod f.
+    static Poly sqrmod(const Poly& a, const Poly& f);
+
+    /// a^(2^k) mod f via k modular squarings (the Frobenius power used by
+    /// the Rabin irreducibility test).
+    static Poly pow2k_mod(const Poly& a, int k, const Poly& f);
+
+    /// Human-readable form, e.g. "y^8 + y^4 + y^3 + y^2 + 1"; "0" when zero.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    void normalize();
+
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace gfr::gf2
+
+#endif  // GFR_GF2_GF2_POLY_H

@@ -1,0 +1,56 @@
+#include "gf2/irreducibility.h"
+
+#include <stdexcept>
+
+namespace gfr::gf2 {
+
+std::vector<int> distinct_prime_factors(int n) {
+    if (n < 1) {
+        throw std::invalid_argument{"distinct_prime_factors: n must be >= 1"};
+    }
+    std::vector<int> out;
+    for (int p = 2; static_cast<long long>(p) * p <= n; ++p) {
+        if (n % p == 0) {
+            out.push_back(p);
+            while (n % p == 0) {
+                n /= p;
+            }
+        }
+    }
+    if (n > 1) {
+        out.push_back(n);
+    }
+    return out;
+}
+
+bool is_irreducible(const Poly& f) {
+    const int m = f.degree();
+    if (m <= 0) {
+        return false;
+    }
+    if (m == 1) {
+        return true;
+    }
+    // A polynomial with zero constant term is divisible by y; an even-weight
+    // polynomial is divisible by (y + 1).  Cheap rejections first.
+    if (!f.coeff(0) || f.weight() % 2 == 0) {
+        return false;
+    }
+
+    const Poly y = Poly::monomial(1);
+
+    // Condition (1): y^(2^m) == y mod f.
+    if (Poly::pow2k_mod(y, m, f) != y % f) {
+        return false;
+    }
+    // Condition (2): no factor of degree dividing m/p survives.
+    for (const int p : distinct_prime_factors(m)) {
+        const Poly g = Poly::pow2k_mod(y, m / p, f) + y;
+        if (!Poly::gcd(g, f).is_one()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace gfr::gf2

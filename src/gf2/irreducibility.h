@@ -1,0 +1,28 @@
+#ifndef GFR_GF2_IRREDUCIBILITY_H
+#define GFR_GF2_IRREDUCIBILITY_H
+
+// Irreducibility testing for polynomials over GF(2).
+//
+// Uses Rabin's test: f of degree m is irreducible over GF(2) iff
+//   (1) y^(2^m) == y (mod f), and
+//   (2) gcd(y^(2^(m/p)) - y mod f, f) == 1 for every prime divisor p of m.
+//
+// All five NIST ECDSA binary fields and the paper's nine (m,n) fields are
+// validated through this test in the test suite.
+
+#include "gf2/gf2_poly.h"
+
+#include <vector>
+
+namespace gfr::gf2 {
+
+/// Distinct prime factors of n, ascending.  Requires n >= 1.
+std::vector<int> distinct_prime_factors(int n);
+
+/// True iff f is irreducible over GF(2).  Degree-0 and degree-1 cases follow
+/// the usual convention: constants are not irreducible; y and y+1 are.
+bool is_irreducible(const Poly& f);
+
+}  // namespace gfr::gf2
+
+#endif  // GFR_GF2_IRREDUCIBILITY_H

@@ -1,0 +1,102 @@
+#include "gf2/pentanomial.h"
+
+#include "gf2/irreducibility.h"
+
+#include <stdexcept>
+
+namespace gfr::gf2 {
+
+bool TypeIIPentanomial::valid_parameters(int m, int n) {
+    return m >= 6 && n >= 2 && n <= m / 2 - 1;
+}
+
+Poly TypeIIPentanomial::poly() const {
+    if (!valid_parameters(m, n)) {
+        throw std::invalid_argument{"TypeIIPentanomial: invalid (m, n) parameters"};
+    }
+    return Poly::from_exponents({m, n + 2, n + 1, n, 0});
+}
+
+bool is_type2_irreducible(int m, int n) {
+    if (!TypeIIPentanomial::valid_parameters(m, n)) {
+        return false;
+    }
+    return is_irreducible(TypeIIPentanomial{m, n}.poly());
+}
+
+std::vector<int> type2_irreducible_ns(int m) {
+    std::vector<int> out;
+    for (int n = 2; n <= m / 2 - 1; ++n) {
+        if (is_type2_irreducible(m, n)) {
+            out.push_back(n);
+        }
+    }
+    return out;
+}
+
+std::optional<TypeIIPentanomial> first_type2_irreducible(int m) {
+    for (int n = 2; n <= m / 2 - 1; ++n) {
+        if (is_type2_irreducible(m, n)) {
+            return TypeIIPentanomial{m, n};
+        }
+    }
+    return std::nullopt;
+}
+
+bool TypeIPentanomial::valid_parameters(int m, int n) {
+    return n >= 2 && n <= m - 3;
+}
+
+Poly TypeIPentanomial::poly() const {
+    if (!valid_parameters(m, n)) {
+        throw std::invalid_argument{"TypeIPentanomial: invalid (m, n) parameters"};
+    }
+    return Poly::from_exponents({m, n + 1, n, 1, 0});
+}
+
+bool is_type1_irreducible(int m, int n) {
+    if (!TypeIPentanomial::valid_parameters(m, n)) {
+        return false;
+    }
+    return is_irreducible(TypeIPentanomial{m, n}.poly());
+}
+
+std::vector<int> type1_irreducible_ns(int m) {
+    std::vector<int> out;
+    for (int n = 2; n <= m - 3; ++n) {
+        if (is_type1_irreducible(m, n)) {
+            out.push_back(n);
+        }
+    }
+    return out;
+}
+
+std::vector<int> irreducible_trinomial_ks(int m) {
+    std::vector<int> out;
+    for (int k = 1; k <= m - 1; ++k) {
+        if (is_irreducible(Poly::from_exponents({m, k, 0}))) {
+            out.push_back(k);
+        }
+    }
+    return out;
+}
+
+std::optional<Poly> preferred_low_weight_modulus(int m) {
+    if (m < 2) {
+        return std::nullopt;
+    }
+    const auto tri = irreducible_trinomial_ks(m);
+    if (!tri.empty()) {
+        return Poly::from_exponents({m, tri.front(), 0});
+    }
+    if (const auto penta2 = first_type2_irreducible(m)) {
+        return penta2->poly();
+    }
+    const auto penta1 = type1_irreducible_ns(m);
+    if (!penta1.empty()) {
+        return TypeIPentanomial{m, penta1.front()}.poly();
+    }
+    return std::nullopt;
+}
+
+}  // namespace gfr::gf2

@@ -1,0 +1,69 @@
+#ifndef GFR_GF2_PENTANOMIAL_H
+#define GFR_GF2_PENTANOMIAL_H
+
+// Type II irreducible pentanomials  f(y) = y^m + y^(n+2) + y^(n+1) + y^n + 1,
+// with 2 <= n <= floor(m/2) - 1  (definition from Rodriguez-Henriquez & Koc,
+// used throughout the paper).  These generate all five NIST ECDSA binary
+// fields and are the irreducible polynomials the DATE 2018 multipliers target.
+
+#include "gf2/gf2_poly.h"
+
+#include <optional>
+#include <vector>
+
+namespace gfr::gf2 {
+
+/// A type II pentanomial parameterised by (m, n).  Only well-formed parameter
+/// pairs can be constructed; irreducibility is a separate question.
+struct TypeIIPentanomial {
+    int m = 0;
+    int n = 0;
+
+    /// True iff 2 <= n <= floor(m/2) - 1 and m >= 6 (smallest m admitting n=2).
+    static bool valid_parameters(int m, int n);
+
+    /// The polynomial y^m + y^(n+2) + y^(n+1) + y^n + 1.
+    [[nodiscard]] Poly poly() const;
+};
+
+/// True iff (m, n) is a valid type II pentanomial AND irreducible over GF(2).
+bool is_type2_irreducible(int m, int n);
+
+/// All n for which the type II pentanomial of degree m is irreducible,
+/// ascending.  Empty when none exists for this m.
+std::vector<int> type2_irreducible_ns(int m);
+
+/// The smallest irreducible type II pentanomial of degree m, if any.
+std::optional<TypeIIPentanomial> first_type2_irreducible(int m);
+
+/// Type I pentanomial f(y) = y^m + y^(n+1) + y^n + y + 1 (Rodriguez-Henriquez
+/// & Koc [5], the companion family to type II).
+struct TypeIPentanomial {
+    int m = 0;
+    int n = 0;
+
+    /// True iff 2 <= n <= m-3 (distinct exponents m > n+1 > n > 1 > 0).
+    static bool valid_parameters(int m, int n);
+
+    [[nodiscard]] Poly poly() const;
+};
+
+/// True iff (m, n) is a valid type I pentanomial AND irreducible over GF(2).
+bool is_type1_irreducible(int m, int n);
+
+/// All n for which the type I pentanomial of degree m is irreducible.
+std::vector<int> type1_irreducible_ns(int m);
+
+/// Irreducible trinomials y^m + y^k + 1 of degree m: all valid k ascending
+/// (empty when degree m has none — e.g. every multiple of 8).
+std::vector<int> irreducible_trinomial_ks(int m);
+
+/// The lowest-weight irreducible polynomial of degree m following the usual
+/// selection order: trinomial with smallest k, else type II pentanomial with
+/// smallest n, else type I, else nullopt.  (Standards bodies pick moduli the
+/// same way.)
+std::optional<Poly> preferred_low_weight_modulus(int m);
+
+}  // namespace gfr::gf2
+
+#endif  // GFR_GF2_PENTANOMIAL_H

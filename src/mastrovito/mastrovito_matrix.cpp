@@ -1,0 +1,60 @@
+#include "mastrovito/mastrovito_matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gfr::mastrovito {
+
+MastrovitoMatrix::MastrovitoMatrix(const ReductionMatrix& q) : m_{q.m()} {
+    entries_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), {});
+    // c_k = sum_j b_j * ( [0 <= k-j] a_(k-j)  +  sum_{Q[i][k]=1} a_(m+i-j) ),
+    // with every a-index constrained to [0, m-1] and duplicates cancelling.
+    for (int k = 0; k < m_; ++k) {
+        const auto t_rows = q.t_indices_for_coefficient(k);
+        for (int j = 0; j < m_; ++j) {
+            std::vector<int> idx;
+            if (k - j >= 0) {
+                idx.push_back(k - j);  // k-j <= k <= m-1 always holds
+            }
+            for (const int i : t_rows) {
+                const int a = m_ + i - j;
+                if (a >= 0 && a <= m_ - 1) {
+                    idx.push_back(a);
+                }
+            }
+            std::sort(idx.begin(), idx.end());
+            // Cancel pairs mod 2.
+            std::vector<int> kept;
+            for (std::size_t p = 0; p < idx.size();) {
+                std::size_t r = p;
+                while (r < idx.size() && idx[r] == idx[p]) {
+                    ++r;
+                }
+                if ((r - p) % 2 == 1) {
+                    kept.push_back(idx[p]);
+                }
+                p = r;
+            }
+            entries_[static_cast<std::size_t>(k) * static_cast<std::size_t>(m_) +
+                     static_cast<std::size_t>(j)] = std::move(kept);
+        }
+    }
+}
+
+const std::vector<int>& MastrovitoMatrix::entry(int k, int j) const {
+    if (k < 0 || k >= m_ || j < 0 || j >= m_) {
+        throw std::out_of_range{"MastrovitoMatrix::entry: index out of range"};
+    }
+    return entries_[static_cast<std::size_t>(k) * static_cast<std::size_t>(m_) +
+                    static_cast<std::size_t>(j)];
+}
+
+int MastrovitoMatrix::term_count() const {
+    int total = 0;
+    for (const auto& e : entries_) {
+        total += static_cast<int>(e.size());
+    }
+    return total;
+}
+
+}  // namespace gfr::mastrovito

@@ -1,0 +1,37 @@
+#ifndef GFR_MASTROVITO_MASTROVITO_MATRIX_H
+#define GFR_MASTROVITO_MASTROVITO_MATRIX_H
+
+// The Mastrovito product matrix M(A):  c = M(A) * b  over GF(2), where each
+// entry M[k][j] is a GF(2) sum of coordinates of A.  This combines polynomial
+// multiplication and modular reduction in a single matrix — the classic
+// bit-parallel formulation ([1], used by the Paar multiplier [2] that the
+// paper benchmarks against).
+
+#include "mastrovito/reduction_matrix.h"
+
+#include <vector>
+
+namespace gfr::mastrovito {
+
+class MastrovitoMatrix {
+public:
+    explicit MastrovitoMatrix(const ReductionMatrix& q);
+
+    [[nodiscard]] int m() const noexcept { return m_; }
+
+    /// Sorted a-indices whose XOR forms entry (k, j); empty = constant 0.
+    /// Indices appearing an even number of times have cancelled already.
+    [[nodiscard]] const std::vector<int>& entry(int k, int j) const;
+
+    /// Total number of (non-cancelled) a-terms across the matrix; a proxy for
+    /// the XOR cost of a naive (unshared) row evaluation.
+    [[nodiscard]] int term_count() const;
+
+private:
+    int m_ = 0;
+    std::vector<std::vector<int>> entries_;  // (k * m + j) -> a-indices
+};
+
+}  // namespace gfr::mastrovito
+
+#endif  // GFR_MASTROVITO_MASTROVITO_MATRIX_H

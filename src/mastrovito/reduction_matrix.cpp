@@ -1,0 +1,65 @@
+#include "mastrovito/reduction_matrix.h"
+
+#include <stdexcept>
+
+namespace gfr::mastrovito {
+
+using gf2::Poly;
+
+ReductionMatrix::ReductionMatrix(const Poly& f) : m_{f.degree()} {
+    if (m_ < 2) {
+        throw std::invalid_argument{"ReductionMatrix: degree must be >= 2"};
+    }
+    rows_.reserve(static_cast<std::size_t>(m_ - 1));
+    // Iteratively: row_0 = x^m mod f = f - x^m (over GF(2): f + x^m);
+    // row_(i+1) = x * row_i mod f, reducing the possible overflow term x^m.
+    Poly r = f + Poly::monomial(m_);
+    rows_.push_back(r);
+    for (int i = 1; i <= m_ - 2; ++i) {
+        r = r << 1;
+        if (r.coeff(m_)) {
+            r.set_coeff(m_, false);
+            r += rows_[0];
+        }
+        rows_.push_back(r);
+    }
+}
+
+bool ReductionMatrix::at(int i, int k) const {
+    if (i < 0 || i > m_ - 2) {
+        throw std::out_of_range{"ReductionMatrix::at: row out of range"};
+    }
+    if (k < 0 || k > m_ - 1) {
+        throw std::out_of_range{"ReductionMatrix::at: column out of range"};
+    }
+    return rows_[static_cast<std::size_t>(i)].coeff(k);
+}
+
+const Poly& ReductionMatrix::row(int i) const {
+    if (i < 0 || i > m_ - 2) {
+        throw std::out_of_range{"ReductionMatrix::row: row out of range"};
+    }
+    return rows_[static_cast<std::size_t>(i)];
+}
+
+std::vector<int> ReductionMatrix::row_support(int i) const { return row(i).support(); }
+
+std::vector<int> ReductionMatrix::t_indices_for_coefficient(int k) const {
+    std::vector<int> out;
+    for (int i = 0; i <= m_ - 2; ++i) {
+        if (at(i, k)) {
+            out.push_back(i);
+        }
+    }
+    return out;
+}
+
+int ReductionMatrix::ones_count() const {
+    int total = 0;
+    for (const auto& r : rows_) {
+        total += r.weight();
+    }
+    return total;
+}
+
+}  // namespace gfr::mastrovito

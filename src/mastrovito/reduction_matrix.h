@@ -1,0 +1,51 @@
+#ifndef GFR_MASTROVITO_REDUCTION_MATRIX_H
+#define GFR_MASTROVITO_REDUCTION_MATRIX_H
+
+// Reduction matrix Q of an irreducible polynomial f of degree m.
+//
+// Row i (0 <= i <= m-2) holds the canonical-basis expansion of
+// x^(m+i) mod f(x):   x^(m+i) = sum_k Q[i][k] x^k.
+//
+// Q drives everything "Mastrovito" in the paper:
+//   c_k = d_k + sum_i Q[i][k] * d_(m+i)
+// which in S/T notation (S_(k+1) = d_k, T_i = d_(m+i)) is exactly the paper's
+// Table I:  c_k = S_(k+1) + sum of the T_i with Q[i][k] = 1.
+
+#include "gf2/gf2_poly.h"
+
+#include <vector>
+
+namespace gfr::mastrovito {
+
+class ReductionMatrix {
+public:
+    /// Requires deg(f) >= 2.  f need not be irreducible for the matrix to be
+    /// well defined, but fields built on it obviously do.
+    explicit ReductionMatrix(const gf2::Poly& f);
+
+    [[nodiscard]] int m() const noexcept { return m_; }
+
+    /// Q[i][k]: does x^(m+i) mod f contain x^k?  Requires 0 <= i <= m-2.
+    [[nodiscard]] bool at(int i, int k) const;
+
+    /// x^(m+i) mod f as a polynomial.
+    [[nodiscard]] const gf2::Poly& row(int i) const;
+
+    /// Exponents present in row i, ascending.
+    [[nodiscard]] std::vector<int> row_support(int i) const;
+
+    /// The i with Q[i][k] = 1, ascending — i.e. which T_i feed coefficient
+    /// c_k of the product (column support of Q).
+    [[nodiscard]] std::vector<int> t_indices_for_coefficient(int k) const;
+
+    /// Total number of ones in Q (the XOR cost of a naive reduction layer).
+    [[nodiscard]] int ones_count() const;
+
+private:
+    int m_ = 0;
+    std::vector<gf2::Poly> rows_;  // rows_[i] = x^(m+i) mod f
+};
+
+}  // namespace gfr::mastrovito
+
+#endif  // GFR_MASTROVITO_REDUCTION_MATRIX_H

@@ -1,0 +1,53 @@
+// THIS WORK (DATE 2018): the same split S^j_i/T^j_i complete trees as [7],
+// but each coefficient is a *flat* sum of split terms with no prescribed
+// association (Table IV).  The netlist below realises the flat sums with a
+// default balanced shape; when mapped through fpga::run_flow with
+// synthesis_freedom = true (the paper's setting for this method), the
+// synthesis pipeline is free to re-associate and share across coefficients —
+// the freedom the paper gives Xilinx XST.
+//
+// Term order matches Table IV: the splits of S_(k+1) by descending level,
+// then for each contributing T_i (ascending i) its splits by descending
+// level.
+
+#include "mastrovito/reduction_matrix.h"
+#include "multipliers/generator.h"
+#include "multipliers/product_layer.h"
+#include "st/st_split.h"
+
+#include <algorithm>
+
+namespace gfr::mult {
+
+netlist::Netlist build_date2018_flat(const field::Field& field) {
+    const int m = field.degree();
+    const mastrovito::ReductionMatrix q{field.modulus()};
+    const st::SplitTables tables = st::make_split_tables(m);
+
+    netlist::Netlist nl;
+    ProductLayer pl{nl, m};
+
+    auto append_desc = [&](const std::vector<st::SplitTerm>& splits,
+                           std::vector<netlist::NodeId>& leaves) {
+        auto sorted = splits;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const st::SplitTerm& a, const st::SplitTerm& b) {
+                      return a.level > b.level;
+                  });
+        for (const auto& sp : sorted) {
+            leaves.push_back(pl.product_tree(sp.terms));
+        }
+    };
+
+    for (int k = 0; k < m; ++k) {
+        std::vector<netlist::NodeId> leaves;
+        append_desc(tables.s[static_cast<std::size_t>(k)], leaves);
+        for (const int i : q.t_indices_for_coefficient(k)) {
+            append_desc(tables.t[static_cast<std::size_t>(i)], leaves);
+        }
+        nl.add_output(coeff_name(k), nl.make_xor_tree(leaves, netlist::TreeShape::Balanced));
+    }
+    return nl;
+}
+
+}  // namespace gfr::mult

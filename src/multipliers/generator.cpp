@@ -1,0 +1,60 @@
+#include "multipliers/generator.h"
+
+#include <stdexcept>
+
+namespace gfr::mult {
+
+const std::vector<MethodInfo>& all_methods() {
+    static const std::vector<MethodInfo> methods = {
+        {Method::PaarMastrovito, "paar", "[2]",
+         "Paar 1994: Mastrovito matrix with shared A-sums", true, false},
+        {Method::RashidiDirect, "rashidi", "[8]",
+         "Rashidi et al. 2015 (reconstruction): direct reduced-ANF trees", true, false},
+        {Method::ReyhaniHasan, "reyhani", "[3]",
+         "Reyhani-Masoleh & Hasan 2004 (reconstruction): x^i*B network", true, false},
+        {Method::Imana2012, "imana2012", "[6]",
+         "Imana 2012: monolithic S_i/T_i function trees", true, false},
+        {Method::Imana2016Paren, "imana2016", "[7]",
+         "Imana 2016: split terms with parenthesised same-level pairing", true, false},
+        {Method::Date2018Flat, "date2018", "This work",
+         "DATE 2018: flat split-term sums, restructuring left to synthesis", true, true},
+        {Method::SchoolReduce, "school", "school",
+         "naive two-step schoolbook multiply + chain reduction", false, false},
+        {Method::Karatsuba, "karatsuba", "KOA",
+         "Karatsuba-Ofman subquadratic product + Mastrovito reduction", false, false},
+    };
+    return methods;
+}
+
+const MethodInfo& method_info(Method method) {
+    for (const auto& info : all_methods()) {
+        if (info.method == method) {
+            return info;
+        }
+    }
+    throw std::invalid_argument{"method_info: unknown method"};
+}
+
+netlist::Netlist build_multiplier(Method method, const field::Field& field) {
+    switch (method) {
+        case Method::SchoolReduce:
+            return build_school_reduce(field);
+        case Method::PaarMastrovito:
+            return build_paar_mastrovito(field);
+        case Method::RashidiDirect:
+            return build_rashidi_direct(field);
+        case Method::ReyhaniHasan:
+            return build_reyhani_hasan(field);
+        case Method::Imana2012:
+            return build_imana2012(field);
+        case Method::Imana2016Paren:
+            return build_imana2016_paren(field);
+        case Method::Date2018Flat:
+            return build_date2018_flat(field);
+        case Method::Karatsuba:
+            return build_karatsuba_default(field);
+    }
+    throw std::invalid_argument{"build_multiplier: unknown method"};
+}
+
+}  // namespace gfr::mult

@@ -1,0 +1,78 @@
+#ifndef GFR_MULTIPLIERS_GENERATOR_H
+#define GFR_MULTIPLIERS_GENERATOR_H
+
+// The six multiplier architectures benchmarked in the paper's Table V, plus
+// a naive two-step baseline.  Each generator emits a pure AND/XOR netlist
+// with inputs a0..a(m-1), b0..b(m-1) and outputs c0..c(m-1) computing
+// C = A*B in GF(2^m) for the field's modulus.
+//
+//   SchoolReduce    — naive schoolbook product + iterative chain reduction
+//                     (not in Table V; sanity baseline)
+//   PaarMastrovito  — [2] C. Paar: Mastrovito matrix rows with shared A-sums
+//   RashidiDirect   — [8] reconstruction: each c_k is one balanced XOR tree
+//                     over *all* contributing partial products (lowest depth,
+//                     no cross-coefficient sharing)
+//   ReyhaniHasan    — [3] reconstruction: iterated w_(i+1) = x*w_i mod f
+//                     b-side network, then c_k = sum_i a_i * w_(i,k)
+//                     (77 XOR / T_A+7T_X signature at (8,2), as the paper cites)
+//   Imana2012       — [6] monolithic S_i/T_i balanced trees, then balanced
+//                     coefficient trees (T_A+6T_X at (8,2))
+//   Imana2016Paren  — [7] split S^j_i/T^j_i complete trees combined with the
+//                     level-aware pairing ("hard parenthesised restrictions";
+//                     T_A+5T_X at (8,2))
+//   Date2018Flat    — THIS WORK: split terms summed flat; the restructuring
+//                     is left to synthesis (see fpga::FlowOptions)
+//   Karatsuba       — subquadratic Karatsuba-Ofman product + reduction
+//                     (not in Table V; the classic comparison point)
+
+#include "field/gf2m.h"
+#include "netlist/netlist.h"
+
+#include <string_view>
+#include <vector>
+
+namespace gfr::mult {
+
+enum class Method : std::uint8_t {
+    SchoolReduce,
+    PaarMastrovito,
+    RashidiDirect,
+    ReyhaniHasan,
+    Imana2012,
+    Imana2016Paren,
+    Date2018Flat,
+    Karatsuba,
+};
+
+struct MethodInfo {
+    Method method = Method::SchoolReduce;
+    std::string_view key;        ///< stable identifier, e.g. "imana2016"
+    std::string_view display;    ///< Table V row label, e.g. "[7]"
+    std::string_view citation;   ///< human-readable description
+    bool in_table5 = true;       ///< benchmarked in the paper's Table V?
+    bool synthesis_freedom = false;  ///< paper maps this netlist after synthesis
+};
+
+/// All methods, Table V order (SchoolReduce last, marked not-in-table).
+const std::vector<MethodInfo>& all_methods();
+
+/// Metadata for one method.
+const MethodInfo& method_info(Method method);
+
+/// Dispatch to the architecture-specific builder below.
+netlist::Netlist build_multiplier(Method method, const field::Field& field);
+
+netlist::Netlist build_school_reduce(const field::Field& field);
+netlist::Netlist build_paar_mastrovito(const field::Field& field);
+netlist::Netlist build_rashidi_direct(const field::Field& field);
+netlist::Netlist build_reyhani_hasan(const field::Field& field);
+netlist::Netlist build_imana2012(const field::Field& field);
+netlist::Netlist build_imana2016_paren(const field::Field& field);
+netlist::Netlist build_date2018_flat(const field::Field& field);
+
+/// Declared in karatsuba.h; listed here so build_multiplier can dispatch.
+netlist::Netlist build_karatsuba_default(const field::Field& field);
+
+}  // namespace gfr::mult
+
+#endif  // GFR_MULTIPLIERS_GENERATOR_H

@@ -1,0 +1,62 @@
+#ifndef GFR_MULTIPLIERS_GOLDEN_TABLES_H
+#define GFR_MULTIPLIERS_GOLDEN_TABLES_H
+
+// Verbatim transcriptions of the paper's Tables I-IV for GF(2^8) with
+// (m,n) = (8,2), plus a compiler from parsed coefficient equations to
+// netlists.  These serve two purposes:
+//
+//   1. *Validating the paper*: each transcribed table is compiled and checked
+//      for functional equivalence against reference field arithmetic, and its
+//      stated complexity (e.g. Table III's T_A + 5T_X, 64 AND, 87 XOR) is
+//      measured on the compiled netlist.
+//   2. *Validating our generators*: the generator outputs must match the
+//      golden tables term-for-term (Tables I/II/IV) or in delay profile
+//      (Table III, whose exact hand pairing admits equivalent variants).
+
+#include "field/gf2m.h"
+#include "netlist/netlist.h"
+#include "st/st_expr.h"
+
+#include <string>
+#include <vector>
+
+namespace gfr::mult {
+
+/// Table I: coefficients as whole S/T sums (flat-text notation, one equation
+/// per line, exactly as printed in the paper).
+const std::string& table1_text();
+
+/// Table III: split terms with hard parenthesised restrictions.
+const std::string& table3_text();
+
+/// Table IV: the paper's proposal — split terms summed flat.
+const std::string& table4_text();
+
+/// Table II right-hand sides in our printer's notation, S-terms then T-terms
+/// by (index, level): "S^0_1 = x0", ..., "T^0_6 = x7".
+const std::vector<std::string>& table2_expected_lines();
+
+/// The S_i/T_i listings of Section II ("S1 = x0", ..., "T6 = x7").
+const std::vector<std::string>& section2_expected_st_lines();
+
+/// The split decompositions quoted in Section II ("S1 = S^0_1", ...,
+/// "T6 = T^0_6").
+const std::vector<std::string>& section2_expected_split_lines();
+
+/// Compile parsed coefficient equations into a netlist over `field`.
+/// Parenthesised (binary) structure is preserved gate-for-gate; flat n-ary
+/// sums are built with `nary_shape`.  Pair atoms (T^k_{i,j} / ST^k_{i,j})
+/// resolve their operands with the level-fallback rule of
+/// st::find_split_term.
+netlist::Netlist compile_equations(const std::vector<st::CoeffEquation>& equations,
+                                   const field::Field& field,
+                                   netlist::TreeShape nary_shape);
+
+/// Parse + compile the transcribed tables over GF(2^8), (m,n) = (8,2).
+netlist::Netlist golden_table1_netlist();
+netlist::Netlist golden_table3_netlist();
+netlist::Netlist golden_table4_netlist();
+
+}  // namespace gfr::mult
+
+#endif  // GFR_MULTIPLIERS_GOLDEN_TABLES_H

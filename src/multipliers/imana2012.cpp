@@ -1,0 +1,41 @@
+// [6] Imana TCAS-II 2012: the S_i/T_i decomposition.  Each function is built
+// *monolithically* as a balanced binary tree over its term list (z terms are
+// one XOR of two products, matching "binary trees of 2-input XOR gates with
+// a lower level of 2-input AND gates"), and each product coefficient is a
+// balanced tree over { S_(k+1) } union { T_i : Q[i][k] = 1 } — the Table I
+// equations, exactly.
+
+#include "mastrovito/reduction_matrix.h"
+#include "multipliers/generator.h"
+#include "multipliers/product_layer.h"
+#include "st/st_terms.h"
+
+namespace gfr::mult {
+
+netlist::Netlist build_imana2012(const field::Field& field) {
+    const int m = field.degree();
+    const mastrovito::ReductionMatrix q{field.modulus()};
+
+    netlist::Netlist nl;
+    ProductLayer pl{nl, m};
+
+    std::vector<netlist::NodeId> s_node(static_cast<std::size_t>(m) + 1);
+    for (int i = 1; i <= m; ++i) {
+        s_node[static_cast<std::size_t>(i)] = pl.term_tree(st::make_s(m, i).terms);
+    }
+    std::vector<netlist::NodeId> t_node(static_cast<std::size_t>(m - 1));
+    for (int i = 0; i <= m - 2; ++i) {
+        t_node[static_cast<std::size_t>(i)] = pl.term_tree(st::make_t(m, i).terms);
+    }
+
+    for (int k = 0; k < m; ++k) {
+        std::vector<netlist::NodeId> leaves{s_node[static_cast<std::size_t>(k) + 1]};
+        for (const int i : q.t_indices_for_coefficient(k)) {
+            leaves.push_back(t_node[static_cast<std::size_t>(i)]);
+        }
+        nl.add_output(coeff_name(k), nl.make_xor_tree(leaves, netlist::TreeShape::Balanced));
+    }
+    return nl;
+}
+
+}  // namespace gfr::mult

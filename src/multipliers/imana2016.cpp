@@ -1,0 +1,61 @@
+// [7] Imana TCAS-I 2016: split every S_i/T_i into complete-binary-tree terms
+// S^j_i/T^j_i (Table II) and combine the terms of each coefficient with the
+// level-aware pairing that yields the minimum XOR depth ("terms in
+// parenthesis must be XORed previously" — the hard restrictions of Table III).
+//
+// The pairing is the Huffman rule for the max-plus-one cost: repeatedly
+// combine the two lowest-level items; the combination has level
+// max(l1, l2) + 1.  This reproduces the paper's T_A + 5T_X at (8,2) and is
+// provably depth-optimal for the given item levels.
+
+#include "mastrovito/reduction_matrix.h"
+#include "multipliers/generator.h"
+#include "multipliers/product_layer.h"
+#include "st/st_split.h"
+
+#include <queue>
+#include <tuple>
+
+namespace gfr::mult {
+
+netlist::Netlist build_imana2016_paren(const field::Field& field) {
+    const int m = field.degree();
+    const mastrovito::ReductionMatrix q{field.modulus()};
+    const st::SplitTables tables = st::make_split_tables(m);
+
+    netlist::Netlist nl;
+    ProductLayer pl{nl, m};
+
+    // (level, tiebreak, node): min-heap on level, insertion order on ties so
+    // the construction is deterministic.
+    using Item = std::tuple<int, int, netlist::NodeId>;
+    const auto cmp = [](const Item& a, const Item& b) {
+        return std::tie(std::get<0>(a), std::get<1>(a)) >
+               std::tie(std::get<0>(b), std::get<1>(b));
+    };
+
+    for (int k = 0; k < m; ++k) {
+        std::priority_queue<Item, std::vector<Item>, decltype(cmp)> heap{cmp};
+        int seq = 0;
+        auto push_splits = [&](const std::vector<st::SplitTerm>& splits) {
+            for (const auto& sp : splits) {
+                heap.emplace(sp.level, seq++, pl.product_tree(sp.terms));
+            }
+        };
+        push_splits(tables.s[static_cast<std::size_t>(k)]);  // S_(k+1)
+        for (const int i : q.t_indices_for_coefficient(k)) {
+            push_splits(tables.t[static_cast<std::size_t>(i)]);
+        }
+        while (heap.size() > 1) {
+            const auto [la, sa, na] = heap.top();
+            heap.pop();
+            const auto [lb, sb, nb] = heap.top();
+            heap.pop();
+            heap.emplace(std::max(la, lb) + 1, seq++, nl.make_xor(na, nb));
+        }
+        nl.add_output(coeff_name(k), std::get<2>(heap.top()));
+    }
+    return nl;
+}
+
+}  // namespace gfr::mult

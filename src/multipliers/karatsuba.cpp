@@ -1,0 +1,136 @@
+#include "multipliers/karatsuba.h"
+
+#include "mastrovito/reduction_matrix.h"
+#include "multipliers/product_layer.h"
+
+#include <stdexcept>
+
+namespace gfr::mult {
+
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::TreeShape;
+
+/// Recursive Karatsuba over signal vectors: returns the 2n-1 coefficients of
+/// the polynomial product of two n-signal operands.
+std::vector<NodeId> karatsuba_product(Netlist& nl, std::span<const NodeId> a,
+                                      std::span<const NodeId> b, int threshold) {
+    const int n = static_cast<int>(a.size());
+    if (n == 0) {
+        return {};
+    }
+    if (n == 1) {
+        return {nl.make_and(a[0], b[0])};
+    }
+    if (n <= threshold) {
+        // Schoolbook convolution with balanced trees.
+        std::vector<NodeId> d(static_cast<std::size_t>(2 * n - 1));
+        for (int k = 0; k <= 2 * n - 2; ++k) {
+            std::vector<NodeId> leaves;
+            const int lo = std::max(0, k - (n - 1));
+            const int hi = std::min(k, n - 1);
+            for (int i = lo; i <= hi; ++i) {
+                leaves.push_back(nl.make_and(a[static_cast<std::size_t>(i)],
+                                             b[static_cast<std::size_t>(k - i)]));
+            }
+            d[static_cast<std::size_t>(k)] = nl.make_xor_tree(leaves, TreeShape::Balanced);
+        }
+        return d;
+    }
+
+    // Split low half h, high half n-h (h = floor(n/2)).
+    const int h = n / 2;
+    const auto a0 = a.subspan(0, static_cast<std::size_t>(h));
+    const auto a1 = a.subspan(static_cast<std::size_t>(h));
+    const auto b0 = b.subspan(0, static_cast<std::size_t>(h));
+    const auto b1 = b.subspan(static_cast<std::size_t>(h));
+
+    // Middle operands: (A0 + A1), (B0 + B1), zero-padded to the larger half.
+    const int hw = n - h;  // high width >= h
+    std::vector<NodeId> am(static_cast<std::size_t>(hw), nl.const0());
+    std::vector<NodeId> bm(static_cast<std::size_t>(hw), nl.const0());
+    for (int i = 0; i < hw; ++i) {
+        const NodeId alo = (i < h) ? a0[static_cast<std::size_t>(i)] : nl.const0();
+        const NodeId blo = (i < h) ? b0[static_cast<std::size_t>(i)] : nl.const0();
+        am[static_cast<std::size_t>(i)] = nl.make_xor(alo, a1[static_cast<std::size_t>(i)]);
+        bm[static_cast<std::size_t>(i)] = nl.make_xor(blo, b1[static_cast<std::size_t>(i)]);
+    }
+
+    const auto low = karatsuba_product(nl, a0, b0, threshold);     // 2h-1
+    const auto high = karatsuba_product(nl, a1, b1, threshold);    // 2hw-1
+    const auto mid = karatsuba_product(nl, am, bm, threshold);     // 2hw-1
+
+    // D = low + x^h * (mid - low - high) + x^(2h) * high   (XOR arithmetic).
+    std::vector<NodeId> d(static_cast<std::size_t>(2 * n - 1), nl.const0());
+    for (std::size_t i = 0; i < low.size(); ++i) {
+        d[i] = nl.make_xor(d[i], low[i]);
+    }
+    for (std::size_t i = 0; i < mid.size(); ++i) {
+        NodeId term = mid[i];
+        if (i < low.size()) {
+            term = nl.make_xor(term, low[i]);
+        }
+        term = nl.make_xor(term, high[i]);
+        d[i + static_cast<std::size_t>(h)] =
+            nl.make_xor(d[i + static_cast<std::size_t>(h)], term);
+    }
+    for (std::size_t i = 0; i < high.size(); ++i) {
+        d[i + static_cast<std::size_t>(2 * h)] =
+            nl.make_xor(d[i + static_cast<std::size_t>(2 * h)], high[i]);
+    }
+    return d;
+}
+
+}  // namespace
+
+netlist::Netlist build_karatsuba(const field::Field& field,
+                                 const KaratsubaOptions& options) {
+    if (options.schoolbook_threshold < 1) {
+        throw std::invalid_argument{"build_karatsuba: threshold must be >= 1"};
+    }
+    const int m = field.degree();
+    const mastrovito::ReductionMatrix q{field.modulus()};
+
+    Netlist nl;
+    ProductLayer pl{nl, m};
+    std::vector<NodeId> a;
+    std::vector<NodeId> b;
+    for (int i = 0; i < m; ++i) {
+        a.push_back(pl.a(i));
+        b.push_back(pl.b(i));
+    }
+    const auto d = karatsuba_product(nl, a, b, options.schoolbook_threshold);
+
+    for (int k = 0; k < m; ++k) {
+        std::vector<NodeId> leaves{d[static_cast<std::size_t>(k)]};
+        for (const int i : q.t_indices_for_coefficient(k)) {
+            leaves.push_back(d[static_cast<std::size_t>(m + i)]);
+        }
+        nl.add_output(coeff_name(k), nl.make_xor_tree(leaves, TreeShape::Balanced));
+    }
+    return nl;
+}
+
+netlist::Netlist build_karatsuba_default(const field::Field& field) {
+    return build_karatsuba(field, KaratsubaOptions{});
+}
+
+long karatsuba_and_count(int n, int schoolbook_threshold) {
+    if (n <= 0) {
+        return 0;
+    }
+    if (n == 1) {
+        return 1;
+    }
+    if (n <= schoolbook_threshold) {
+        return static_cast<long>(n) * n;
+    }
+    const int h = n / 2;
+    const int hw = n - h;
+    return karatsuba_and_count(h, schoolbook_threshold) +
+           2 * karatsuba_and_count(hw, schoolbook_threshold);
+}
+
+}  // namespace gfr::mult

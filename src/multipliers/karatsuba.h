@@ -1,0 +1,35 @@
+#ifndef GFR_MULTIPLIERS_KARATSUBA_H
+#define GFR_MULTIPLIERS_KARATSUBA_H
+
+// Karatsuba-Ofman bit-parallel multiplier: recursive three-way splitting of
+// the polynomial product (subquadratic AND count, ~O(m^1.58)) followed by a
+// Mastrovito-style reduction.  Not part of the paper's Table V, but the
+// standard point of comparison for bit-parallel GF(2^m) multipliers and a
+// natural extension of this library (the paper's schoolbook-based methods
+// all pay m^2 AND gates).
+
+#include "field/gf2m.h"
+#include "netlist/netlist.h"
+
+namespace gfr::mult {
+
+struct KaratsubaOptions {
+    /// Operand width at or below which the recursion falls back to the
+    /// schoolbook convolution.  Small thresholds minimise AND gates at the
+    /// cost of deeper XOR trees.
+    int schoolbook_threshold = 8;
+};
+
+/// Bit-parallel Karatsuba multiplier netlist (inputs a0..,b0.., outputs c0..).
+netlist::Netlist build_karatsuba(const field::Field& field,
+                                 const KaratsubaOptions& options = {});
+
+/// Number of AND gates Karatsuba needs for an n-bit polynomial product with
+/// the given threshold.  Exact for power-of-two widths; an upper bound for
+/// odd splits (structural hashing merges the boundary products that the
+/// zero-padded middle operand shares with the high half).
+long karatsuba_and_count(int n, int schoolbook_threshold);
+
+}  // namespace gfr::mult
+
+#endif  // GFR_MULTIPLIERS_KARATSUBA_H

@@ -1,0 +1,54 @@
+// [2] C. Paar's Mastrovito-style bit-parallel multiplier: the product matrix
+// M(A) is materialised as shared "A-sum" XOR trees (one per distinct index
+// subset), each row k then forms c_k = XOR_j ( M[k][j] & b_j ).
+
+#include "mastrovito/mastrovito_matrix.h"
+#include "multipliers/generator.h"
+#include "multipliers/product_layer.h"
+
+#include <map>
+
+namespace gfr::mult {
+
+netlist::Netlist build_paar_mastrovito(const field::Field& field) {
+    const int m = field.degree();
+    const mastrovito::ReductionMatrix q{field.modulus()};
+    const mastrovito::MastrovitoMatrix matrix{q};
+
+    netlist::Netlist nl;
+    ProductLayer pl{nl, m};
+
+    // Distinct index subsets shared across all matrix entries.  The netlist's
+    // structural hashing would deduplicate identical balanced trees anyway;
+    // the cache just avoids rebuilding the leaf vectors.
+    std::map<std::vector<int>, netlist::NodeId> asum_cache;
+    auto a_sum = [&](const std::vector<int>& idx) {
+        const auto it = asum_cache.find(idx);
+        if (it != asum_cache.end()) {
+            return it->second;
+        }
+        std::vector<netlist::NodeId> leaves;
+        leaves.reserve(idx.size());
+        for (const int i : idx) {
+            leaves.push_back(pl.a(i));
+        }
+        const netlist::NodeId node = nl.make_xor_tree(leaves, netlist::TreeShape::Balanced);
+        asum_cache.emplace(idx, node);
+        return node;
+    };
+
+    for (int k = 0; k < m; ++k) {
+        std::vector<netlist::NodeId> row;
+        for (int j = 0; j < m; ++j) {
+            const auto& entry = matrix.entry(k, j);
+            if (entry.empty()) {
+                continue;  // structurally-zero matrix cell
+            }
+            row.push_back(nl.make_and(a_sum(entry), pl.b(j)));
+        }
+        nl.add_output(coeff_name(k), nl.make_xor_tree(row, netlist::TreeShape::Balanced));
+    }
+    return nl;
+}
+
+}  // namespace gfr::mult

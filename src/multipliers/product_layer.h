@@ -1,0 +1,68 @@
+#ifndef GFR_MULTIPLIERS_PRODUCT_LAYER_H
+#define GFR_MULTIPLIERS_PRODUCT_LAYER_H
+
+// Common input frame shared by every multiplier generator: primary inputs
+// a0..a(m-1) and b0..b(m-1) plus memoised builders for the elementary pieces
+// of the paper's algebra — partial products a_i*b_j, square terms x_k and
+// cross terms z^j_i.  Structural hashing in the netlist guarantees each
+// piece exists at most once no matter how many architectures' worth of
+// expressions reference it.
+
+#include "netlist/netlist.h"
+#include "st/st_terms.h"
+
+#include <span>
+#include <string>
+
+namespace gfr::mult {
+
+class ProductLayer {
+public:
+    /// Adds the 2m inputs (a0.., then b0..) to `nl`.
+    ProductLayer(netlist::Netlist& nl, int m);
+
+    [[nodiscard]] int m() const noexcept { return m_; }
+    [[nodiscard]] netlist::Netlist& nl() noexcept { return *nl_; }
+
+    [[nodiscard]] netlist::NodeId a(int i) const;
+    [[nodiscard]] netlist::NodeId b(int i) const;
+
+    /// Partial product a_i * b_j.
+    netlist::NodeId product(int i, int j);
+
+    /// x_k = a_k * b_k.
+    netlist::NodeId x_term(int k) { return product(k, k); }
+
+    /// z^hi_lo = a_lo*b_hi + a_hi*b_lo.  Requires lo < hi.
+    netlist::NodeId z_term(int lo, int hi);
+
+    /// A term of an S/T function: x for squares, z for crosses.
+    netlist::NodeId term(const st::Term& t);
+
+    /// Balanced XOR tree over the 2^j *elementary products* of a split-term
+    /// group, in listing order — the "complete binary tree" of the paper.
+    /// (For z terms, the two products are adjacent leaves, so the tree's
+    /// bottom level re-creates — and shares — the z XOR nodes.)
+    netlist::NodeId product_tree(std::span<const st::Term> terms);
+
+    /// Balanced XOR tree whose *leaves are the terms themselves* (z already
+    /// collapsed to one node) — the monolithic construction of [6].
+    netlist::NodeId term_tree(std::span<const st::Term> terms);
+
+private:
+    netlist::Netlist* nl_;
+    int m_ = 0;
+    std::vector<netlist::NodeId> a_;
+    std::vector<netlist::NodeId> b_;
+};
+
+/// Canonical output name "c<k>".
+std::string coeff_name(int k);
+
+/// Canonical input names "a<k>" / "b<k>".
+std::string a_name(int k);
+std::string b_name(int k);
+
+}  // namespace gfr::mult
+
+#endif  // GFR_MULTIPLIERS_PRODUCT_LAYER_H

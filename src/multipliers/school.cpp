@@ -1,0 +1,45 @@
+// Naive two-step baseline: schoolbook polynomial product (balanced d_k trees)
+// followed by an *iterative chain* reduction x^deg -> x^(deg-m)*f_tail, the
+// "classic polynomial basis multiplication" the paper's Section I describes
+// before introducing Mastrovito-style combined matrices.
+
+#include "multipliers/generator.h"
+#include "multipliers/product_layer.h"
+
+namespace gfr::mult {
+
+netlist::Netlist build_school_reduce(const field::Field& field) {
+    const int m = field.degree();
+    netlist::Netlist nl;
+    ProductLayer pl{nl, m};
+
+    // Step 1: all 2m-1 convolution coefficients d_k as balanced product trees.
+    std::vector<netlist::NodeId> sig(static_cast<std::size_t>(2 * m - 1));
+    for (int k = 0; k <= 2 * m - 2; ++k) {
+        std::vector<netlist::NodeId> leaves;
+        const int lo_min = std::max(0, k - (m - 1));
+        const int lo_max = std::min(k, m - 1);
+        for (int i = lo_min; i <= lo_max; ++i) {
+            leaves.push_back(pl.product(i, k - i));
+        }
+        sig[static_cast<std::size_t>(k)] = nl.make_xor_tree(leaves, netlist::TreeShape::Balanced);
+    }
+
+    // Step 2: reduce degree by degree.  x^deg = x^(deg-m) * (f - y^m), applied
+    // highest degree first so each substitution lands on not-yet-consumed slots.
+    std::vector<int> tail = field.modulus().support();
+    tail.pop_back();  // drop the leading y^m term
+    for (int deg = 2 * m - 2; deg >= m; --deg) {
+        const netlist::NodeId t = sig[static_cast<std::size_t>(deg)];
+        for (const int s : tail) {
+            auto& slot = sig[static_cast<std::size_t>(deg - m + s)];
+            slot = nl.make_xor(slot, t);
+        }
+    }
+    for (int k = 0; k < m; ++k) {
+        nl.add_output(coeff_name(k), sig[static_cast<std::size_t>(k)]);
+    }
+    return nl;
+}
+
+}  // namespace gfr::mult

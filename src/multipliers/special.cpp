@@ -1,0 +1,72 @@
+#include "multipliers/special.h"
+
+#include "mastrovito/reduction_matrix.h"
+#include "multipliers/product_layer.h"
+
+#include <functional>
+#include <stdexcept>
+
+namespace gfr::mult {
+
+using field::Field;
+using gf2::Poly;
+
+namespace {
+
+/// Shared shape of all linear (XOR-only) operators: output k is the XOR of
+/// the inputs selected by column k of a boolean matrix, where the matrix
+/// column for input i is `image(i)` = the field element input i maps to.
+netlist::Netlist build_linear_operator(const Field& field, int n_inputs,
+                                       const std::string& input_prefix,
+                                       const std::function<Poly(int)>& image) {
+    const int m = field.degree();
+    netlist::Netlist nl;
+    std::vector<netlist::NodeId> inputs;
+    inputs.reserve(static_cast<std::size_t>(n_inputs));
+    for (int i = 0; i < n_inputs; ++i) {
+        inputs.push_back(nl.add_input(input_prefix + std::to_string(i)));
+    }
+    // Column images, then per-output XOR trees over the selecting inputs.
+    std::vector<Poly> columns;
+    columns.reserve(static_cast<std::size_t>(n_inputs));
+    for (int i = 0; i < n_inputs; ++i) {
+        columns.push_back(image(i));
+    }
+    for (int k = 0; k < m; ++k) {
+        std::vector<netlist::NodeId> leaves;
+        for (int i = 0; i < n_inputs; ++i) {
+            if (columns[static_cast<std::size_t>(i)].coeff(k)) {
+                leaves.push_back(inputs[static_cast<std::size_t>(i)]);
+            }
+        }
+        nl.add_output(coeff_name(k), nl.make_xor_tree(leaves, netlist::TreeShape::Balanced));
+    }
+    return nl;
+}
+
+}  // namespace
+
+netlist::Netlist build_squarer(const Field& field) {
+    return build_linear_operator(field, field.degree(), "a", [&](int i) {
+        return Poly::monomial(2 * i) % field.modulus();
+    });
+}
+
+netlist::Netlist build_constant_multiplier(const Field& field,
+                                           const Field::Element& constant) {
+    if (!field.is_element(constant)) {
+        throw std::invalid_argument{"build_constant_multiplier: constant not in field"};
+    }
+    return build_linear_operator(field, field.degree(), "a", [&](int i) {
+        return (constant * Poly::monomial(i)) % field.modulus();
+    });
+}
+
+netlist::Netlist build_reducer(const Field& field) {
+    const int m = field.degree();
+    return build_linear_operator(field, 2 * m - 1, "d", [&](int i) {
+        return Poly::monomial(i) % field.modulus();
+    });
+}
+
+}  // namespace gfr::mult

@@ -1,0 +1,41 @@
+#ifndef GFR_MULTIPLIERS_SPECIAL_H
+#define GFR_MULTIPLIERS_SPECIAL_H
+
+// Companion bit-parallel operators that share the multipliers' substrate:
+//
+//   * squarer             — c = a^2 mod f.  Squaring over GF(2) is linear
+//                           (a^2 = sum a_i x^(2i)), so the netlist is a pure
+//                           XOR network; for the paper's pentanomials it is
+//                           far cheaper than a general product.
+//   * constant multiplier — c = B * a for a fixed field element B (used by
+//                           Reed-Solomon encoders and point-multiplication
+//                           ladders); also a pure XOR network with columns
+//                           B*x^i mod f.
+//   * modular reducer     — c = d mod f for a full double-length polynomial
+//                           d (inputs d0..d(2m-2)); the second half of the
+//                           classic two-step multiplication, exposed for
+//                           verification and composition.
+//
+// All generators emit netlists with input a<i> (or d<i>) and output c<k>,
+// matching the conventions of build_multiplier.
+
+#include "field/gf2m.h"
+#include "netlist/netlist.h"
+
+namespace gfr::mult {
+
+/// Bit-parallel squarer over the field's modulus.  XOR-only.
+netlist::Netlist build_squarer(const field::Field& field);
+
+/// Bit-parallel multiplier by the fixed element `constant`.  XOR-only.
+/// Throws std::invalid_argument when `constant` is not a field element.
+netlist::Netlist build_constant_multiplier(const field::Field& field,
+                                           const field::Field::Element& constant);
+
+/// Reduction network: inputs d0..d(2m-2) (a degree-(2m-2) polynomial),
+/// outputs c0..c(m-1) = d mod f.  XOR-only.
+netlist::Netlist build_reducer(const field::Field& field);
+
+}  // namespace gfr::mult
+
+#endif  // GFR_MULTIPLIERS_SPECIAL_H

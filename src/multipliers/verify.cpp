@@ -1,0 +1,104 @@
+#include "multipliers/verify.h"
+
+#include "multipliers/product_layer.h"
+#include "netlist/simulate.h"
+
+#include <bit>
+#include <random>
+#include <stdexcept>
+
+namespace gfr::mult {
+
+using field::Field;
+using gf2::Poly;
+
+std::string VerifyFailure::to_string() const {
+    return "c" + std::to_string(coefficient) + " mismatch: netlist=" +
+           std::to_string(static_cast<int>(netlist_bit)) + " reference=" +
+           std::to_string(static_cast<int>(reference_bit)) + " for A=" + a.to_string() +
+           ", B=" + b.to_string();
+}
+
+namespace {
+
+/// Extract the field element carried by `lane` across the first/second half
+/// of the input words.
+Poly element_from_lane(std::span<const std::uint64_t> words, int offset, int m,
+                       int lane) {
+    std::vector<std::uint64_t> bits(static_cast<std::size_t>((m + 63) / 64), 0);
+    for (int i = 0; i < m; ++i) {
+        if ((words[static_cast<std::size_t>(offset + i)] >> lane) & 1U) {
+            bits[static_cast<std::size_t>(i / 64)] |= std::uint64_t{1} << (i % 64);
+        }
+    }
+    return Poly::from_words(std::move(bits));
+}
+
+std::optional<VerifyFailure> check_sweep(netlist::Simulator& sim, const Field& field,
+                                         const std::vector<std::uint64_t>& in_words) {
+    const int m = field.degree();
+    const auto out_words = sim.run(in_words);
+    for (int lane = 0; lane < 64; ++lane) {
+        const Poly a = element_from_lane(in_words, 0, m, lane);
+        const Poly b = element_from_lane(in_words, m, m, lane);
+        const Poly expected = field.mul(a, b);
+        for (int k = 0; k < m; ++k) {
+            const bool got = (out_words[static_cast<std::size_t>(k)] >> lane) & 1U;
+            const bool want = expected.coeff(k);
+            if (got != want) {
+                return VerifyFailure{a, b, k, got, want};
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
+                                               const Field& field,
+                                               const VerifyOptions& options) {
+    const int m = field.degree();
+    if (static_cast<int>(nl.inputs().size()) != 2 * m ||
+        static_cast<int>(nl.outputs().size()) != m) {
+        throw std::invalid_argument{"verify_multiplier: port count does not match field"};
+    }
+    // Interface sanity: inputs must be a0.., b0.. and outputs c0.. in order.
+    for (int i = 0; i < m; ++i) {
+        if (nl.inputs()[static_cast<std::size_t>(i)].name != a_name(i) ||
+            nl.inputs()[static_cast<std::size_t>(m + i)].name != b_name(i) ||
+            nl.outputs()[static_cast<std::size_t>(i)].name != coeff_name(i)) {
+            throw std::invalid_argument{"verify_multiplier: unexpected port naming"};
+        }
+    }
+
+    netlist::Simulator sim{nl};
+    std::vector<std::uint64_t> in_words(static_cast<std::size_t>(2 * m), 0);
+
+    if (2 * m <= options.max_exhaustive_inputs) {
+        const std::uint64_t blocks =
+            (2 * m <= 6) ? 1 : (std::uint64_t{1} << (2 * m - 6));
+        for (std::uint64_t block = 0; block < blocks; ++block) {
+            for (int i = 0; i < 2 * m; ++i) {
+                in_words[static_cast<std::size_t>(i)] = netlist::exhaustive_pattern(i, block);
+            }
+            if (auto failure = check_sweep(sim, field, in_words)) {
+                return failure;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::mt19937_64 rng{options.seed};
+    for (int sweep = 0; sweep < options.random_sweeps; ++sweep) {
+        for (auto& w : in_words) {
+            w = rng();
+        }
+        if (auto failure = check_sweep(sim, field, in_words)) {
+            return failure;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace gfr::mult

@@ -1,0 +1,46 @@
+#ifndef GFR_MULTIPLIERS_VERIFY_H
+#define GFR_MULTIPLIERS_VERIFY_H
+
+// Functional verification of a multiplier netlist against the reference
+// field arithmetic (field::Field::mul).
+//
+// The netlist must expose inputs a0..a(m-1), b0..b(m-1) and outputs
+// c0..c(m-1).  For 2m <= max_exhaustive_inputs the check enumerates all
+// 2^(2m) operand pairs (word-parallel, 64 per sweep); otherwise it runs
+// random sweeps, each verifying 64 random products bit-exactly.
+
+#include "field/gf2m.h"
+#include "netlist/netlist.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gfr::mult {
+
+struct VerifyOptions {
+    int max_exhaustive_inputs = 16;  ///< exhaustive iff 2m <= this (m=8 -> 2^16)
+    int random_sweeps = 64;          ///< 64 random products per sweep
+    std::uint64_t seed = 0xD1CEULL;
+};
+
+/// A failing product: the operands and the first differing coefficient.
+struct VerifyFailure {
+    field::Field::Element a;
+    field::Field::Element b;
+    int coefficient = 0;
+    bool netlist_bit = false;
+    bool reference_bit = false;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// std::nullopt on success.  Throws std::invalid_argument when the netlist
+/// interface does not look like an m-bit multiplier for this field.
+std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
+                                               const field::Field& field,
+                                               const VerifyOptions& options = {});
+
+}  // namespace gfr::mult
+
+#endif  // GFR_MULTIPLIERS_VERIFY_H

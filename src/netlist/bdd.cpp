@@ -1,0 +1,266 @@
+#include "netlist/bdd.h"
+
+#include <stdexcept>
+
+namespace gfr::netlist {
+
+BddManager::BddManager(int n_vars) : n_vars_{n_vars} {
+    if (n_vars < 0 || n_vars > 62) {
+        throw std::invalid_argument{"BddManager: variable count must be in [0, 62]"};
+    }
+    // Terminals: index 0 = false, 1 = true; var = n_vars_ marks a terminal.
+    nodes_.push_back(Node{n_vars_, kFalse, kFalse});
+    nodes_.push_back(Node{n_vars_, kTrue, kTrue});
+}
+
+BddManager::Ref BddManager::make_node(int var, Ref lo, Ref hi) {
+    if (lo == hi) {
+        return lo;  // reduction rule
+    }
+    const std::uint64_t key = (static_cast<std::uint64_t>(var) << 56U) ^
+                              (static_cast<std::uint64_t>(lo) << 28U) ^ hi;
+    const auto it = unique_.find(key);
+    if (it != unique_.end()) {
+        return it->second;
+    }
+    const Ref ref = static_cast<Ref>(nodes_.size());
+    nodes_.push_back(Node{var, lo, hi});
+    unique_.emplace(key, ref);
+    return ref;
+}
+
+BddManager::Ref BddManager::var(int v) {
+    if (v < 0 || v >= n_vars_) {
+        throw std::out_of_range{"BddManager::var: variable out of range"};
+    }
+    return make_node(v, kFalse, kTrue);
+}
+
+BddManager::Ref BddManager::apply(Op op, Ref a, Ref b) {
+    // Terminal cases.
+    if (op == Op::And) {
+        if (a == kFalse || b == kFalse) {
+            return kFalse;
+        }
+        if (a == kTrue) {
+            return b;
+        }
+        if (b == kTrue) {
+            return a;
+        }
+        if (a == b) {
+            return a;
+        }
+    } else {  // Xor
+        if (a == kFalse) {
+            return b;
+        }
+        if (b == kFalse) {
+            return a;
+        }
+        if (a == b) {
+            return kFalse;
+        }
+    }
+    if (a > b) {
+        std::swap(a, b);  // both ops commutative: canonicalise the cache key
+    }
+    const std::uint64_t key = (static_cast<std::uint64_t>(op) << 60U) ^
+                              (static_cast<std::uint64_t>(a) << 30U) ^ b;
+    const auto it = computed_.find(key);
+    if (it != computed_.end()) {
+        return it->second;
+    }
+    const Node& na = nodes_[a];
+    const Node& nb = nodes_[b];
+    const int top = std::min(na.var, nb.var);
+    const Ref a_lo = (na.var == top) ? na.lo : a;
+    const Ref a_hi = (na.var == top) ? na.hi : a;
+    const Ref b_lo = (nb.var == top) ? nb.lo : b;
+    const Ref b_hi = (nb.var == top) ? nb.hi : b;
+    const Ref result =
+        make_node(top, apply(op, a_lo, b_lo), apply(op, a_hi, b_hi));
+    computed_.emplace(key, result);
+    return result;
+}
+
+BddManager::Ref BddManager::bdd_and(Ref a, Ref b) { return apply(Op::And, a, b); }
+
+BddManager::Ref BddManager::bdd_xor(Ref a, Ref b) { return apply(Op::Xor, a, b); }
+
+BddManager::Ref BddManager::bdd_not(Ref a) { return bdd_xor(a, kTrue); }
+
+bool BddManager::evaluate(Ref f, std::uint64_t assignment) const {
+    while (f != kFalse && f != kTrue) {
+        const Node& n = nodes_[f];
+        f = ((assignment >> n.var) & 1U) ? n.hi : n.lo;
+    }
+    return f == kTrue;
+}
+
+std::optional<std::uint64_t> BddManager::any_sat(Ref f) const {
+    if (f == kFalse) {
+        return std::nullopt;
+    }
+    std::uint64_t assignment = 0;
+    while (f != kTrue) {
+        const Node& n = nodes_[f];
+        if (n.lo != kFalse) {
+            f = n.lo;
+        } else {
+            assignment |= std::uint64_t{1} << n.var;
+            f = n.hi;
+        }
+    }
+    return assignment;
+}
+
+double BddManager::sat_count(Ref f) const {
+    // Memoised fraction of assignments satisfying each subfunction.
+    std::unordered_map<Ref, double> memo;
+    auto density = [&](auto&& self, Ref g) -> double {
+        if (g == kFalse) {
+            return 0.0;
+        }
+        if (g == kTrue) {
+            return 1.0;
+        }
+        const auto it = memo.find(g);
+        if (it != memo.end()) {
+            return it->second;
+        }
+        const Node& n = nodes_[g];
+        const double d = 0.5 * self(self, n.lo) + 0.5 * self(self, n.hi);
+        memo.emplace(g, d);
+        return d;
+    };
+    double scale = 1.0;
+    for (int i = 0; i < n_vars_; ++i) {
+        scale *= 2.0;
+    }
+    return density(density, f) * scale;
+}
+
+std::size_t BddManager::size(Ref f) const {
+    std::unordered_map<Ref, bool> seen;
+    auto walk = [&](auto&& self, Ref g) -> void {
+        if (g == kFalse || g == kTrue || seen.count(g) != 0) {
+            return;
+        }
+        seen.emplace(g, true);
+        self(self, nodes_[g].lo);
+        self(self, nodes_[g].hi);
+    };
+    walk(walk, f);
+    return seen.size();
+}
+
+std::vector<BddManager::Ref> build_output_bdds(BddManager& mgr, const Netlist& nl) {
+    if (nl.inputs().size() > 64 ||
+        static_cast<int>(nl.inputs().size()) > mgr.var_count()) {
+        throw std::invalid_argument{"build_output_bdds: too many inputs for manager"};
+    }
+    std::vector<BddManager::Ref> value(nl.node_count(), BddManager::kFalse);
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+        value[nl.inputs()[i].node] = mgr.var(static_cast<int>(i));
+    }
+    const auto reachable = nl.reachable_from_outputs();
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+        if (!reachable[id]) {
+            continue;
+        }
+        const Node& n = nl.node(id);
+        switch (n.kind) {
+            case GateKind::Input:
+            case GateKind::Const0:
+                break;
+            case GateKind::And2:
+                value[id] = mgr.bdd_and(value[n.a], value[n.b]);
+                break;
+            case GateKind::Xor2:
+                value[id] = mgr.bdd_xor(value[n.a], value[n.b]);
+                break;
+        }
+    }
+    std::vector<BddManager::Ref> out;
+    out.reserve(nl.outputs().size());
+    for (const auto& port : nl.outputs()) {
+        out.push_back(value[port.node]);
+    }
+    return out;
+}
+
+std::optional<Mismatch> check_equivalence_bdd(const Netlist& lhs, const Netlist& rhs) {
+    if (lhs.inputs().size() != rhs.inputs().size() ||
+        lhs.outputs().size() != rhs.outputs().size()) {
+        throw std::invalid_argument{"check_equivalence_bdd: interface mismatch"};
+    }
+    const int n = static_cast<int>(lhs.inputs().size());
+    BddManager mgr{n};
+    const auto lhs_bdds = build_output_bdds(mgr, lhs);
+
+    // rhs variables must follow lhs input naming.
+    std::vector<int> var_of_rhs_input(rhs.inputs().size(), -1);
+    for (std::size_t j = 0; j < rhs.inputs().size(); ++j) {
+        const int idx = lhs.input_index(rhs.inputs()[j].name);
+        if (idx < 0) {
+            throw std::invalid_argument{"check_equivalence_bdd: input '" +
+                                        rhs.inputs()[j].name + "' missing on lhs"};
+        }
+        var_of_rhs_input[j] = idx;
+    }
+    // Build rhs BDDs with remapped variables.
+    std::vector<BddManager::Ref> value(rhs.node_count(), BddManager::kFalse);
+    for (std::size_t j = 0; j < rhs.inputs().size(); ++j) {
+        value[rhs.inputs()[j].node] = mgr.var(var_of_rhs_input[j]);
+    }
+    const auto reachable = rhs.reachable_from_outputs();
+    for (NodeId id = 0; id < rhs.node_count(); ++id) {
+        if (!reachable[id]) {
+            continue;
+        }
+        const Node& nd = rhs.node(id);
+        switch (nd.kind) {
+            case GateKind::Input:
+            case GateKind::Const0:
+                break;
+            case GateKind::And2:
+                value[id] = mgr.bdd_and(value[nd.a], value[nd.b]);
+                break;
+            case GateKind::Xor2:
+                value[id] = mgr.bdd_xor(value[nd.a], value[nd.b]);
+                break;
+        }
+    }
+
+    for (std::size_t o = 0; o < lhs.outputs().size(); ++o) {
+        // Find the rhs output with the same name.
+        const BddManager::Ref* rhs_bdd = nullptr;
+        for (std::size_t p = 0; p < rhs.outputs().size(); ++p) {
+            if (rhs.outputs()[p].name == lhs.outputs()[o].name) {
+                rhs_bdd = &value[rhs.outputs()[p].node];
+                break;
+            }
+        }
+        if (rhs_bdd == nullptr) {
+            throw std::invalid_argument{"check_equivalence_bdd: output '" +
+                                        lhs.outputs()[o].name + "' missing on rhs"};
+        }
+        const auto miter = mgr.bdd_xor(lhs_bdds[o], *rhs_bdd);
+        if (const auto cex = mgr.any_sat(miter)) {
+            Mismatch mm;
+            mm.output_name = lhs.outputs()[o].name;
+            mm.input_bits.resize(static_cast<std::size_t>(n));
+            for (int i = 0; i < n; ++i) {
+                mm.input_bits[static_cast<std::size_t>(i)] =
+                    static_cast<std::uint8_t>((*cex >> i) & 1U);
+            }
+            mm.lhs_value = mgr.evaluate(lhs_bdds[o], *cex);
+            mm.rhs_value = mgr.evaluate(*rhs_bdd, *cex);
+            return mm;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace gfr::netlist

@@ -1,0 +1,90 @@
+#ifndef GFR_NETLIST_BDD_H
+#define GFR_NETLIST_BDD_H
+
+// Reduced Ordered Binary Decision Diagrams (ROBDD), Bryant 1986 style, with
+// hash-consed nodes and a computed-table-cached apply.  Canonical form makes
+// equivalence a pointer comparison, so this gives *formal* combinational
+// equivalence for netlists whose BDDs stay tractable — a complete complement
+// to the simulation-based checker in equivalence.h.  XOR-dominated
+// multiplier logic has well-behaved BDDs at the GF(2^8) scale (16 inputs),
+// which is exactly the exhaustive regime of the paper's worked example.
+
+#include "netlist/equivalence.h"
+#include "netlist/netlist.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace gfr::netlist {
+
+/// A BDD manager owning all nodes.  Node references are indices; 0 and 1 are
+/// the terminal constants.  Variables are ordered by their index (smaller
+/// index = closer to the root).
+class BddManager {
+public:
+    using Ref = std::uint32_t;
+    static constexpr Ref kFalse = 0;
+    static constexpr Ref kTrue = 1;
+
+    /// Manager for `n_vars` input variables.  Throws on negative counts.
+    explicit BddManager(int n_vars);
+
+    [[nodiscard]] int var_count() const noexcept { return n_vars_; }
+    [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+    /// The function of a single variable.
+    [[nodiscard]] Ref var(int v);
+
+    [[nodiscard]] Ref bdd_and(Ref a, Ref b);
+    [[nodiscard]] Ref bdd_xor(Ref a, Ref b);
+    [[nodiscard]] Ref bdd_not(Ref a);
+
+    /// Canonical form: equivalence is reference equality.
+    [[nodiscard]] static bool same(Ref a, Ref b) noexcept { return a == b; }
+
+    /// Evaluate under a full assignment (bit v of `assignment` drives
+    /// variable v).
+    [[nodiscard]] bool evaluate(Ref f, std::uint64_t assignment) const;
+
+    /// A satisfying assignment of f, or nullopt when f == false.
+    [[nodiscard]] std::optional<std::uint64_t> any_sat(Ref f) const;
+
+    /// Number of satisfying assignments over all var_count() variables.
+    [[nodiscard]] double sat_count(Ref f) const;
+
+    /// Nodes reachable from f (the BDD's size, excluding terminals).
+    [[nodiscard]] std::size_t size(Ref f) const;
+
+private:
+    struct Node {
+        int var;   // terminals use n_vars_
+        Ref lo;
+        Ref hi;
+    };
+
+    Ref make_node(int var, Ref lo, Ref hi);
+
+    enum class Op : std::uint8_t { And, Xor };
+    Ref apply(Op op, Ref a, Ref b);
+
+    int n_vars_ = 0;
+    std::vector<Node> nodes_;
+    // Unique table: (var, lo, hi) -> ref; computed table: (op, a, b) -> ref.
+    std::unordered_map<std::uint64_t, Ref> unique_;
+    std::unordered_map<std::uint64_t, Ref> computed_;
+};
+
+/// Build the BDDs of every output of `nl` (inputs map to variables in
+/// inputs() order).  Requires nl.inputs().size() <= 64.
+std::vector<BddManager::Ref> build_output_bdds(BddManager& mgr, const Netlist& nl);
+
+/// Formal equivalence via canonical BDDs: nullopt when equivalent, otherwise
+/// a counterexample assignment (mapped like Mismatch in equivalence.h).
+/// Interfaces are matched by name, as in check_equivalence.
+std::optional<Mismatch> check_equivalence_bdd(const Netlist& lhs, const Netlist& rhs);
+
+}  // namespace gfr::netlist
+
+#endif  // GFR_NETLIST_BDD_H

@@ -1,0 +1,55 @@
+#include "netlist/emit_dot.h"
+
+#include <stdexcept>
+
+namespace gfr::netlist {
+
+std::string emit_dot(const Netlist& nl, const std::string& graph_name) {
+    if (nl.outputs().empty()) {
+        throw std::invalid_argument{"emit_dot: netlist has no outputs"};
+    }
+    const auto reachable = nl.reachable_from_outputs();
+    std::string out = "digraph \"" + graph_name + "\" {\n";
+    out += "  rankdir=BT;\n";
+    for (const auto& port : nl.inputs()) {
+        out += "  n" + std::to_string(port.node) + " [shape=box,label=\"" +
+               port.name + "\"];\n";
+    }
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+        if (!reachable[id]) {
+            continue;
+        }
+        const Node& n = nl.node(id);
+        switch (n.kind) {
+            case GateKind::Input:
+                break;
+            case GateKind::Const0:
+                out += "  n" + std::to_string(id) + " [shape=plaintext,label=\"0\"];\n";
+                break;
+            case GateKind::And2:
+                out += "  n" + std::to_string(id) +
+                       " [shape=triangle,label=\"&\"];\n";
+                break;
+            case GateKind::Xor2:
+                out += "  n" + std::to_string(id) + " [shape=circle,label=\"^\"];\n";
+                break;
+        }
+        if (n.a != kInvalidNode) {
+            out += "  n" + std::to_string(n.a) + " -> n" + std::to_string(id) + ";\n";
+        }
+        if (n.b != kInvalidNode) {
+            out += "  n" + std::to_string(n.b) + " -> n" + std::to_string(id) + ";\n";
+        }
+    }
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+        const auto& port = nl.outputs()[o];
+        out += "  out" + std::to_string(o) + " [shape=doublecircle,label=\"" +
+               port.name + "\"];\n";
+        out += "  n" + std::to_string(port.node) + " -> out" + std::to_string(o) +
+               ";\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+}  // namespace gfr::netlist

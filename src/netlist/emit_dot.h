@@ -1,0 +1,19 @@
+#ifndef GFR_NETLIST_EMIT_DOT_H
+#define GFR_NETLIST_EMIT_DOT_H
+
+// Graphviz export of netlists, for inspecting generated multiplier
+// structures (AND layer, shared z pairs, split-term trees) visually.
+
+#include "netlist/netlist.h"
+
+#include <string>
+
+namespace gfr::netlist {
+
+/// Render the reachable logic as a Graphviz digraph: inputs as boxes,
+/// AND gates as triangles, XOR gates as circles, outputs as double circles.
+std::string emit_dot(const Netlist& nl, const std::string& graph_name);
+
+}  // namespace gfr::netlist
+
+#endif  // GFR_NETLIST_EMIT_DOT_H

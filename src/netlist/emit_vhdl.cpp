@@ -1,0 +1,93 @@
+#include "netlist/emit_vhdl.h"
+
+#include <stdexcept>
+
+namespace gfr::netlist {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+    std::string out;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    if (out.empty() || !((out[0] >= 'a' && out[0] <= 'z') || (out[0] >= 'A' && out[0] <= 'Z'))) {
+        out = "p" + out;
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string emit_vhdl(const Netlist& nl, const std::string& entity_name) {
+    if (nl.outputs().empty()) {
+        throw std::invalid_argument{"emit_vhdl: netlist has no outputs"};
+    }
+    const auto reachable = nl.reachable_from_outputs();
+    const std::string entity = sanitize(entity_name);
+
+    std::string out;
+    out += "library ieee;\nuse ieee.std_logic_1164.all;\n\n";
+    out += "entity " + entity + " is\n  port (\n";
+    for (const auto& port : nl.inputs()) {
+        out += "    " + sanitize(port.name) + " : in  std_logic;\n";
+    }
+    for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+        out += "    " + sanitize(nl.outputs()[i].name) + " : out std_logic";
+        out += (i + 1 < nl.outputs().size()) ? ";\n" : "\n";
+    }
+    out += "  );\nend entity " + entity + ";\n\n";
+    out += "architecture rtl of " + entity + " is\n";
+
+    // Wire name per node: inputs keep their port name, gates get n<id>.
+    std::vector<std::string> wire(nl.node_count());
+    for (const auto& port : nl.inputs()) {
+        wire[port.node] = sanitize(port.name);
+    }
+    bool any_signal = false;
+    std::string decls;
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+        if (!reachable[id]) {
+            continue;
+        }
+        const Node& n = nl.node(id);
+        if (n.kind == GateKind::And2 || n.kind == GateKind::Xor2 ||
+            n.kind == GateKind::Const0) {
+            wire[id] = "n" + std::to_string(id);
+            decls += "  signal " + wire[id] + " : std_logic;\n";
+            any_signal = true;
+        }
+    }
+    if (any_signal) {
+        out += decls;
+    }
+    out += "begin\n";
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+        if (!reachable[id]) {
+            continue;
+        }
+        const Node& n = nl.node(id);
+        switch (n.kind) {
+            case GateKind::Input:
+                break;
+            case GateKind::Const0:
+                out += "  " + wire[id] + " <= '0';\n";
+                break;
+            case GateKind::And2:
+                out += "  " + wire[id] + " <= " + wire[n.a] + " and " + wire[n.b] + ";\n";
+                break;
+            case GateKind::Xor2:
+                out += "  " + wire[id] + " <= " + wire[n.a] + " xor " + wire[n.b] + ";\n";
+                break;
+        }
+    }
+    for (const auto& port : nl.outputs()) {
+        out += "  " + sanitize(port.name) + " <= " + wire[port.node] + ";\n";
+    }
+    out += "end architecture rtl;\n";
+    return out;
+}
+
+}  // namespace gfr::netlist

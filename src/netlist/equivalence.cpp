@@ -1,0 +1,112 @@
+#include "netlist/equivalence.h"
+
+#include "netlist/simulate.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace gfr::netlist {
+
+std::string Mismatch::to_string() const {
+    std::string out = "output '" + output_name + "': lhs=" +
+                      std::to_string(static_cast<int>(lhs_value)) + " rhs=" +
+                      std::to_string(static_cast<int>(rhs_value)) + " inputs=";
+    for (const auto bit : input_bits) {
+        out += static_cast<char>('0' + bit);
+    }
+    return out;
+}
+
+namespace {
+
+/// rhs input index for each lhs input, matched by name.
+std::vector<int> match_ports(const std::vector<Port>& lhs, const std::vector<Port>& rhs,
+                             const char* what) {
+    if (lhs.size() != rhs.size()) {
+        throw std::invalid_argument{std::string{"check_equivalence: "} + what +
+                                    " count differs"};
+    }
+    std::vector<int> map(lhs.size(), -1);
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+        for (std::size_t j = 0; j < rhs.size(); ++j) {
+            if (lhs[i].name == rhs[j].name) {
+                map[i] = static_cast<int>(j);
+                break;
+            }
+        }
+        if (map[i] < 0) {
+            throw std::invalid_argument{std::string{"check_equivalence: "} + what +
+                                        " '" + lhs[i].name + "' missing on rhs"};
+        }
+    }
+    return map;
+}
+
+std::optional<Mismatch> compare_sweep(const Netlist& lhs, const Netlist& rhs,
+                                      const std::vector<int>& out_map,
+                                      const std::vector<std::uint64_t>& lhs_in,
+                                      const std::vector<std::uint64_t>& rhs_in) {
+    const auto lhs_out = simulate(lhs, lhs_in);
+    const auto rhs_out = simulate(rhs, rhs_in);
+    for (std::size_t o = 0; o < lhs_out.size(); ++o) {
+        const std::uint64_t diff = lhs_out[o] ^ rhs_out[static_cast<std::size_t>(out_map[o])];
+        if (diff == 0) {
+            continue;
+        }
+        const int lane = std::countr_zero(diff);
+        Mismatch mm;
+        mm.output_name = lhs.outputs()[o].name;
+        mm.lhs_value = (lhs_out[o] >> lane) & 1U;
+        mm.rhs_value = (rhs_out[static_cast<std::size_t>(out_map[o])] >> lane) & 1U;
+        mm.input_bits.resize(lhs_in.size());
+        for (std::size_t i = 0; i < lhs_in.size(); ++i) {
+            mm.input_bits[i] = static_cast<std::uint8_t>((lhs_in[i] >> lane) & 1U);
+        }
+        return mm;
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Mismatch> check_equivalence(const Netlist& lhs, const Netlist& rhs,
+                                          const EquivalenceOptions& options) {
+    const auto in_map = match_ports(lhs.inputs(), rhs.inputs(), "input");
+    const auto out_map = match_ports(lhs.outputs(), rhs.outputs(), "output");
+
+    const int n = static_cast<int>(lhs.inputs().size());
+    std::vector<std::uint64_t> lhs_in(static_cast<std::size_t>(n), 0);
+    std::vector<std::uint64_t> rhs_in(static_cast<std::size_t>(n), 0);
+
+    if (n <= options.max_exhaustive_inputs) {
+        const std::uint64_t blocks =
+            (n <= 6) ? 1 : (std::uint64_t{1} << (n - 6));
+        for (std::uint64_t block = 0; block < blocks; ++block) {
+            for (int i = 0; i < n; ++i) {
+                lhs_in[static_cast<std::size_t>(i)] = exhaustive_pattern(i, block);
+                rhs_in[static_cast<std::size_t>(in_map[i])] =
+                    lhs_in[static_cast<std::size_t>(i)];
+            }
+            if (auto mm = compare_sweep(lhs, rhs, out_map, lhs_in, rhs_in)) {
+                return mm;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::mt19937_64 rng{options.seed};
+    for (int sweep = 0; sweep < options.random_sweeps; ++sweep) {
+        for (int i = 0; i < n; ++i) {
+            lhs_in[static_cast<std::size_t>(i)] = rng();
+            rhs_in[static_cast<std::size_t>(in_map[i])] =
+                lhs_in[static_cast<std::size_t>(i)];
+        }
+        if (auto mm = compare_sweep(lhs, rhs, out_map, lhs_in, rhs_in)) {
+            return mm;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace gfr::netlist

@@ -1,0 +1,45 @@
+#ifndef GFR_NETLIST_EQUIVALENCE_H
+#define GFR_NETLIST_EQUIVALENCE_H
+
+// Combinational equivalence checking between two netlists.
+//
+// Netlists are compared on matching input/output *names* (order may differ).
+// For small input counts the check is exhaustive (64 assignments per
+// simulation sweep); beyond the threshold it falls back to dense random
+// vectors.  Random simulation over tens of thousands of lanes is a strong
+// filter for XOR/AND logic of this shape: any single wrong product term
+// flips ~half of all lanes.
+
+#include "netlist/netlist.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gfr::netlist {
+
+/// A concrete counterexample: input assignment plus the differing output.
+struct Mismatch {
+    std::vector<std::uint8_t> input_bits;  // indexed like lhs.inputs()
+    std::string output_name;
+    bool lhs_value = false;
+    bool rhs_value = false;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+struct EquivalenceOptions {
+    int max_exhaustive_inputs = 22;   ///< exhaustive up to 2^22 assignments
+    int random_sweeps = 256;          ///< 64 lanes per sweep when random
+    std::uint64_t seed = 0x5eed5eedULL;
+};
+
+/// Returns std::nullopt when equivalent (under the chosen regime), or the
+/// first mismatch found.  Throws std::invalid_argument when the interfaces
+/// (input/output name sets) do not match.
+std::optional<Mismatch> check_equivalence(const Netlist& lhs, const Netlist& rhs,
+                                          const EquivalenceOptions& options = {});
+
+}  // namespace gfr::netlist
+
+#endif  // GFR_NETLIST_EQUIVALENCE_H

@@ -1,0 +1,124 @@
+#ifndef GFR_NETLIST_NETLIST_H
+#define GFR_NETLIST_NETLIST_H
+
+// Gate-level netlist intermediate representation.
+//
+// The IR models exactly the gate repertoire of the paper's multipliers:
+// 2-input AND (partial products a_i*b_j) and 2-input XOR (GF(2) additions),
+// plus primary inputs and the constant 0.  Nodes live in a flat vector and
+// are created strictly bottom-up, so the vector order *is* a topological
+// order (every fanin id < node id) — passes and simulation rely on this.
+//
+// Structural hashing: make_and/make_xor canonicalise commutative fanins and
+// return an existing node when one matches, so identical subexpressions
+// (e.g. a shared S^j_i term used by several product coefficients) are
+// represented once, exactly like the sharing the paper exploits.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gfr::netlist {
+
+enum class GateKind : std::uint8_t { Input, Const0, And2, Xor2 };
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFU;
+
+/// One gate.  For Input/Const0 the fanins are kInvalidNode.
+struct Node {
+    GateKind kind = GateKind::Const0;
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+};
+
+/// Named primary input or output.
+struct Port {
+    std::string name;
+    NodeId node = kInvalidNode;
+};
+
+/// How make_xor_tree arranges a multi-input XOR.
+enum class TreeShape : std::uint8_t {
+    Balanced,  ///< complete binary tree, depth ceil(log2 n)
+    Chain,     ///< left-leaning chain, depth n-1 (the "naive" shape)
+};
+
+/// Gate counts and depth profile of the logic reachable from the outputs.
+///
+/// and_depth / xor_depth are the maximum number of AND / XOR gates on any
+/// input-to-output path (counted independently, the convention used by the
+/// paper's "T_A + k T_X" delay expressions; all multipliers here have
+/// and_depth == 1 because products form a single AND layer).
+struct NetlistStats {
+    int n_inputs = 0;
+    int n_outputs = 0;
+    int n_and = 0;
+    int n_xor = 0;
+    int and_depth = 0;
+    int xor_depth = 0;
+
+    /// "T_A + 5T_X" style rendering.
+    [[nodiscard]] std::string delay_string() const;
+};
+
+class Netlist {
+public:
+    Netlist() = default;
+
+    // --- Construction ----------------------------------------------------
+
+    /// New primary input.  Names must be unique (checked).
+    NodeId add_input(std::string name);
+
+    /// The constant-0 node (created on first use).
+    NodeId const0();
+
+    /// AND with simplification (x&x = x, x&0 = 0) and structural hashing.
+    NodeId make_and(NodeId a, NodeId b);
+
+    /// XOR with simplification (x^x = 0, x^0 = x) and structural hashing.
+    NodeId make_xor(NodeId a, NodeId b);
+
+    /// XOR of an arbitrary list of leaves with the requested shape.
+    /// An empty list yields const0; a single leaf is returned unchanged.
+    NodeId make_xor_tree(std::span<const NodeId> leaves, TreeShape shape);
+
+    /// Register a primary output.  The same node may drive several outputs.
+    void add_output(std::string name, NodeId node);
+
+    // --- Inspection -------------------------------------------------------
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+    [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
+    [[nodiscard]] const std::vector<Port>& inputs() const noexcept { return inputs_; }
+    [[nodiscard]] const std::vector<Port>& outputs() const noexcept { return outputs_; }
+
+    /// Index of a named input among inputs(), or -1.
+    [[nodiscard]] int input_index(const std::string& name) const;
+
+    /// Flags for nodes reachable from any output (transitive fanin).
+    [[nodiscard]] std::vector<bool> reachable_from_outputs() const;
+
+    /// Fanout count per node, restricted to the reachable subgraph; output
+    /// ports count as one fanout each.
+    [[nodiscard]] std::vector<int> fanout_counts() const;
+
+    /// Gate counts and depths over the reachable subgraph.
+    [[nodiscard]] NetlistStats stats() const;
+
+private:
+    [[nodiscard]] NodeId intern(GateKind kind, NodeId a, NodeId b);
+
+    std::vector<Node> nodes_;
+    std::vector<Port> inputs_;
+    std::vector<Port> outputs_;
+    std::unordered_map<std::uint64_t, NodeId> structural_hash_;
+    NodeId const0_ = kInvalidNode;
+};
+
+}  // namespace gfr::netlist
+
+#endif  // GFR_NETLIST_NETLIST_H

@@ -1,0 +1,59 @@
+#include "netlist/simulate.h"
+
+#include <stdexcept>
+
+namespace gfr::netlist {
+
+std::vector<std::uint64_t> Simulator::run(std::span<const std::uint64_t> input_words) {
+    const auto& nl = *nl_;
+    if (input_words.size() != nl.inputs().size()) {
+        throw std::invalid_argument{"Simulator::run: wrong number of input words"};
+    }
+    values_.assign(nl.node_count(), 0);
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+        values_[nl.inputs()[i].node] = input_words[i];
+    }
+    // Node ids are topologically ordered by construction.
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+        const Node& n = nl.node(id);
+        switch (n.kind) {
+            case GateKind::Input:
+            case GateKind::Const0:
+                break;
+            case GateKind::And2:
+                values_[id] = values_[n.a] & values_[n.b];
+                break;
+            case GateKind::Xor2:
+                values_[id] = values_[n.a] ^ values_[n.b];
+                break;
+        }
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(nl.outputs().size());
+    for (const auto& port : nl.outputs()) {
+        out.push_back(values_[port.node]);
+    }
+    return out;
+}
+
+std::vector<std::uint64_t> simulate(const Netlist& nl,
+                                    std::span<const std::uint64_t> input_words) {
+    Simulator sim{nl};
+    return sim.run(input_words);
+}
+
+std::uint64_t exhaustive_pattern(int input_index, std::uint64_t block) {
+    // The six in-word variables use the classic truth-table masks.
+    static constexpr std::uint64_t kMasks[6] = {
+        0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+        0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+    if (input_index < 0) {
+        throw std::invalid_argument{"exhaustive_pattern: negative input index"};
+    }
+    if (input_index < 6) {
+        return kMasks[input_index];
+    }
+    return ((block >> (input_index - 6)) & 1U) ? ~std::uint64_t{0} : 0;
+}
+
+}  // namespace gfr::netlist

@@ -1,0 +1,44 @@
+#ifndef GFR_NETLIST_SIMULATE_H
+#define GFR_NETLIST_SIMULATE_H
+
+// Word-parallel netlist simulation: each std::uint64_t carries 64 independent
+// input assignments ("lanes"), so one topological sweep evaluates 64 test
+// vectors at once.  This is the workhorse behind equivalence checking and
+// the multiplier verification in src/multipliers/verify.h.
+
+#include "netlist/netlist.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gfr::netlist {
+
+/// Reusable simulator; construction precomputes nothing heavy, but keeping
+/// one instance alive reuses the value buffer across calls.
+class Simulator {
+public:
+    explicit Simulator(const Netlist& nl) : nl_{&nl} {}
+
+    /// Evaluate all outputs for 64 lanes.  input_words[i] is the 64-lane
+    /// value of input i (in inputs() order).  Returns one word per output.
+    std::vector<std::uint64_t> run(std::span<const std::uint64_t> input_words);
+
+private:
+    const Netlist* nl_;
+    std::vector<std::uint64_t> values_;
+};
+
+/// One-shot convenience wrapper around Simulator::run.
+std::vector<std::uint64_t> simulate(const Netlist& nl,
+                                    std::span<const std::uint64_t> input_words);
+
+/// Input pattern words for exhaustive simulation.  Block `block` of the
+/// enumeration assigns lanes 0..63 the assignments with index
+/// 64*block .. 64*block+63, where assignment bit i drives input i.
+/// (Inputs 0..5 cycle within a word; inputs >= 6 are constant per block.)
+std::uint64_t exhaustive_pattern(int input_index, std::uint64_t block);
+
+}  // namespace gfr::netlist
+
+#endif  // GFR_NETLIST_SIMULATE_H

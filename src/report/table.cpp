@@ -1,0 +1,62 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gfr::report {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_{std::move(headers)} {
+    if (headers_.empty()) {
+        throw std::invalid_argument{"TextTable: need at least one column"};
+    }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument{"TextTable::add_row: wrong cell count"};
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    auto rule = [&] {
+        std::string line = "+";
+        for (const auto w : width) {
+            line += std::string(w + 2, '-') + "+";
+        }
+        return line + "\n";
+    };
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+    std::string out = rule() + render_row(headers_) + rule();
+    for (const auto& row : rows_) {
+        out += row.empty() ? rule() : render_row(row);
+    }
+    out += rule();
+    return out;
+}
+
+std::string fmt(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+}  // namespace gfr::report

@@ -1,0 +1,33 @@
+#ifndef GFR_REPORT_TABLE_H
+#define GFR_REPORT_TABLE_H
+
+// Minimal fixed-width ASCII table rendering for the bench binaries, so every
+// reproduced table prints in a shape directly comparable to the paper.
+
+#include <string>
+#include <vector>
+
+namespace gfr::report {
+
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Insert a horizontal rule before the next added row.
+    void add_rule();
+
+    [[nodiscard]] std::string render() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;  // empty row = rule
+};
+
+/// Fixed-point formatting helper ("9.77", "322.41").
+std::string fmt(double value, int decimals);
+
+}  // namespace gfr::report
+
+#endif  // GFR_REPORT_TABLE_H

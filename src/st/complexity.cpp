@@ -1,0 +1,61 @@
+#include "st/complexity.h"
+
+#include "mastrovito/reduction_matrix.h"
+#include "st/st_split.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace gfr::st {
+
+SplitMethodComplexity split_method_complexity(const gf2::Poly& f) {
+    const int m = f.degree();
+    const mastrovito::ReductionMatrix q{f};
+    const SplitTables tables = make_split_tables(m);
+
+    SplitMethodComplexity out;
+    out.m = m;
+    out.and_gates = m * m;
+
+    // Every split group is one complete tree, built once and shared.
+    for (const auto& groups : {std::cref(tables.s), std::cref(tables.t)}) {
+        for (const auto& splits : groups.get()) {
+            for (const auto& sp : splits) {
+                out.group_xor += (1 << sp.level) - 1;
+            }
+        }
+    }
+
+    // Per coefficient: the levels of the groups feeding it.
+    for (int k = 0; k < m; ++k) {
+        std::vector<int> levels;
+        for (const auto& sp : tables.s[static_cast<std::size_t>(k)]) {
+            levels.push_back(sp.level);
+        }
+        for (const int i : q.t_indices_for_coefficient(k)) {
+            for (const auto& sp : tables.t[static_cast<std::size_t>(i)]) {
+                levels.push_back(sp.level);
+            }
+        }
+        out.terms_per_coefficient.push_back(static_cast<int>(levels.size()));
+        out.combine_xor_flat += static_cast<int>(levels.size()) - 1;
+
+        // Huffman on max-plus-one: the depth the parenthesised pairing of
+        // [7] achieves for this coefficient.
+        std::priority_queue<int, std::vector<int>, std::greater<>> heap{
+            std::greater<>{}, levels};
+        while (heap.size() > 1) {
+            const int a = heap.top();
+            heap.pop();
+            const int b = heap.top();
+            heap.pop();
+            heap.push(std::max(a, b) + 1);
+        }
+        out.depth_paren = std::max(out.depth_paren, heap.top());
+    }
+    out.total_xor_flat = out.group_xor + out.combine_xor_flat;
+    return out;
+}
+
+}  // namespace gfr::st

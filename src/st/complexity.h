@@ -1,0 +1,39 @@
+#ifndef GFR_ST_COMPLEXITY_H
+#define GFR_ST_COMPLEXITY_H
+
+// Theoretical complexity of the split-term construction ([7] / the paper's
+// Table IV form), computed symbolically from the split tables and reduction
+// matrix — no netlist involved.  The test suite checks the *generated*
+// netlists against these predictions on every Table V field, which pins the
+// generators to the theory the paper builds on:
+//
+//   AND gates            m^2                       (all partial products)
+//   XOR inside groups    sum over groups (2^j - 1) (complete binary trees)
+//   XOR combining terms  sum over outputs (#terms_k - 1)
+//   depth (flat form)    T_A + max_k ( depth of a Huffman tree over the
+//                        group levels feeding c_k )   [= the paper's
+//                        T_A + 5 T_X at (m,n) = (8,2)]
+
+#include "gf2/gf2_poly.h"
+
+#include <vector>
+
+namespace gfr::st {
+
+struct SplitMethodComplexity {
+    int m = 0;
+    int and_gates = 0;          ///< m^2
+    int group_xor = 0;          ///< XORs inside all split-term trees (shared once)
+    int combine_xor_flat = 0;   ///< XORs to sum each coefficient's terms
+    int total_xor_flat = 0;     ///< group_xor + combine_xor_flat
+    int depth_paren = 0;        ///< XOR depth with level-aware pairing ([7])
+    std::vector<int> terms_per_coefficient;  ///< split terms feeding each c_k
+};
+
+/// Symbolic complexity of the split method over the field defined by `f`
+/// (any irreducible polynomial; the paper instantiates type II pentanomials).
+SplitMethodComplexity split_method_complexity(const gf2::Poly& f);
+
+}  // namespace gfr::st
+
+#endif  // GFR_ST_COMPLEXITY_H

@@ -1,0 +1,246 @@
+#include "st/st_expr.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace gfr::st {
+
+std::string Atom::to_string() const {
+    switch (kind) {
+        case Kind::WholeS:
+            return "S" + std::to_string(i);
+        case Kind::WholeT:
+            return "T" + std::to_string(i);
+        case Kind::SplitS:
+            return "S^" + std::to_string(level) + "_" + std::to_string(i);
+        case Kind::SplitT:
+            return "T^" + std::to_string(level) + "_" + std::to_string(i);
+        case Kind::PairTT:
+            return "T^" + std::to_string(level) + "_{" + std::to_string(i) + "," +
+                   std::to_string(j) + "}";
+        case Kind::PairST:
+            return "ST^" + std::to_string(level) + "_{" + std::to_string(i) + "," +
+                   std::to_string(j) + "}";
+    }
+    return "?";
+}
+
+Expr Expr::leaf(Atom a) {
+    Expr e;
+    e.atom = a;
+    return e;
+}
+
+Expr Expr::sum(std::vector<Expr> operands) {
+    if (operands.empty()) {
+        throw std::invalid_argument{"Expr::sum: empty operand list"};
+    }
+    if (operands.size() == 1) {
+        return std::move(operands[0]);
+    }
+    Expr e;
+    e.children = std::move(operands);
+    return e;
+}
+
+std::string Expr::to_string() const {
+    if (is_leaf()) {
+        return atom->to_string();
+    }
+    std::string out;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) {
+            out += " + ";
+        }
+        const auto& c = children[i];
+        out += c.is_leaf() ? c.to_string() : "(" + c.to_string() + ")";
+    }
+    return out;
+}
+
+std::vector<Atom> Expr::atoms() const {
+    std::vector<Atom> out;
+    if (is_leaf()) {
+        out.push_back(*atom);
+        return out;
+    }
+    for (const auto& c : children) {
+        const auto sub = c.atoms();
+        out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+}
+
+std::string CoeffEquation::to_string() const {
+    return "c" + std::to_string(k) + " = " + expr.to_string();
+}
+
+namespace {
+
+class Parser {
+public:
+    Parser(const std::string& text, ParseMode mode) : text_{text}, mode_{mode} {}
+
+    CoeffEquation parse_line() {
+        skip_ws();
+        expect('c');
+        CoeffEquation eq;
+        eq.k = read_int();
+        skip_ws();
+        expect('=');
+        eq.expr = parse_sum();
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ';') {
+            ++pos_;
+        }
+        skip_ws();
+        if (pos_ != text_.size()) {
+            fail("trailing characters");
+        }
+        return eq;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& why) const {
+        throw std::invalid_argument{"parse error at position " + std::to_string(pos_) +
+                                    " ('" + text_ + "'): " + why};
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+            ++pos_;
+        }
+    }
+
+    void expect(char c) {
+        if (pos_ >= text_.size() || text_[pos_] != c) {
+            fail(std::string{"expected '"} + c + "'");
+        }
+        ++pos_;
+    }
+
+    int read_int() {
+        if (pos_ >= text_.size() || std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+            fail("expected digit");
+        }
+        int value = 0;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+            value = value * 10 + (text_[pos_] - '0');
+            ++pos_;
+        }
+        return value;
+    }
+
+    Expr parse_sum() {
+        std::vector<Expr> operands;
+        operands.push_back(parse_operand());
+        while (true) {
+            skip_ws();
+            if (pos_ < text_.size() && text_[pos_] == '+') {
+                ++pos_;
+                operands.push_back(parse_operand());
+            } else {
+                break;
+            }
+        }
+        return Expr::sum(std::move(operands));
+    }
+
+    Expr parse_operand() {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '(') {
+            ++pos_;
+            Expr inner = parse_sum();
+            skip_ws();
+            expect(')');
+            return inner;
+        }
+        return Expr::leaf(parse_atom());
+    }
+
+    Atom parse_atom() {
+        skip_ws();
+        std::string letters;
+        while (pos_ < text_.size() && std::isupper(static_cast<unsigned char>(text_[pos_])) != 0) {
+            letters += text_[pos_];
+            ++pos_;
+        }
+        if (letters != "S" && letters != "T" && letters != "ST") {
+            fail("expected identifier S/T/ST, got '" + letters + "'");
+        }
+        if (mode_ == ParseMode::WholeFunctions) {
+            if (letters == "ST") {
+                fail("ST pair in whole-function table");
+            }
+            Atom a;
+            a.kind = (letters == "S") ? Atom::Kind::WholeS : Atom::Kind::WholeT;
+            a.i = read_int();
+            return a;
+        }
+        // Split mode: first digit is the level, remaining digits the index.
+        if (pos_ >= text_.size() || std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+            fail("expected level digit");
+        }
+        Atom a;
+        a.level = text_[pos_] - '0';
+        ++pos_;
+        a.i = read_int();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            a.j = read_int();
+            a.kind = (letters == "ST") ? Atom::Kind::PairST : Atom::Kind::PairTT;
+            if (letters == "S") {
+                fail("pair notation with plain S is not used by the paper");
+            }
+        } else {
+            if (letters == "ST") {
+                fail("ST atom requires a pair of indices");
+            }
+            a.kind = (letters == "S") ? Atom::Kind::SplitS : Atom::Kind::SplitT;
+        }
+        return a;
+    }
+
+    const std::string& text_;
+    ParseMode mode_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+CoeffEquation parse_coefficient_line(const std::string& line, ParseMode mode) {
+    Parser parser{line, mode};
+    return parser.parse_line();
+}
+
+std::vector<CoeffEquation> parse_coefficient_table(const std::string& text,
+                                                   ParseMode mode) {
+    std::vector<CoeffEquation> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos) {
+            end = text.size();
+        }
+        std::string line = text.substr(start, end - start);
+        bool blank = true;
+        for (const char c : line) {
+            if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+                blank = false;
+                break;
+            }
+        }
+        if (!blank) {
+            out.push_back(parse_coefficient_line(line, mode));
+        }
+        if (end == text.size()) {
+            break;
+        }
+        start = end + 1;
+    }
+    return out;
+}
+
+}  // namespace gfr::st

@@ -1,0 +1,85 @@
+#ifndef GFR_ST_ST_EXPR_H
+#define GFR_ST_ST_EXPR_H
+
+// Coefficient-equation expression trees plus a parser/printer for the
+// paper's compact notation, used to transcribe Tables I, III and IV verbatim
+// and compile them to netlists (src/multipliers/golden_tables).
+//
+// Notation (flat-text forms as they appear in the paper body):
+//   "S1", "T0"      whole functions (Table I)
+//   "S01"           S^0_1   split term: first digit = level, rest = index
+//   "T20,4"         T^2_{0,4} = T^1_0 + T^1_4       (pair combination)
+//   "ST22,1"        ST^2_{2,1} = S^1_2 + T^1_1      (mixed pair)
+// Pair combinations use the *fallback* rule for the operand level: when the
+// exact level k-1 does not exist for that function, the highest available
+// level below it is taken (the paper's T^2_{5,6} pairs T^1_5 with T^0_6).
+//
+// Parenthesised sums parse to nested binary XOR nodes (structure preserved —
+// this is what "hard restrictions" means in the paper); flat sums parse to
+// one n-ary XOR node (structure left to the synthesiser).
+
+#include "st/st_split.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gfr::st {
+
+/// One identifier in a coefficient equation.
+struct Atom {
+    enum class Kind : std::uint8_t { WholeS, WholeT, SplitS, SplitT, PairTT, PairST };
+
+    Kind kind = Kind::WholeS;
+    int level = -1;  ///< split level / pair result level; -1 for whole functions
+    int i = -1;      ///< primary index (the S index for PairST)
+    int j = -1;      ///< secondary index for pair kinds; -1 otherwise
+
+    /// Pretty form: "S1", "S^0_1", "T^2_{0,4}", "ST^2_{2,1}".
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const Atom&, const Atom&) = default;
+};
+
+/// Leaf (atom set) or XOR node (children; size >= 2).
+struct Expr {
+    std::optional<Atom> atom;
+    std::vector<Expr> children;
+
+    [[nodiscard]] bool is_leaf() const noexcept { return atom.has_value(); }
+
+    static Expr leaf(Atom a);
+    static Expr sum(std::vector<Expr> operands);
+
+    /// Pretty form with parentheses exactly where nesting occurs, e.g.
+    /// "((S^0_1 + T^1_{0,4}) + T^2_0) + (T^2_{0,4} + T^2_{5,6})".
+    [[nodiscard]] std::string to_string() const;
+
+    /// All atoms in the expression, left-to-right.
+    [[nodiscard]] std::vector<Atom> atoms() const;
+};
+
+/// "c_k = expr".
+struct CoeffEquation {
+    int k = 0;
+    Expr expr;
+
+    [[nodiscard]] std::string to_string() const;  // "c0 = ..."
+};
+
+enum class ParseMode : std::uint8_t {
+    WholeFunctions,  ///< "S1"/"T0" identifiers (Table I)
+    SplitTerms,      ///< "S01"/"T20,4"/"ST22,1" identifiers (Tables III/IV)
+};
+
+/// Parse one line like "c0 = S1 +T0 +T4 +T5 +T6;".  Throws
+/// std::invalid_argument with a position hint on malformed input.
+CoeffEquation parse_coefficient_line(const std::string& line, ParseMode mode);
+
+/// Parse a multi-line table (one equation per non-empty line).
+std::vector<CoeffEquation> parse_coefficient_table(const std::string& text,
+                                                   ParseMode mode);
+
+}  // namespace gfr::st
+
+#endif  // GFR_ST_ST_EXPR_H

@@ -1,0 +1,112 @@
+#include "st/st_split.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gfr::st {
+
+int SplitTerm::product_count() const {
+    int total = 0;
+    for (const auto& t : terms) {
+        total += t.product_count();
+    }
+    return total;
+}
+
+std::string SplitTerm::label() const {
+    return std::string{kind == StKind::S ? "S" : "T"} + "^" + std::to_string(level) +
+           "_" + std::to_string(index);
+}
+
+std::vector<SplitTerm> split_function(const StFunction& f) {
+    std::vector<SplitTerm> out;
+    std::vector<Term> zs;
+    zs.reserve(f.terms.size());
+    for (const auto& t : f.terms) {
+        if (t.is_square()) {
+            out.push_back(SplitTerm{f.kind, f.index, 0, {t}});  // level-0 x term
+        } else {
+            zs.push_back(t);
+        }
+    }
+    // Chunk z terms by the binary expansion of their count, LSB first.
+    std::size_t pos = 0;
+    const std::size_t nz = zs.size();
+    for (int bit = 0; (std::size_t{1} << bit) <= nz; ++bit) {
+        if ((nz >> bit) & 1U) {
+            const std::size_t take = std::size_t{1} << bit;
+            SplitTerm st{f.kind, f.index, bit + 1, {}};
+            st.terms.assign(zs.begin() + static_cast<std::ptrdiff_t>(pos),
+                            zs.begin() + static_cast<std::ptrdiff_t>(pos + take));
+            pos += take;
+            out.push_back(std::move(st));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SplitTerm& a, const SplitTerm& b) { return a.level < b.level; });
+    return out;
+}
+
+SplitTables make_split_tables(int m) {
+    SplitTables tables;
+    tables.m = m;
+    tables.s.reserve(static_cast<std::size_t>(m));
+    for (int i = 1; i <= m; ++i) {
+        tables.s.push_back(split_function(make_s(m, i)));
+    }
+    tables.t.reserve(static_cast<std::size_t>(m - 1));
+    for (int i = 0; i <= m - 2; ++i) {
+        tables.t.push_back(split_function(make_t(m, i)));
+    }
+    return tables;
+}
+
+const SplitTerm& find_split_term(const SplitTables& tables, StKind kind, int index,
+                                 int level) {
+    const auto& groups = (kind == StKind::S)
+                             ? tables.s.at(static_cast<std::size_t>(index - 1))
+                             : tables.t.at(static_cast<std::size_t>(index));
+    const SplitTerm* best = nullptr;
+    for (const auto& g : groups) {
+        if (g.level == level) {
+            return g;
+        }
+        if (g.level < level && (best == nullptr || g.level > best->level)) {
+            best = &g;
+        }
+    }
+    if (best == nullptr) {
+        throw std::out_of_range{"find_split_term: no term at or below requested level"};
+    }
+    return *best;
+}
+
+std::string split_decomposition_string(const StFunction& f) {
+    auto groups = split_function(f);
+    std::sort(groups.begin(), groups.end(),
+              [](const SplitTerm& a, const SplitTerm& b) { return a.level > b.level; });
+    std::string out = f.name() + " = ";
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        if (i > 0) {
+            out += " + ";
+        }
+        out += groups[i].label();
+    }
+    return out;
+}
+
+std::string split_term_definition_string(const SplitTerm& st) {
+    std::string rhs;
+    for (std::size_t i = 0; i < st.terms.size(); ++i) {
+        if (i > 0) {
+            rhs += " + ";
+        }
+        rhs += term_to_paper_string(st.terms[i]);
+    }
+    if (st.terms.size() > 1) {
+        rhs = "(" + rhs + ")";
+    }
+    return st.label() + " = " + rhs;
+}
+
+}  // namespace gfr::st

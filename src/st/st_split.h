@@ -1,0 +1,65 @@
+#ifndef GFR_ST_ST_SPLIT_H
+#define GFR_ST_ST_SPLIT_H
+
+// The splitting of S_i / T_i into S^j_i / T^j_i terms ([7], reproduced in the
+// paper's Table II for GF(2^8)).
+//
+// Each split term groups exactly 2^j elementary products, so it can be built
+// as a *complete* j-level binary XOR tree.  The paper's grouping rule (read
+// off Table II and [7]):
+//   - the x term (1 product), when present, becomes the level-0 term;
+//   - the z terms (2 products each) are taken in listing order and chunked
+//     by the binary expansion of their count, least-significant bit first:
+//     bit k set -> the next 2^k z-terms form the level-(k+1) term.
+// E.g. S6 (3 z-terms) -> S^1_6 = z^5_0, S^2_6 = (z^4_1 + z^3_2).
+
+#include "st/st_terms.h"
+
+#include <vector>
+
+namespace gfr::st {
+
+/// One S^j_i or T^j_i: a complete 2^level-product group.
+struct SplitTerm {
+    StKind kind = StKind::S;
+    int index = 0;   ///< the i of S_i / T_i
+    int level = 0;   ///< the j: 2^j products, j-level complete XOR tree
+    std::vector<Term> terms;
+
+    /// Number of products: always exactly 2^level (library invariant).
+    [[nodiscard]] int product_count() const;
+
+    /// "S^2_4" (paper superscript/subscript notation).
+    [[nodiscard]] std::string label() const;
+};
+
+/// Split a function per the paper's rule.  The result is ordered by
+/// ascending level; the union of all groups equals the original term list.
+std::vector<SplitTerm> split_function(const StFunction& f);
+
+/// All split terms of all S_1..S_m and T_0..T_(m-2) for degree m, in the
+/// order (S by index, then T by index).  Convenience for generators/tables.
+struct SplitTables {
+    int m = 0;
+    std::vector<std::vector<SplitTerm>> s;  // s[i-1] = splits of S_i
+    std::vector<std::vector<SplitTerm>> t;  // t[i]   = splits of T_i
+};
+SplitTables make_split_tables(int m);
+
+/// Lookup: the split term of the given kind/index with exactly `level`, or,
+/// when absent, the term with the highest level strictly below `level`
+/// (the fallback used by the paper's pair notation, e.g. T^2_{5,6} pairs
+/// T^1_5 with T^0_6).  Throws std::out_of_range when nothing qualifies.
+const SplitTerm& find_split_term(const SplitTables& tables, StKind kind, int index,
+                                 int level);
+
+/// "S4 = S^2_4" / "T0 = T^2_0 + T^1_0 + T^0_0" — descending level, the
+/// paper's presentation order.
+std::string split_decomposition_string(const StFunction& f);
+
+/// "S^2_4 = (z^3_0 + z^2_1)" — the Table II right-hand sides.
+std::string split_term_definition_string(const SplitTerm& st);
+
+}  // namespace gfr::st
+
+#endif  // GFR_ST_ST_SPLIT_H

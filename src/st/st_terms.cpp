@@ -1,0 +1,118 @@
+#include "st/st_terms.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gfr::st {
+
+int StFunction::product_count() const {
+    int total = 0;
+    for (const auto& t : terms) {
+        total += t.product_count();
+    }
+    return total;
+}
+
+std::string StFunction::name() const {
+    return (kind == StKind::S ? "S" : "T") + std::to_string(index);
+}
+
+StFunction make_s(int m, int i) {
+    if (m < 2 || i < 1 || i > m) {
+        throw std::invalid_argument{"make_s: requires 2 <= m and 1 <= i <= m"};
+    }
+    StFunction f{StKind::S, i, m, {}};
+    const int p = i / 2;
+    if (i % 2 == 1) {
+        f.terms.push_back(Term{p, p});  // x_p appears only for odd i
+    }
+    for (int h = 0; h <= p - 1; ++h) {
+        f.terms.push_back(Term{h, i - h - 1});  // z^(i-h-1)_h
+    }
+    return f;
+}
+
+StFunction make_t(int m, int i) {
+    if (m < 2 || i < 0 || i > m - 2) {
+        throw std::invalid_argument{"make_t: requires 0 <= i <= m-2"};
+    }
+    StFunction f{StKind::T, i, m, {}};
+    const int half_up = (m + 1) / 2;  // ceil(m/2)
+    const int q = half_up + i / 2;
+    const bool same_parity = (m % 2) == (i % 2);
+    int r = 0;
+    if (same_parity) {
+        f.terms.push_back(Term{q, q});  // x_q appears only when m,i share parity
+        r = q;
+    } else {
+        r = half_up + (i + 1) / 2;  // ceil(m/2) + ceil(i/2)
+    }
+    for (int j = 1; j <= r - (i + 1); ++j) {
+        f.terms.push_back(Term{i + j, m - j});  // z^(m-j)_(i+j)
+    }
+    return f;
+}
+
+namespace {
+
+/// Convolution coefficient d_k of A*B for GF(2^m) coordinates: all products
+/// a_lo * b_hi with lo + hi = k and both indices in [0, m-1], folded into
+/// square/cross Terms.  The x term (if any) leads, matching eq. (1) order.
+std::vector<Term> convolution_terms(int m, int k) {
+    std::vector<Term> out;
+    if (k % 2 == 0 && k / 2 <= m - 1) {
+        out.push_back(Term{k / 2, k / 2});
+    }
+    const int lo_min = std::max(0, k - (m - 1));
+    for (int lo = lo_min; 2 * lo < k; ++lo) {
+        out.push_back(Term{lo, k - lo});
+    }
+    return out;
+}
+
+}  // namespace
+
+StFunction make_s_convolution(int m, int i) {
+    if (m < 2 || i < 1 || i > m) {
+        throw std::invalid_argument{"make_s_convolution: requires 1 <= i <= m"};
+    }
+    return StFunction{StKind::S, i, m, convolution_terms(m, i - 1)};
+}
+
+StFunction make_t_convolution(int m, int i) {
+    if (m < 2 || i < 0 || i > m - 2) {
+        throw std::invalid_argument{"make_t_convolution: requires 0 <= i <= m-2"};
+    }
+    return StFunction{StKind::T, i, m, convolution_terms(m, m + i)};
+}
+
+std::string term_to_paper_string(const Term& t) {
+    if (t.is_square()) {
+        return "x" + std::to_string(t.lo);
+    }
+    return "z^" + std::to_string(t.hi) + "_" + std::to_string(t.lo);
+}
+
+std::string to_paper_string(const StFunction& f) {
+    std::string out = f.name() + " = ";
+    if (f.terms.empty()) {
+        return out + "0";
+    }
+    for (std::size_t i = 0; i < f.terms.size(); ++i) {
+        if (i > 0) {
+            out += " + ";
+        }
+        out += term_to_paper_string(f.terms[i]);
+    }
+    return out;
+}
+
+bool same_terms(const StFunction& lhs, const StFunction& rhs) {
+    auto a = lhs.terms;
+    auto b = rhs.terms;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    return a == b;
+}
+
+}  // namespace gfr::st

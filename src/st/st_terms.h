@@ -1,0 +1,77 @@
+#ifndef GFR_ST_ST_TERMS_H
+#define GFR_ST_ST_TERMS_H
+
+// The S_i / T_i functions of the paper ([6], eq. (1)).
+//
+// For A, B in GF(2^m) with coordinates a_i, b_i, the degree-(2m-2) product
+// polynomial D = A*B has coefficients d_k built from:
+//     x_k   = a_k * b_k                       ("square" product)
+//     z^j_i = a_i * b_j + a_j * b_i  (i < j)  ("cross" pair, 2 products)
+// The paper names the low half S_i = d_(i-1) (1 <= i <= m) and the high half
+// T_i = d_(m+i) (0 <= i <= m-2), and gives the closed form (1) for both.
+//
+// We implement BOTH the closed form and the direct convolution; the test
+// suite checks they agree for every m, which validates our transcription of
+// eq. (1) against first principles.
+
+#include <compare>
+#include <string>
+#include <vector>
+
+namespace gfr::st {
+
+/// One additive term of an S/T function.  lo == hi encodes the square term
+/// x_lo = a_lo*b_lo (one AND); lo < hi encodes z^hi_lo = a_lo*b_hi + a_hi*b_lo
+/// (two ANDs + one XOR).
+struct Term {
+    int lo = 0;
+    int hi = 0;
+
+    [[nodiscard]] bool is_square() const noexcept { return lo == hi; }
+    [[nodiscard]] int product_count() const noexcept { return is_square() ? 1 : 2; }
+
+    friend auto operator<=>(const Term&, const Term&) = default;
+};
+
+enum class StKind : std::uint8_t { S, T };
+
+/// An S_i or T_i function: an XOR-sum of Terms, in the paper's listing order
+/// (the x term first when present, then z terms by ascending lower index).
+struct StFunction {
+    StKind kind = StKind::S;
+    int index = 0;
+    int m = 0;
+    std::vector<Term> terms;
+
+    /// Total number of elementary AND products summed by this function.
+    [[nodiscard]] int product_count() const;
+
+    /// "S7" / "T4".
+    [[nodiscard]] std::string name() const;
+};
+
+/// S_i per eq. (1).  Requires 1 <= i <= m.
+StFunction make_s(int m, int i);
+
+/// T_i per eq. (1).  Requires 0 <= i <= m-2.
+StFunction make_t(int m, int i);
+
+/// S_i derived directly as the convolution coefficient d_(i-1).
+StFunction make_s_convolution(int m, int i);
+
+/// T_i derived directly as the convolution coefficient d_(m+i).
+StFunction make_t_convolution(int m, int i);
+
+/// "x3" or "z^6_0" — the notation used throughout the paper.
+std::string term_to_paper_string(const Term& t);
+
+/// "S7 = x3 + z^6_0 + z^5_1 + z^4_2".
+std::string to_paper_string(const StFunction& f);
+
+/// True iff the two functions contain the same multiset of terms
+/// (order-insensitive; used to compare eq. (1) against the convolution).
+bool same_terms(const StFunction& lhs, const StFunction& rhs);
+
+}  // namespace gfr::st
+
+#endif  // GFR_ST_ST_TERMS_H

@@ -1,0 +1,87 @@
+// Theory-vs-implementation: the symbolic complexity of the split method
+// must match the generated netlists gate for gate on every Table V field.
+
+#include "field/field_catalog.h"
+#include "gf2/pentanomial.h"
+#include "multipliers/generator.h"
+#include "st/complexity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gfr::st {
+namespace {
+
+TEST(ComplexityTheory, Gf28MatchesPaperSection2) {
+    // (m,n) = (8,2): 64 AND; parenthesised depth T_A + 5T_X (paper text).
+    const auto c = split_method_complexity(gf2::Poly::from_exponents({8, 4, 3, 2, 0}));
+    EXPECT_EQ(c.and_gates, 64);
+    EXPECT_EQ(c.depth_paren, 5);
+    // Table IV has 8+5+10+9+10+7+8+5 = 62 split-term references.
+    int total_terms = 0;
+    for (const int t : c.terms_per_coefficient) {
+        total_terms += t;
+    }
+    EXPECT_EQ(total_terms, 62);
+    EXPECT_EQ(c.combine_xor_flat, 62 - 8);
+}
+
+class TheoryVsGenerated : public ::testing::TestWithParam<field::FieldSpec> {};
+
+TEST_P(TheoryVsGenerated, ParenDepthMatchesHuffmanBound) {
+    const auto spec = GetParam();
+    const field::Field fld = spec.make();
+    const auto theory = split_method_complexity(fld.modulus());
+    const auto stats =
+        mult::build_multiplier(mult::Method::Imana2016Paren, fld).stats();
+    EXPECT_EQ(stats.xor_depth, theory.depth_paren) << spec.label();
+    EXPECT_EQ(stats.n_and, theory.and_gates) << spec.label();
+}
+
+TEST_P(TheoryVsGenerated, FlatXorCountIsUpperBound) {
+    // The generated flat netlist shares z pairs across groups through
+    // structural hashing, so its XOR count is bounded above by the symbolic
+    // count (which treats groups as disjoint trees) and below by half of it.
+    const auto spec = GetParam();
+    const field::Field fld = spec.make();
+    const auto theory = split_method_complexity(fld.modulus());
+    const auto stats =
+        mult::build_multiplier(mult::Method::Date2018Flat, fld).stats();
+    EXPECT_LE(stats.n_xor, theory.total_xor_flat) << spec.label();
+    EXPECT_GE(stats.n_xor, theory.total_xor_flat / 2) << spec.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(Table5Fields, TheoryVsGenerated,
+                         ::testing::ValuesIn(field::table5_fields()),
+                         [](const auto& info) {
+                             return "m" + std::to_string(info.param.m) + "n" +
+                                    std::to_string(info.param.n);
+                         });
+
+TEST(ComplexityTheory, DepthGrowsLogarithmically) {
+    // depth_paren ~ log2(m): sanity across a sweep of degrees.
+    int prev = 0;
+    for (const int m : {8, 16, 32, 64, 128}) {
+        const auto penta = gf2::first_type2_irreducible(m);
+        if (!penta) {
+            continue;
+        }
+        const auto c = split_method_complexity(penta->poly());
+        EXPECT_GE(c.depth_paren, prev);
+        EXPECT_LE(c.depth_paren, 3 + static_cast<int>(std::log2(m)));
+        prev = c.depth_paren;
+    }
+}
+
+TEST(ComplexityTheory, AndCountIsAlwaysMSquared) {
+    for (const auto& spec : field::table5_fields()) {
+        const auto c = split_method_complexity(
+            gf2::TypeIIPentanomial{spec.m, spec.n}.poly());
+        EXPECT_EQ(c.and_gates, spec.m * spec.m);
+        EXPECT_EQ(static_cast<int>(c.terms_per_coefficient.size()), spec.m);
+    }
+}
+
+}  // namespace
+}  // namespace gfr::st

@@ -1,0 +1,71 @@
+// Graphviz export: structure of the emitted digraph.
+
+#include "field/field_catalog.h"
+#include "multipliers/generator.h"
+#include "netlist/emit_dot.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::netlist {
+namespace {
+
+TEST(EmitDot, SmallCircuit) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    nl.add_output("y", nl.make_xor(nl.make_and(a, b), a));
+    const auto text = emit_dot(nl, "tiny");
+    EXPECT_NE(text.find("digraph \"tiny\""), std::string::npos);
+    EXPECT_NE(text.find("shape=box,label=\"a\""), std::string::npos);
+    EXPECT_NE(text.find("shape=triangle"), std::string::npos);
+    EXPECT_NE(text.find("shape=circle"), std::string::npos);
+    EXPECT_NE(text.find("shape=doublecircle,label=\"y\""), std::string::npos);
+    EXPECT_NE(text.find("}"), std::string::npos);
+}
+
+TEST(EmitDot, EdgeCountMatchesGateFanins) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto c = nl.add_input("c");
+    nl.add_output("y", nl.make_xor(nl.make_and(a, b), c));
+    const auto text = emit_dot(nl, "g");
+    std::size_t edges = 0;
+    for (std::size_t pos = text.find(" -> "); pos != std::string::npos;
+         pos = text.find(" -> ", pos + 1)) {
+        ++edges;
+    }
+    // 2 AND fanins + 2 XOR fanins + 1 output edge.
+    EXPECT_EQ(edges, 5U);
+}
+
+TEST(EmitDot, NoOutputsThrows) {
+    Netlist nl;
+    nl.add_input("a");
+    EXPECT_THROW(static_cast<void>(emit_dot(nl, "x")), std::invalid_argument);
+}
+
+TEST(EmitDot, MultiplierExports) {
+    const auto nl = mult::build_multiplier(mult::Method::Date2018Flat,
+                                           field::gf256_paper_field());
+    const auto text = emit_dot(nl, "gf256_mult");
+    EXPECT_GT(text.size(), 3000U);
+    // All eight outputs present.
+    for (int k = 0; k < 8; ++k) {
+        EXPECT_NE(text.find("label=\"c" + std::to_string(k) + "\""),
+                  std::string::npos);
+    }
+}
+
+TEST(EmitDot, DeadLogicOmitted) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    nl.make_xor(a, b);  // dead
+    nl.add_output("y", nl.make_and(a, b));
+    const auto text = emit_dot(nl, "g");
+    EXPECT_EQ(text.find("circle,label=\"^\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gfr::netlist

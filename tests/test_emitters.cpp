@@ -1,0 +1,90 @@
+// HDL emitters: structural checks on the generated VHDL/Verilog text.
+
+#include "netlist/emit_verilog.h"
+#include "netlist/emit_vhdl.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::netlist {
+namespace {
+
+Netlist small_circuit() {
+    Netlist nl;
+    const auto a = nl.add_input("a0");
+    const auto b = nl.add_input("b0");
+    const auto c = nl.add_input("c_in");
+    nl.add_output("sum", nl.make_xor(nl.make_xor(a, b), c));
+    nl.add_output("carry", nl.make_and(a, b));
+    return nl;
+}
+
+TEST(EmitVhdl, ContainsEntityPortsAndGates) {
+    const auto text = emit_vhdl(small_circuit(), "half_adder");
+    EXPECT_NE(text.find("entity half_adder is"), std::string::npos);
+    EXPECT_NE(text.find("a0 : in  std_logic;"), std::string::npos);
+    EXPECT_NE(text.find("sum : out std_logic;"), std::string::npos);
+    EXPECT_NE(text.find("carry : out std_logic"), std::string::npos);
+    EXPECT_NE(text.find(" and "), std::string::npos);
+    EXPECT_NE(text.find(" xor "), std::string::npos);
+    EXPECT_NE(text.find("end architecture rtl;"), std::string::npos);
+}
+
+TEST(EmitVhdl, SanitisesBadIdentifiers) {
+    Netlist nl;
+    const auto a = nl.add_input("a-1");
+    nl.add_output("2out", a);
+    const auto text = emit_vhdl(nl, "x y");
+    EXPECT_EQ(text.find("a-1"), std::string::npos);
+    EXPECT_NE(text.find("a_1"), std::string::npos);
+    EXPECT_NE(text.find("p2out"), std::string::npos);
+    EXPECT_NE(text.find("entity x_y"), std::string::npos);
+}
+
+TEST(EmitVhdl, NoOutputsThrows) {
+    Netlist nl;
+    nl.add_input("a");
+    EXPECT_THROW(static_cast<void>(emit_vhdl(nl, "empty")), std::invalid_argument);
+}
+
+TEST(EmitVhdl, DeadLogicNotEmitted) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    nl.make_xor(a, b);  // dead
+    nl.add_output("y", nl.make_and(a, b));
+    const auto text = emit_vhdl(nl, "m");
+    EXPECT_EQ(text.find("xor"), std::string::npos);
+}
+
+TEST(EmitVerilog, ContainsModulePortsAndAssigns) {
+    const auto text = emit_verilog(small_circuit(), "half_adder");
+    EXPECT_NE(text.find("module half_adder ("), std::string::npos);
+    EXPECT_NE(text.find("input  wire a0,"), std::string::npos);
+    EXPECT_NE(text.find("output wire carry"), std::string::npos);
+    EXPECT_NE(text.find(" & "), std::string::npos);
+    EXPECT_NE(text.find(" ^ "), std::string::npos);
+    EXPECT_NE(text.find("endmodule"), std::string::npos);
+}
+
+TEST(EmitVerilog, ConstZeroRendered) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    nl.add_output("z", nl.make_xor(a, a));  // folds to const0
+    const auto text = emit_verilog(nl, "m");
+    EXPECT_NE(text.find("1'b0"), std::string::npos);
+}
+
+TEST(EmitVerilog, OneAssignPerReachableGate) {
+    const auto nl = small_circuit();
+    const auto text = emit_verilog(nl, "m");
+    std::size_t count = 0;
+    for (std::size_t pos = text.find("assign"); pos != std::string::npos;
+         pos = text.find("assign", pos + 1)) {
+        ++count;
+    }
+    // 3 gates + 2 output aliases = 5 assigns.
+    EXPECT_EQ(count, 5U);
+}
+
+}  // namespace
+}  // namespace gfr::netlist

@@ -1,0 +1,148 @@
+// GF(2^m) field axioms and reference arithmetic, across paper fields.
+
+#include "field/gf2m.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace gfr::field {
+namespace {
+
+using gf2::Poly;
+
+TEST(Field, ConstructionValidatesModulus) {
+    EXPECT_NO_THROW(Field{Poly::from_exponents({8, 4, 3, 2, 0})});
+    EXPECT_THROW(Field{Poly::from_exponents({8, 4})}, std::invalid_argument);
+    EXPECT_THROW(Field{Poly::one()}, std::invalid_argument);
+    EXPECT_THROW(Field{Poly{}}, std::invalid_argument);
+}
+
+TEST(Field, Type2Factory) {
+    const Field f = Field::type2(8, 2);
+    EXPECT_EQ(f.degree(), 8);
+    EXPECT_EQ(f.modulus(), Poly::from_exponents({8, 4, 3, 2, 0}));
+    EXPECT_EQ(f.to_string(), "GF(2^8) mod y^8 + y^4 + y^3 + y^2 + 1");
+}
+
+TEST(Field, Gf256KnownProducts) {
+    const Field f = Field::type2(8, 2);
+    // x * x^7 = x^8 = x^4+x^3+x^2+1 (Q row 0).
+    EXPECT_EQ(f.mul(f.from_bits(0x02), f.from_bits(0x80)), f.from_bits(0x1D));
+    // 1 is the multiplicative identity.
+    EXPECT_EQ(f.mul(f.one(), f.from_bits(0xAB)), f.from_bits(0xAB));
+    // 0 annihilates.
+    EXPECT_TRUE(f.mul(f.zero(), f.from_bits(0xFF)).is_zero());
+}
+
+TEST(Field, BitsRoundTrip) {
+    const Field f = Field::type2(8, 2);
+    for (std::uint64_t v : {0ULL, 1ULL, 0x1DULL, 0xFFULL}) {
+        EXPECT_EQ(f.to_bits(f.from_bits(v)), v);
+    }
+    // from_bits masks to m bits.
+    EXPECT_EQ(f.to_bits(f.from_bits(0x1FF)), 0xFFULL);
+}
+
+class FieldAxioms : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FieldAxioms, RingAndFieldLaws) {
+    const auto [m, n] = GetParam();
+    const Field f = Field::type2(m, n);
+    std::mt19937_64 rng{static_cast<std::uint64_t>(m * 1000 + n)};
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto a = f.random_element(rng);
+        const auto b = f.random_element(rng);
+        const auto c = f.random_element(rng);
+        EXPECT_TRUE(f.is_element(a));
+        // Commutativity / associativity / distributivity.
+        EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+        EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        // Identity.
+        EXPECT_EQ(f.mul(a, f.one()), a);
+        // Squaring is the Frobenius endomorphism.
+        EXPECT_EQ(f.sqr(f.add(a, b)), f.add(f.sqr(a), f.sqr(b)));
+        EXPECT_EQ(f.sqr(a), f.mul(a, a));
+    }
+}
+
+TEST_P(FieldAxioms, InversesAgreeAndWork) {
+    const auto [m, n] = GetParam();
+    const Field f = Field::type2(m, n);
+    std::mt19937_64 rng{static_cast<std::uint64_t>(m * 7919 + n)};
+    for (int trial = 0; trial < 10; ++trial) {
+        auto a = f.random_element(rng);
+        if (a.is_zero()) {
+            a = f.one();
+        }
+        const auto inv_eea = f.inv(a);
+        const auto inv_fer = f.inv_fermat(a);
+        EXPECT_EQ(inv_eea, inv_fer);
+        EXPECT_EQ(f.mul(a, inv_eea), f.one());
+    }
+    EXPECT_THROW(f.inv(f.zero()), std::invalid_argument);
+    EXPECT_THROW(f.inv_fermat(f.zero()), std::invalid_argument);
+}
+
+TEST_P(FieldAxioms, FermatLittleTheorem) {
+    const auto [m, n] = GetParam();
+    const Field f = Field::type2(m, n);
+    std::mt19937_64 rng{static_cast<std::uint64_t>(m * 31 + n)};
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto a = f.random_element(rng);
+        // a^(2^m) = a: m successive squarings return the element.
+        auto acc = a;
+        for (int i = 0; i < m; ++i) {
+            acc = f.sqr(acc);
+        }
+        EXPECT_EQ(acc, a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperFields, FieldAxioms,
+                         ::testing::Values(std::pair{8, 2}, std::pair{64, 23},
+                                           std::pair{113, 4}, std::pair{113, 34},
+                                           std::pair{122, 49}, std::pair{139, 59},
+                                           std::pair{148, 72}, std::pair{163, 66},
+                                           std::pair{163, 68}),
+                         [](const auto& info) {
+                             return "m" + std::to_string(info.param.first) + "n" +
+                                    std::to_string(info.param.second);
+                         });
+
+TEST(Field, PowBasics) {
+    const Field f = Field::type2(8, 2);
+    const auto x = f.from_bits(0x02);
+    EXPECT_EQ(f.pow(x, 0), f.one());
+    EXPECT_EQ(f.pow(x, 1), x);
+    EXPECT_EQ(f.pow(x, 8), f.from_bits(0x1D));
+    // Multiplicative order of the group divides 255.
+    EXPECT_EQ(f.pow(x, 255), f.one());
+}
+
+TEST(Field, ExhaustiveInverseGf256) {
+    const Field f = Field::type2(8, 2);
+    for (std::uint64_t v = 1; v < 256; ++v) {
+        const auto a = f.from_bits(v);
+        EXPECT_EQ(f.mul(a, f.inv(a)), f.one()) << "v=" << v;
+    }
+}
+
+TEST(Field, RandomElementInRange) {
+    const Field f = Field::type2(163, 66);
+    std::mt19937_64 rng{99};
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto a = f.random_element(rng);
+        EXPECT_TRUE(f.is_element(a));
+        EXPECT_LT(a.degree(), 163);
+    }
+}
+
+TEST(Field, ToBitsRejectsWideFields) {
+    const Field f = Field::type2(113, 4);
+    EXPECT_THROW(static_cast<void>(f.to_bits(f.one())), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gfr::field

@@ -1,0 +1,63 @@
+// Field catalog: the paper's nine Table V fields and standards provenance.
+
+#include "field/field_catalog.h"
+#include "gf2/irreducibility.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::field {
+namespace {
+
+TEST(FieldCatalog, NineTable5FieldsInPaperOrder) {
+    const auto& fields = table5_fields();
+    ASSERT_EQ(fields.size(), 9U);
+    EXPECT_EQ(fields[0].m, 8);
+    EXPECT_EQ(fields[0].n, 2);
+    EXPECT_EQ(fields[8].m, 163);
+    EXPECT_EQ(fields[8].n, 68);
+}
+
+TEST(FieldCatalog, AllFieldsConstruct) {
+    for (const auto& spec : table5_fields()) {
+        const Field f = spec.make();
+        EXPECT_EQ(f.degree(), spec.m);
+        EXPECT_TRUE(gf2::is_irreducible(f.modulus()));
+    }
+}
+
+TEST(FieldCatalog, Labels) {
+    const auto& fields = table5_fields();
+    EXPECT_EQ(fields[0].label(), "(8,2)");
+    EXPECT_EQ(fields[2].label(), "(113,4) SECG");
+    EXPECT_EQ(fields[7].label(), "(163,66) NIST");
+}
+
+TEST(FieldCatalog, SecgAndNistTagging) {
+    int secg = 0;
+    int nist = 0;
+    for (const auto& spec : table5_fields()) {
+        if (spec.origin == "SECG") {
+            ++secg;
+            EXPECT_EQ(spec.m, 113);
+        }
+        if (spec.origin == "NIST") {
+            ++nist;
+            EXPECT_EQ(spec.m, 163);
+        }
+    }
+    EXPECT_EQ(secg, 2);
+    EXPECT_EQ(nist, 2);
+}
+
+TEST(FieldCatalog, NistDegrees) {
+    EXPECT_EQ(nist_ecdsa_degrees(), (std::vector<int>{163, 233, 283, 409, 571}));
+}
+
+TEST(FieldCatalog, PaperGf256Field) {
+    const Field f = gf256_paper_field();
+    EXPECT_EQ(f.degree(), 8);
+    EXPECT_EQ(f.modulus().support(), (std::vector<int>{0, 2, 3, 4, 8}));
+}
+
+}  // namespace
+}  // namespace gfr::field

@@ -1,0 +1,128 @@
+// Trace, half-trace and quadratic solving — the field utilities behind
+// binary-curve point decompression (examples/ecc_b163.cpp).
+
+#include "field/field_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace gfr::field {
+namespace {
+
+TEST(Trace, IsGf2Valued) {
+    const Field f = Field::type2(8, 2);
+    std::mt19937_64 rng{5};
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto a = f.random_element(rng);
+        // trace() itself throws if the value is not in {0,1}; just call it.
+        static_cast<void>(f.trace(a));
+    }
+}
+
+TEST(Trace, IsLinear) {
+    const Field f = Field::type2(113, 4);
+    std::mt19937_64 rng{6};
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto a = f.random_element(rng);
+        const auto b = f.random_element(rng);
+        EXPECT_EQ(f.trace(f.add(a, b)), f.trace(a) != f.trace(b));
+    }
+}
+
+TEST(Trace, InvariantUnderFrobenius) {
+    const Field f = Field::type2(64, 23);
+    std::mt19937_64 rng{7};
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto a = f.random_element(rng);
+        EXPECT_EQ(f.trace(a), f.trace(f.sqr(a)));
+    }
+}
+
+TEST(Trace, BalancedOverGf256) {
+    // Exactly half of all field elements have trace 1.
+    const Field f = Field::type2(8, 2);
+    int ones = 0;
+    for (std::uint64_t v = 0; v < 256; ++v) {
+        if (f.trace(f.from_bits(v))) {
+            ++ones;
+        }
+    }
+    EXPECT_EQ(ones, 128);
+}
+
+TEST(Trace, ZeroHasTraceZero) {
+    const Field f = Field::type2(163, 66);
+    EXPECT_FALSE(f.trace(f.zero()));
+}
+
+TEST(HalfTrace, RequiresOddDegree) {
+    const Field even = Field::type2(8, 2);
+    EXPECT_THROW(static_cast<void>(even.half_trace(even.one())),
+                 std::invalid_argument);
+}
+
+TEST(HalfTrace, SolvesArtinSchreier) {
+    // For odd m and Tr(c) = 0, z = H(c) satisfies z^2 + z = c.
+    const Field f = Field::type2(113, 34);
+    std::mt19937_64 rng{8};
+    int solved = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+        const auto c = f.random_element(rng);
+        if (f.trace(c)) {
+            continue;
+        }
+        const auto z = f.half_trace(c);
+        EXPECT_EQ(f.add(f.sqr(z), z), c);
+        ++solved;
+    }
+    EXPECT_GT(solved, 5);  // about half of random elements qualify
+}
+
+class QuadraticSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QuadraticSweep, SolveQuadraticRoundTrip) {
+    const auto [m, n] = GetParam();
+    const Field f = Field::type2(m, n);
+    std::mt19937_64 rng{static_cast<std::uint64_t>(m)};
+    for (int trial = 0; trial < 25; ++trial) {
+        const auto c = f.random_element(rng);
+        const auto z = f.solve_quadratic(c);
+        if (f.trace(c)) {
+            EXPECT_FALSE(z.has_value());  // Tr(c)=1: no solution exists
+        } else {
+            ASSERT_TRUE(z.has_value());
+            EXPECT_EQ(f.add(f.sqr(*z), *z), c);
+            // The second solution is z + 1.
+            const auto z2 = f.add(*z, f.one());
+            EXPECT_EQ(f.add(f.sqr(z2), z2), c);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddDegreeFields, QuadraticSweep,
+                         ::testing::Values(std::pair{113, 4}, std::pair{113, 34},
+                                           std::pair{139, 59}, std::pair{163, 66},
+                                           std::pair{163, 68}),
+                         [](const auto& info) {
+                             return "m" + std::to_string(info.param.first) + "n" +
+                                    std::to_string(info.param.second);
+                         });
+
+TEST(Quadratic, SolutionCountIsHalfTheField) {
+    // z -> z^2 + z is 2-to-1 onto the trace-0 subspace; every solvable c has
+    // exactly two roots.  Check exhaustively on a small odd field: m = 7
+    // admits the type II pentanomial (7,2).
+    const Field f = Field::type2(7, 2);
+    int solvable = 0;
+    for (std::uint64_t v = 0; v < 128; ++v) {
+        const auto c = f.from_bits(v);
+        if (f.solve_quadratic(c).has_value()) {
+            ++solvable;
+        }
+    }
+    EXPECT_EQ(solvable, 64);
+}
+
+}  // namespace
+}  // namespace gfr::field

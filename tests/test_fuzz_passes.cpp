@@ -1,0 +1,96 @@
+// Fuzz-style property tests: every synthesis pass must preserve the function
+// of randomly generated AND/XOR DAGs, across many seeds and all option
+// combinations.  This is the guard rail that lets the FPGA flow restructure
+// aggressively.
+
+#include "netlist/equivalence.h"
+#include "netlist/passes.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace gfr::netlist {
+namespace {
+
+/// Random multi-output AND/XOR DAG: XOR-heavy (matching the domain), with
+/// shared fanout and occasional constants.
+Netlist random_netlist(std::uint64_t seed) {
+    std::mt19937_64 rng{seed};
+    Netlist nl;
+    const int n_inputs = 4 + static_cast<int>(rng() % 10);
+    std::vector<NodeId> pool;
+    for (int i = 0; i < n_inputs; ++i) {
+        pool.push_back(nl.add_input("i" + std::to_string(i)));
+    }
+    const int n_gates = 10 + static_cast<int>(rng() % 60);
+    for (int g = 0; g < n_gates; ++g) {
+        const NodeId a = pool[rng() % pool.size()];
+        const NodeId b = pool[rng() % pool.size()];
+        // 3:1 XOR-to-AND mix.
+        const NodeId node = (rng() % 4 == 0) ? nl.make_and(a, b) : nl.make_xor(a, b);
+        pool.push_back(node);
+    }
+    const int n_outputs = 1 + static_cast<int>(rng() % 5);
+    for (int o = 0; o < n_outputs; ++o) {
+        nl.add_output("o" + std::to_string(o), pool[pool.size() - 1 - rng() % 8]);
+    }
+    return nl;
+}
+
+class PassFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PassFuzz, DcePreservesFunction) {
+    const Netlist nl = random_netlist(GetParam());
+    EXPECT_FALSE(check_equivalence(nl, dce(nl)).has_value());
+}
+
+TEST_P(PassFuzz, BalancePreservesFunction) {
+    const Netlist nl = random_netlist(GetParam());
+    const Netlist out = balance_xor_trees(nl);
+    EXPECT_FALSE(check_equivalence(nl, out).has_value());
+    // Balancing never increases the XOR depth.
+    EXPECT_LE(out.stats().xor_depth, nl.stats().xor_depth);
+}
+
+TEST_P(PassFuzz, FlattenPreservesFunction) {
+    const Netlist nl = random_netlist(GetParam());
+    EXPECT_FALSE(check_equivalence(nl, flatten_to_anf(nl)).has_value());
+}
+
+TEST_P(PassFuzz, GroupConesPreservesFunction) {
+    const Netlist nl = random_netlist(GetParam());
+    EXPECT_FALSE(check_equivalence(nl, group_common_cones(nl)).has_value());
+}
+
+TEST_P(PassFuzz, ExtractPairsPreservesFunction) {
+    const Netlist nl = random_netlist(GetParam());
+    EXPECT_FALSE(check_equivalence(nl, extract_common_xor_pairs(nl)).has_value());
+}
+
+TEST_P(PassFuzz, FullPipelinesPreserveFunction) {
+    const Netlist nl = random_netlist(GetParam());
+    for (const bool flatten : {false, true}) {
+        for (const bool group : {false, true}) {
+            for (const bool extract : {false, true}) {
+                const SynthOptions opts{.flatten_anf = flatten,
+                                        .group_cones = group,
+                                        .extract_pairs = extract,
+                                        .balance = true};
+                EXPECT_FALSE(check_equivalence(nl, synthesize(nl, opts)).has_value())
+                    << "flatten=" << flatten << " group=" << group
+                    << " extract=" << extract;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PassFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233,
+                                           377, 610, 987, 1597),
+                         [](const auto& info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace gfr::netlist

@@ -1,0 +1,167 @@
+// Full-pipeline integration: generator -> (synthesis) -> mapper -> LUT
+// network, verified against field arithmetic end to end, plus the Table V
+// shape claims the whole reproduction exists to demonstrate.
+
+#include "fpga/flow.h"
+#include "field/field_catalog.h"
+#include "multipliers/generator.h"
+#include "netlist/emit_vhdl.h"
+#include "netlist/simulate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+namespace gfr {
+namespace {
+
+using field::Field;
+using gf2::Poly;
+
+/// Extract element from lane bits across input words.
+Poly lane_element(const std::vector<std::uint64_t>& words, int offset, int m, int lane) {
+    Poly p;
+    for (int i = 0; i < m; ++i) {
+        if ((words[static_cast<std::size_t>(offset + i)] >> lane) & 1U) {
+            p.set_coeff(i, true);
+        }
+    }
+    return p;
+}
+
+TEST(Integration, LutNetworkMultipliesGf64Correctly) {
+    const Field fld = Field::type2(64, 23);
+    const auto nl = mult::build_multiplier(mult::Method::Date2018Flat, fld);
+    fpga::FlowOptions opts;
+    opts.synthesis_freedom = true;
+    const auto flow = fpga::run_flow(nl, opts);
+
+    std::mt19937_64 rng{2718};
+    std::vector<std::uint64_t> in(128);
+    for (int sweep = 0; sweep < 4; ++sweep) {
+        for (auto& w : in) {
+            w = rng();
+        }
+        const auto out = flow.network.simulate(in);
+        for (int lane = 0; lane < 64; lane += 7) {
+            const Poly a = lane_element(in, 0, 64, lane);
+            const Poly b = lane_element(in, 64, 64, lane);
+            const Poly expected = fld.mul(a, b);
+            for (int kk = 0; kk < 64; ++kk) {
+                ASSERT_EQ(((out[static_cast<std::size_t>(kk)] >> lane) & 1U) == 1U,
+                          expected.coeff(kk))
+                    << "lane " << lane << " c" << kk;
+            }
+        }
+    }
+}
+
+TEST(Integration, Table5ShapeAtGf28) {
+    // Run all six Table V methods through the full flow at (8,2).  The paper
+    // has "This work" winning A x T here (322.41, 4% ahead of [6]); in our
+    // model flow [6] and the proposed method land within a few percent of
+    // each other at this tiny size (see EXPERIMENTS.md), so the shape claim
+    // we pin down is: the proposed method is within 5% of the best A x T and
+    // strictly beats [7], [2], [8] and [3].
+    const Field fld = field::gf256_paper_field();
+    double best_axt = 1e100;
+    std::map<std::string, double> axt;
+    for (const auto& info : mult::all_methods()) {
+        if (!info.in_table5) {
+            continue;
+        }
+        const auto nl = mult::build_multiplier(info.method, fld);
+        fpga::FlowOptions opts;
+        opts.synthesis_freedom = info.synthesis_freedom;
+        const auto r = fpga::run_flow(nl, opts);
+        axt[std::string{info.key}] = r.area_time;
+        best_axt = std::min(best_axt, r.area_time);
+    }
+    const double this_work = axt.at("date2018");
+    EXPECT_LE(this_work, best_axt * 1.05);
+    EXPECT_LT(this_work, axt.at("imana2016"));
+    EXPECT_LT(this_work, axt.at("paar"));
+    EXPECT_LT(this_work, axt.at("rashidi"));
+    EXPECT_LT(this_work, axt.at("reyhani"));
+}
+
+TEST(Integration, Table5ShapeAtGf64) {
+    // At (64,23) — and every larger Table V field — the paper's headline
+    // reproduces strictly: "This work" has the lowest A x T outright.
+    const Field fld = Field::type2(64, 23);
+    double best_axt = 1e100;
+    std::string best_method;
+    double this_work_axt = 0;
+    for (const auto& info : mult::all_methods()) {
+        if (!info.in_table5) {
+            continue;
+        }
+        const auto nl = mult::build_multiplier(info.method, fld);
+        fpga::FlowOptions opts;
+        opts.synthesis_freedom = info.synthesis_freedom;
+        const auto r = fpga::run_flow(nl, opts);
+        if (r.area_time < best_axt) {
+            best_axt = r.area_time;
+            best_method = std::string{info.key};
+        }
+        if (info.method == mult::Method::Date2018Flat) {
+            this_work_axt = r.area_time;
+        }
+    }
+    EXPECT_EQ(best_method, "date2018");
+    EXPECT_DOUBLE_EQ(best_axt, this_work_axt);
+}
+
+TEST(Integration, FlatBeatsParenthesisedUnderTheSameFlow) {
+    // The head-to-head the paper emphasises: Table IV (flat, synthesis
+    // freedom) vs Table III ([7], hard restrictions) — flat must win A x T
+    // at (8,2) and stay no worse in delay.
+    const Field fld = field::gf256_paper_field();
+    const auto flat = mult::build_multiplier(mult::Method::Date2018Flat, fld);
+    const auto paren = mult::build_multiplier(mult::Method::Imana2016Paren, fld);
+    fpga::FlowOptions free_opts;
+    free_opts.synthesis_freedom = true;
+    const auto r_flat = fpga::run_flow(flat, free_opts);
+    const auto r_paren = fpga::run_flow(paren, fpga::FlowOptions{});
+    EXPECT_LT(r_flat.area_time, r_paren.area_time);
+    EXPECT_LE(r_flat.luts, r_paren.luts);
+}
+
+TEST(Integration, VhdlOfEveryMethodIsEmittable) {
+    const Field fld = field::gf256_paper_field();
+    for (const auto& info : mult::all_methods()) {
+        const auto nl = mult::build_multiplier(info.method, fld);
+        const auto text = netlist::emit_vhdl(nl, std::string{info.key});
+        EXPECT_NE(text.find("entity"), std::string::npos) << std::string{info.key};
+        EXPECT_GT(text.size(), 500U) << std::string{info.key};
+    }
+}
+
+TEST(Integration, WholePipelineOnSecgField) {
+    // (113,4): build -> synthesise -> map -> pack -> time; sanity on every
+    // metric plus function preservation on random vectors.
+    const Field fld = Field::type2(113, 4);
+    const auto nl = mult::build_multiplier(mult::Method::Date2018Flat, fld);
+    fpga::FlowOptions opts;
+    opts.synthesis_freedom = true;
+    const auto r = fpga::run_flow(nl, opts);
+    EXPECT_GT(r.luts, 1000);
+    EXPECT_GT(r.slices, r.luts / 4 - 1);
+    EXPECT_GT(r.delay_ns, 10.0);
+    EXPECT_LT(r.delay_ns, 40.0);
+
+    std::mt19937_64 rng{31415};
+    std::vector<std::uint64_t> in(226);
+    for (auto& w : in) {
+        w = rng();
+    }
+    const auto ref = netlist::simulate(nl, in);
+    const auto got = r.network.simulate(in);
+    for (std::size_t o = 0; o < ref.size(); ++o) {
+        ASSERT_EQ(ref[o], got[o]);
+    }
+}
+
+}  // namespace
+}  // namespace gfr

@@ -1,0 +1,107 @@
+// Rabin irreducibility test: known irreducible / reducible polynomials,
+// including all standards-track moduli the paper leans on.
+
+#include "gf2/gf2_poly.h"
+#include "gf2/irreducibility.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::gf2 {
+namespace {
+
+TEST(PrimeFactors, SmallValues) {
+    EXPECT_EQ(distinct_prime_factors(1), (std::vector<int>{}));
+    EXPECT_EQ(distinct_prime_factors(2), (std::vector<int>{2}));
+    EXPECT_EQ(distinct_prime_factors(8), (std::vector<int>{2}));
+    EXPECT_EQ(distinct_prime_factors(12), (std::vector<int>{2, 3}));
+    EXPECT_EQ(distinct_prime_factors(163), (std::vector<int>{163}));
+    EXPECT_EQ(distinct_prime_factors(113), (std::vector<int>{113}));
+    EXPECT_EQ(distinct_prime_factors(148), (std::vector<int>{2, 37}));
+    EXPECT_THROW(distinct_prime_factors(0), std::invalid_argument);
+}
+
+TEST(Irreducibility, DegreeZeroAndOne) {
+    EXPECT_FALSE(is_irreducible(Poly{}));
+    EXPECT_FALSE(is_irreducible(Poly::one()));
+    EXPECT_TRUE(is_irreducible(Poly::monomial(1)));                  // y
+    EXPECT_TRUE(is_irreducible(Poly::from_exponents({1, 0})));       // y + 1
+}
+
+TEST(Irreducibility, DegreeTwo) {
+    EXPECT_TRUE(is_irreducible(Poly::from_exponents({2, 1, 0})));    // y^2+y+1
+    EXPECT_FALSE(is_irreducible(Poly::from_exponents({2, 0})));      // (y+1)^2
+    EXPECT_FALSE(is_irreducible(Poly::from_exponents({2, 1})));      // y(y+1)
+    EXPECT_FALSE(is_irreducible(Poly::from_exponents({2})));         // y^2
+}
+
+TEST(Irreducibility, AllDegreeThree) {
+    // The two irreducible cubics over GF(2) are y^3+y+1 and y^3+y^2+1.
+    int count = 0;
+    for (int bits = 0; bits < 8; ++bits) {
+        Poly p = Poly::monomial(3);
+        for (int k = 0; k < 3; ++k) {
+            if ((bits >> k) & 1) {
+                p.set_coeff(k, true);
+            }
+        }
+        if (is_irreducible(p)) {
+            ++count;
+            EXPECT_TRUE(p == Poly::from_exponents({3, 1, 0}) ||
+                        p == Poly::from_exponents({3, 2, 0}));
+        }
+    }
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Irreducibility, CountDegree8) {
+    // Number of monic irreducible octics over GF(2) is
+    // (1/8) * sum_{d|8} mu(8/d) 2^d = (2^8 - 2^4)/8 = 30.
+    int count = 0;
+    for (int bits = 0; bits < 256; ++bits) {
+        Poly p = Poly::monomial(8);
+        for (int k = 0; k < 8; ++k) {
+            if ((bits >> k) & 1) {
+                p.set_coeff(k, true);
+            }
+        }
+        if (is_irreducible(p)) {
+            ++count;
+        }
+    }
+    EXPECT_EQ(count, 30);
+}
+
+TEST(Irreducibility, PaperGf256Modulus) {
+    EXPECT_TRUE(is_irreducible(Poly::from_exponents({8, 4, 3, 2, 0})));
+}
+
+TEST(Irreducibility, AesModulus) {
+    // The AES polynomial y^8+y^4+y^3+y+1 is irreducible (but NOT type II).
+    EXPECT_TRUE(is_irreducible(Poly::from_exponents({8, 4, 3, 1, 0})));
+}
+
+TEST(Irreducibility, NistEcdsaStandardModuli) {
+    // The actual NIST ECDSA moduli (trinomials/pentanomials from FIPS 186-4).
+    EXPECT_TRUE(is_irreducible(Poly::from_exponents({163, 7, 6, 3, 0})));
+    EXPECT_TRUE(is_irreducible(Poly::from_exponents({233, 74, 0})));
+    EXPECT_TRUE(is_irreducible(Poly::from_exponents({283, 12, 7, 5, 0})));
+    EXPECT_TRUE(is_irreducible(Poly::from_exponents({409, 87, 0})));
+    EXPECT_TRUE(is_irreducible(Poly::from_exponents({571, 10, 5, 2, 0})));
+}
+
+TEST(Irreducibility, ProductsAreRejected) {
+    const Poly f1 = Poly::from_exponents({8, 4, 3, 2, 0});
+    const Poly f2 = Poly::from_exponents({3, 1, 0});
+    EXPECT_FALSE(is_irreducible(f1 * f2));
+    EXPECT_FALSE(is_irreducible(f1 * f1));
+    EXPECT_FALSE(is_irreducible(f2 * f2));
+}
+
+TEST(Irreducibility, EvenWeightAlwaysReducible) {
+    // Even number of terms => divisible by (y+1).
+    EXPECT_FALSE(is_irreducible(Poly::from_exponents({9, 4, 3, 0})));
+    EXPECT_FALSE(is_irreducible(Poly::from_exponents({16, 5})));
+}
+
+}  // namespace
+}  // namespace gfr::gf2

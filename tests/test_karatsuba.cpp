@@ -1,0 +1,122 @@
+// Karatsuba multiplier: correctness, subquadratic AND counts, threshold
+// behaviour.
+
+#include "field/field_catalog.h"
+#include "multipliers/generator.h"
+#include "multipliers/karatsuba.h"
+#include "multipliers/verify.h"
+#include "netlist/equivalence.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::mult {
+namespace {
+
+TEST(Karatsuba, ExhaustiveGf256) {
+    const field::Field fld = field::gf256_paper_field();
+    for (const int threshold : {1, 2, 4, 8}) {
+        const auto nl = build_karatsuba(fld, KaratsubaOptions{threshold});
+        const auto failure = verify_multiplier(nl, fld);
+        EXPECT_FALSE(failure.has_value())
+            << "threshold " << threshold << ": " << failure->to_string();
+    }
+}
+
+class KaratsubaFields : public ::testing::TestWithParam<field::FieldSpec> {};
+
+TEST_P(KaratsubaFields, MatchesReference) {
+    const field::Field fld = GetParam().make();
+    const auto nl = build_karatsuba(fld);
+    const auto failure = verify_multiplier(nl, fld);
+    EXPECT_FALSE(failure.has_value()) << failure->to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Table5Fields, KaratsubaFields,
+                         ::testing::ValuesIn(field::table5_fields()),
+                         [](const auto& info) {
+                             return "m" + std::to_string(info.param.m) + "n" +
+                                    std::to_string(info.param.n);
+                         });
+
+TEST(Karatsuba, AndCountMatchesClosedFormPowerOfTwo) {
+    // For power-of-two widths every split is even and the closed form is
+    // exact.
+    for (const auto& spec : {field::FieldSpec{8, 2, ""}, field::FieldSpec{64, 23, ""}}) {
+        const field::Field fld = spec.make();
+        for (const int threshold : {4, 8}) {
+            const auto stats = build_karatsuba(fld, KaratsubaOptions{threshold}).stats();
+            EXPECT_EQ(stats.n_and, karatsuba_and_count(spec.m, threshold))
+                << spec.label() << " t=" << threshold;
+        }
+    }
+}
+
+TEST(Karatsuba, AndCountBoundedByClosedFormOddWidths) {
+    // Odd splits fold the zero-padded middle-operand top bit to a plain
+    // wire, so structural hashing merges the boundary products of the middle
+    // and high subproducts: the closed form is an upper bound.
+    for (const auto& spec :
+         {field::FieldSpec{113, 4, ""}, field::FieldSpec{163, 66, ""}}) {
+        const field::Field fld = spec.make();
+        for (const int threshold : {4, 8}) {
+            const auto stats = build_karatsuba(fld, KaratsubaOptions{threshold}).stats();
+            const long bound = karatsuba_and_count(spec.m, threshold);
+            EXPECT_LE(stats.n_and, bound) << spec.label() << " t=" << threshold;
+            EXPECT_GE(stats.n_and, bound * 9 / 10) << spec.label() << " t=" << threshold;
+        }
+    }
+}
+
+TEST(Karatsuba, SubquadraticAtScale) {
+    // At m = 163, full recursion needs far fewer than m^2 = 26569 ANDs.
+    const long full = karatsuba_and_count(163, 1);
+    EXPECT_LT(full, 7000);
+    const field::Field fld = field::Field::type2(163, 66);
+    const auto stats = build_karatsuba(fld, KaratsubaOptions{8}).stats();
+    EXPECT_LT(stats.n_and, 163 * 163 / 2);
+}
+
+TEST(Karatsuba, ThresholdTradesAndForXor) {
+    // Smaller thresholds: fewer ANDs, more XORs (the classic KOA trade).
+    const field::Field fld = field::Field::type2(64, 23);
+    const auto deep = build_karatsuba(fld, KaratsubaOptions{2}).stats();
+    const auto shallow = build_karatsuba(fld, KaratsubaOptions{16}).stats();
+    EXPECT_LT(deep.n_and, shallow.n_and);
+    EXPECT_GT(deep.n_xor, shallow.n_xor);
+}
+
+TEST(Karatsuba, ClosedFormBasics) {
+    EXPECT_EQ(karatsuba_and_count(0, 4), 0);
+    EXPECT_EQ(karatsuba_and_count(1, 4), 1);
+    EXPECT_EQ(karatsuba_and_count(4, 4), 16);   // schoolbook at threshold
+    EXPECT_EQ(karatsuba_and_count(2, 1), 3);    // classic 2-bit KOA
+    EXPECT_EQ(karatsuba_and_count(4, 1), 9);    // 3^2
+    EXPECT_EQ(karatsuba_and_count(8, 1), 27);   // 3^3
+}
+
+TEST(Karatsuba, EquivalentToSchoolbookNetlist) {
+    const field::Field fld = field::gf256_paper_field();
+    const auto koa = build_karatsuba(fld, KaratsubaOptions{2});
+    const auto school = build_multiplier(Method::SchoolReduce, fld);
+    EXPECT_FALSE(netlist::check_equivalence(koa, school).has_value());
+}
+
+TEST(Karatsuba, InvalidThresholdThrows) {
+    const field::Field fld = field::gf256_paper_field();
+    EXPECT_THROW(static_cast<void>(build_karatsuba(fld, KaratsubaOptions{0})),
+                 std::invalid_argument);
+}
+
+TEST(Karatsuba, OddWidthSplitsAreCorrect) {
+    // m = 113 forces odd splits at several recursion levels; also check an
+    // odd threshold.
+    const field::Field fld = field::Field::type2(113, 34);
+    const auto nl = build_karatsuba(fld, KaratsubaOptions{3});
+    VerifyOptions opts;
+    opts.random_sweeps = 16;
+    const auto failure = verify_multiplier(nl, fld, opts);
+    EXPECT_FALSE(failure.has_value()) << failure->to_string();
+}
+
+}  // namespace
+}  // namespace gfr::mult

@@ -1,0 +1,85 @@
+// LutNetwork container: levels, fanout, simulation semantics, Verilog.
+
+#include "fpga/lut_network.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::fpga {
+namespace {
+
+/// y = (a ^ b), z = (a ^ b) & c as a hand-built two-LUT network.
+LutNetwork two_lut_network() {
+    LutNetwork net;
+    net.input_names = {"a", "b", "c"};
+    LutNetwork::Lut l0;
+    l0.fanins = {0, 1};          // a, b
+    l0.truth = 0x6;              // XOR2: minterms 01 and 10
+    net.luts.push_back(l0);
+    LutNetwork::Lut l1;
+    l1.fanins = {3, 2};          // lut0, c
+    l1.truth = 0x8;              // AND2: minterm 11
+    net.luts.push_back(l1);
+    net.outputs = {{"y", 3}, {"z", 4}};
+    return net;
+}
+
+TEST(LutNetwork, LevelsAndDepth) {
+    const auto net = two_lut_network();
+    EXPECT_EQ(net.levels(), (std::vector<int>{1, 2}));
+    EXPECT_EQ(net.depth(), 2);
+    EXPECT_EQ(net.lut_count(), 2);
+    EXPECT_EQ(net.input_count(), 3);
+}
+
+TEST(LutNetwork, FanoutCounts) {
+    const auto net = two_lut_network();
+    const auto fo = net.fanout_counts();
+    // a,b feed lut0; c feeds lut1; lut0 feeds lut1 + output y; lut1 feeds z.
+    EXPECT_EQ(fo, (std::vector<int>{1, 1, 1, 2, 1}));
+}
+
+TEST(LutNetwork, SimulateTruthTables) {
+    const auto net = two_lut_network();
+    // Lanes: a=0101, b=0011, c=1111.
+    const auto out = net.simulate(std::vector<std::uint64_t>{0b0101, 0b0011, 0b1111});
+    ASSERT_EQ(out.size(), 2U);
+    EXPECT_EQ(out[0] & 0xF, 0b0110ULL);  // a^b
+    EXPECT_EQ(out[1] & 0xF, 0b0110ULL);  // (a^b)&1
+}
+
+TEST(LutNetwork, SimulateConstRef) {
+    LutNetwork net;
+    net.input_names = {"a"};
+    net.outputs = {{"z", LutNetwork::kConst0Ref}};
+    const auto out = net.simulate(std::vector<std::uint64_t>{~0ULL});
+    EXPECT_EQ(out[0], 0ULL);
+}
+
+TEST(LutNetwork, SimulateWrongInputCountThrows) {
+    const auto net = two_lut_network();
+    EXPECT_THROW(static_cast<void>(net.simulate(std::vector<std::uint64_t>{1})),
+                 std::invalid_argument);
+}
+
+TEST(LutNetwork, EmitVerilogLuts) {
+    const auto net = two_lut_network();
+    const auto text = emit_verilog_luts(net, "mapped");
+    EXPECT_NE(text.find("module mapped ("), std::string::npos);
+    EXPECT_NE(text.find("localparam [63:0] INIT0"), std::string::npos);
+    EXPECT_NE(text.find("localparam [63:0] INIT1"), std::string::npos);
+    EXPECT_NE(text.find("assign y = lut0;"), std::string::npos);
+    EXPECT_NE(text.find("assign z = lut1;"), std::string::npos);
+    // Truth table 0x6 rendered as 64-bit hex.
+    EXPECT_NE(text.find("64'h0000000000000006"), std::string::npos);
+}
+
+TEST(LutNetwork, EmptyNetworkDepthZero) {
+    LutNetwork net;
+    net.input_names = {"a"};
+    net.outputs = {{"y", 0}};
+    EXPECT_EQ(net.depth(), 0);
+    EXPECT_EQ(net.lut_count(), 0);
+}
+
+}  // namespace
+}  // namespace gfr::fpga

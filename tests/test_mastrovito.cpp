@@ -1,0 +1,127 @@
+// Reduction matrix Q and Mastrovito matrix M(A): checked against direct
+// polynomial arithmetic and against the paper's Table I structure.
+
+#include "field/field_catalog.h"
+#include "gf2/pentanomial.h"
+#include "mastrovito/mastrovito_matrix.h"
+#include "mastrovito/reduction_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace gfr::mastrovito {
+namespace {
+
+using gf2::Poly;
+
+TEST(ReductionMatrix, RowsMatchPolynomialArithmetic) {
+    for (const auto& spec : field::table5_fields()) {
+        const Poly f = gf2::TypeIIPentanomial{spec.m, spec.n}.poly();
+        const ReductionMatrix q{f};
+        ASSERT_EQ(q.m(), spec.m);
+        for (int i = 0; i <= spec.m - 2; i += std::max(1, spec.m / 7)) {
+            EXPECT_EQ(q.row(i), Poly::monomial(spec.m + i) % f)
+                << spec.label() << " row " << i;
+        }
+        // Last row, always.
+        EXPECT_EQ(q.row(spec.m - 2), Poly::monomial(2 * spec.m - 2) % f);
+    }
+}
+
+TEST(ReductionMatrix, Gf28FirstRow) {
+    const ReductionMatrix q{Poly::from_exponents({8, 4, 3, 2, 0})};
+    // x^8 = x^4 + x^3 + x^2 + 1.
+    EXPECT_EQ(q.row_support(0), (std::vector<int>{0, 2, 3, 4}));
+    EXPECT_TRUE(q.at(0, 0));
+    EXPECT_FALSE(q.at(0, 1));
+    EXPECT_TRUE(q.at(0, 4));
+}
+
+TEST(ReductionMatrix, Gf28ColumnSupportsMatchTable1) {
+    // Table I: the T_i appearing in each coefficient c_k.
+    const ReductionMatrix q{Poly::from_exponents({8, 4, 3, 2, 0})};
+    const std::vector<std::vector<int>> expected = {
+        {0, 4, 5, 6}, {1, 5, 6},    {0, 2, 4, 5}, {0, 1, 3, 4},
+        {0, 1, 2, 6}, {1, 2, 3},    {2, 3, 4},    {3, 4, 5},
+    };
+    for (int k = 0; k < 8; ++k) {
+        EXPECT_EQ(q.t_indices_for_coefficient(k), expected[static_cast<std::size_t>(k)])
+            << "c" << k;
+    }
+}
+
+TEST(ReductionMatrix, BoundsChecking) {
+    const ReductionMatrix q{Poly::from_exponents({8, 4, 3, 2, 0})};
+    EXPECT_THROW(static_cast<void>(q.at(-1, 0)), std::out_of_range);
+    EXPECT_THROW(static_cast<void>(q.at(7, 0)), std::out_of_range);  // rows are 0..m-2
+    EXPECT_THROW(static_cast<void>(q.at(0, 8)), std::out_of_range);
+    EXPECT_THROW(static_cast<void>(q.row(7)), std::out_of_range);
+    EXPECT_THROW(ReductionMatrix{Poly::one()}, std::invalid_argument);
+}
+
+TEST(ReductionMatrix, OnesCountGf28) {
+    // Sum of column supports of Table I: 4+3+4+4+4+3+3+3 = 28.
+    const ReductionMatrix q{Poly::from_exponents({8, 4, 3, 2, 0})};
+    EXPECT_EQ(q.ones_count(), 28);
+}
+
+TEST(MastrovitoMatrix, ProductMatchesFieldMul) {
+    std::mt19937_64 rng{321};
+    for (const auto& spec : {field::FieldSpec{8, 2, ""}, field::FieldSpec{64, 23, ""},
+                             field::FieldSpec{113, 34, ""}}) {
+        const field::Field fld = spec.make();
+        const ReductionMatrix q{fld.modulus()};
+        const MastrovitoMatrix mat{q};
+        for (int trial = 0; trial < 5; ++trial) {
+            const auto a = fld.random_element(rng);
+            const auto b = fld.random_element(rng);
+            const auto expected = fld.mul(a, b);
+            // c_k = XOR_j b_j * ( XOR of a-indices in entry(k, j) ).
+            for (int k = 0; k < fld.degree(); ++k) {
+                bool bit = false;
+                for (int j = 0; j < fld.degree(); ++j) {
+                    if (!b.coeff(j)) {
+                        continue;
+                    }
+                    for (const int idx : mat.entry(k, j)) {
+                        bit ^= a.coeff(idx);
+                    }
+                }
+                ASSERT_EQ(bit, expected.coeff(k))
+                    << spec.label() << " trial " << trial << " c" << k;
+            }
+        }
+    }
+}
+
+TEST(MastrovitoMatrix, EntriesSortedAndUnique) {
+    const ReductionMatrix q{Poly::from_exponents({8, 4, 3, 2, 0})};
+    const MastrovitoMatrix mat{q};
+    for (int k = 0; k < 8; ++k) {
+        for (int j = 0; j < 8; ++j) {
+            const auto& e = mat.entry(k, j);
+            for (std::size_t i = 1; i < e.size(); ++i) {
+                EXPECT_LT(e[i - 1], e[i]);
+            }
+            for (const int idx : e) {
+                EXPECT_GE(idx, 0);
+                EXPECT_LT(idx, 8);
+            }
+        }
+    }
+    EXPECT_THROW(static_cast<void>(mat.entry(8, 0)), std::out_of_range);
+    EXPECT_THROW(static_cast<void>(mat.entry(0, -1)), std::out_of_range);
+}
+
+TEST(MastrovitoMatrix, ColumnZeroIsPlainConvolution) {
+    // j = 0 receives no reduction contributions: entry(k,0) = {k}.
+    const ReductionMatrix q{Poly::from_exponents({8, 4, 3, 2, 0})};
+    const MastrovitoMatrix mat{q};
+    for (int k = 0; k < 8; ++k) {
+        EXPECT_EQ(mat.entry(k, 0), (std::vector<int>{k}));
+    }
+}
+
+}  // namespace
+}  // namespace gfr::mastrovito

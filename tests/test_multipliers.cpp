@@ -1,0 +1,209 @@
+// The correctness matrix: every architecture x every Table V field must
+// compute C = A*B in GF(2^m) bit-exactly, and the GF(2^8) complexity
+// signatures the paper cites ([3] 77 XOR / T_A+7T_X, [6] T_A+6T_X,
+// [7] T_A+5T_X) must emerge from our reconstructions.
+
+#include "field/field_catalog.h"
+#include "multipliers/generator.h"
+#include "multipliers/verify.h"
+#include "netlist/equivalence.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::mult {
+namespace {
+
+using field::FieldSpec;
+
+std::vector<Method> table5_methods() {
+    std::vector<Method> out;
+    for (const auto& info : all_methods()) {
+        if (info.in_table5) {
+            out.push_back(info.method);
+        }
+    }
+    return out;
+}
+
+TEST(MethodRegistry, EightMethodsSixInTable5) {
+    EXPECT_EQ(all_methods().size(), 8U);
+    EXPECT_EQ(table5_methods().size(), 6U);
+    EXPECT_EQ(method_info(Method::Date2018Flat).display, "This work");
+    EXPECT_TRUE(method_info(Method::Date2018Flat).synthesis_freedom);
+    EXPECT_FALSE(method_info(Method::Imana2016Paren).synthesis_freedom);
+}
+
+// ---------------------------------------------------------------------------
+// Functional equivalence sweep.
+
+struct Case {
+    std::string method_key;
+    Method method = Method::SchoolReduce;
+    int m = 0;
+    int n = 0;
+};
+
+class MultiplierCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MultiplierCorrectness, MatchesReferenceFieldArithmetic) {
+    const auto& param = GetParam();
+    const field::Field fld = field::Field::type2(param.m, param.n);
+    const auto nl = build_multiplier(param.method, fld);
+    const auto failure = verify_multiplier(nl, fld);
+    EXPECT_FALSE(failure.has_value()) << failure->to_string();
+}
+
+std::vector<Case> correctness_cases() {
+    std::vector<Case> cases;
+    for (const auto& info : all_methods()) {
+        for (const auto& spec : field::table5_fields()) {
+            cases.push_back(Case{std::string{info.key}, info.method, spec.m, spec.n});
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethodsAllFields, MultiplierCorrectness,
+                         ::testing::ValuesIn(correctness_cases()),
+                         [](const auto& info) {
+                             return info.param.method_key + "_m" +
+                                    std::to_string(info.param.m) + "n" +
+                                    std::to_string(info.param.n);
+                         });
+
+// ---------------------------------------------------------------------------
+// Cross-method equivalence at GF(2^8): all architectures are literally the
+// same Boolean function (exhaustive over all 65536 operand pairs).
+
+TEST(CrossMethod, AllGf28MultipliersEquivalent) {
+    const field::Field fld = field::gf256_paper_field();
+    const auto reference = build_multiplier(Method::SchoolReduce, fld);
+    for (const auto& info : all_methods()) {
+        const auto nl = build_multiplier(info.method, fld);
+        const auto mm = netlist::check_equivalence(reference, nl);
+        EXPECT_FALSE(mm.has_value())
+            << std::string{info.key} << ": " << mm->to_string();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural signatures at (m,n) = (8,2).
+
+TEST(Signatures, EveryMethodUses64AndGatesAtGf28) {
+    // All schoolbook-based bit-parallel PB multipliers need all m^2 partial
+    // products; Karatsuba is the one subquadratic exception.
+    const field::Field fld = field::gf256_paper_field();
+    for (const auto& info : all_methods()) {
+        const auto stats = build_multiplier(info.method, fld).stats();
+        if (info.method == Method::Karatsuba) {
+            EXPECT_LE(stats.n_and, 64) << std::string{info.key};
+        } else {
+            EXPECT_EQ(stats.n_and, 64) << std::string{info.key};
+        }
+        EXPECT_EQ(stats.and_depth, 1) << std::string{info.key};
+    }
+}
+
+TEST(Signatures, Imana2016ParenIsTa5Tx) {
+    // Paper Section II: "the delay complexity is T_A + 5T_X" for Table III.
+    const auto stats =
+        build_multiplier(Method::Imana2016Paren, field::gf256_paper_field()).stats();
+    EXPECT_EQ(stats.xor_depth, 5);
+    EXPECT_EQ(stats.delay_string(), "T_A + 5T_X");
+}
+
+TEST(Signatures, Imana2012IsTa6Tx) {
+    // Paper Section II: [6] has delay T_A + 6T_X at GF(2^8).
+    const auto stats =
+        build_multiplier(Method::Imana2012, field::gf256_paper_field()).stats();
+    EXPECT_EQ(stats.xor_depth, 6);
+}
+
+TEST(Signatures, ReyhaniHasanIsTa7TxWith77Xor) {
+    // Paper Section II: [3] has delay T_A + 7T_X and 77 XOR gates at GF(2^8).
+    const auto stats =
+        build_multiplier(Method::ReyhaniHasan, field::gf256_paper_field()).stats();
+    EXPECT_EQ(stats.xor_depth, 7);
+    EXPECT_EQ(stats.n_xor, 77);
+}
+
+TEST(Signatures, RashidiDirectHasLowestDepth) {
+    // Our [8] reconstruction targets minimum depth: T_A + 5T_X at (8,2)
+    // (the largest coefficient sums 20 products; ceil(log2 20) = 5).
+    const auto stats =
+        build_multiplier(Method::RashidiDirect, field::gf256_paper_field()).stats();
+    EXPECT_EQ(stats.xor_depth, 5);
+}
+
+TEST(Signatures, DepthOrderingAcrossMethods) {
+    // [7] (and the flat form it feeds) never loses to [6] or [3] on depth.
+    const field::Field fld = field::gf256_paper_field();
+    const int d7 = build_multiplier(Method::Imana2016Paren, fld).stats().xor_depth;
+    const int d6 = build_multiplier(Method::Imana2012, fld).stats().xor_depth;
+    const int d3 = build_multiplier(Method::ReyhaniHasan, fld).stats().xor_depth;
+    EXPECT_LE(d7, d6);
+    EXPECT_LE(d6, d3);
+}
+
+class ParenDepthSweep : public ::testing::TestWithParam<FieldSpec> {};
+
+TEST_P(ParenDepthSweep, SplitPairingNeverWorseThanMonolithic) {
+    // The whole point of [7]: level-aware pairing of split terms reduces (or
+    // at least never increases) XOR depth versus monolithic S/T trees.
+    const auto spec = GetParam();
+    const field::Field fld = spec.make();
+    const int paren = build_multiplier(Method::Imana2016Paren, fld).stats().xor_depth;
+    const int mono = build_multiplier(Method::Imana2012, fld).stats().xor_depth;
+    EXPECT_LE(paren, mono) << spec.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(Table5Fields, ParenDepthSweep,
+                         ::testing::ValuesIn(field::table5_fields()),
+                         [](const auto& info) {
+                             return "m" + std::to_string(info.param.m) + "n" +
+                                    std::to_string(info.param.n);
+                         });
+
+TEST(Signatures, SchoolReduceIsDeepest) {
+    // The naive baseline's chained reduction exceeds every Table V method.
+    const field::Field fld = field::gf256_paper_field();
+    const int school = build_multiplier(Method::SchoolReduce, fld).stats().xor_depth;
+    for (const auto m : table5_methods()) {
+        EXPECT_GE(school, build_multiplier(m, fld).stats().xor_depth);
+    }
+}
+
+TEST(Signatures, GenericPolynomialSupport) {
+    // Generators accept any irreducible modulus, not just type II: the AES
+    // polynomial works too (the field GF(2^8) "used in ... AES", Section I).
+    const field::Field aes{gf2::Poly::from_exponents({8, 4, 3, 1, 0})};
+    for (const auto& info : all_methods()) {
+        const auto nl = build_multiplier(info.method, aes);
+        const auto failure = verify_multiplier(nl, aes);
+        EXPECT_FALSE(failure.has_value())
+            << std::string{info.key} << ": " << failure->to_string();
+    }
+}
+
+TEST(Signatures, TrinomialFieldSupport) {
+    // GF(2^233) with the NIST trinomial y^233 + y^74 + 1.
+    const field::Field f233{gf2::Poly::from_exponents({233, 74, 0})};
+    const auto nl = build_multiplier(Method::Date2018Flat, f233);
+    VerifyOptions opts;
+    opts.random_sweeps = 8;  // keep the big-field check quick
+    const auto failure = verify_multiplier(nl, f233, opts);
+    EXPECT_FALSE(failure.has_value()) << failure->to_string();
+}
+
+TEST(Ports, CanonicalNaming) {
+    const auto nl =
+        build_multiplier(Method::Date2018Flat, field::gf256_paper_field());
+    ASSERT_EQ(nl.inputs().size(), 16U);
+    ASSERT_EQ(nl.outputs().size(), 8U);
+    EXPECT_EQ(nl.inputs()[0].name, "a0");
+    EXPECT_EQ(nl.inputs()[8].name, "b0");
+    EXPECT_EQ(nl.outputs()[7].name, "c7");
+}
+
+}  // namespace
+}  // namespace gfr::mult

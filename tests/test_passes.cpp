@@ -1,0 +1,245 @@
+// Synthesis passes: every pass must preserve function; balancing must reach
+// optimal depth; pair extraction must find cross-output sharing.
+
+#include "netlist/equivalence.h"
+#include "netlist/passes.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::netlist {
+namespace {
+
+Netlist chain_xor_circuit(int n_inputs) {
+    Netlist nl;
+    std::vector<NodeId> leaves;
+    for (int i = 0; i < n_inputs; ++i) {
+        leaves.push_back(nl.add_input("i" + std::to_string(i)));
+    }
+    nl.add_output("y", nl.make_xor_tree(leaves, TreeShape::Chain));
+    return nl;
+}
+
+TEST(Dce, DropsUnreachableGates) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto keep = nl.make_and(a, b);
+    nl.make_xor(a, b);  // dead
+    nl.add_output("y", keep);
+
+    const Netlist cleaned = dce(nl);
+    EXPECT_EQ(cleaned.stats().n_and, 1);
+    EXPECT_EQ(cleaned.stats().n_xor, 0);
+    EXPECT_EQ(cleaned.node_count(), 3U);  // a, b, AND
+    EXPECT_FALSE(check_equivalence(nl, cleaned).has_value());
+}
+
+TEST(Dce, PreservesUnusedInputsInOrder) {
+    Netlist nl;
+    nl.add_input("a");
+    const auto b = nl.add_input("b");
+    nl.add_input("c");
+    nl.add_output("y", b);
+    const Netlist cleaned = dce(nl);
+    ASSERT_EQ(cleaned.inputs().size(), 3U);
+    EXPECT_EQ(cleaned.inputs()[0].name, "a");
+    EXPECT_EQ(cleaned.inputs()[2].name, "c");
+}
+
+TEST(Balance, ChainBecomesLogDepth) {
+    const Netlist chain = chain_xor_circuit(16);
+    EXPECT_EQ(chain.stats().xor_depth, 15);
+    const Netlist balanced = balance_xor_trees(chain);
+    EXPECT_EQ(balanced.stats().xor_depth, 4);
+    EXPECT_EQ(balanced.stats().n_xor, 15);
+    EXPECT_FALSE(check_equivalence(chain, balanced).has_value());
+}
+
+TEST(Balance, RespectsSharedSubtrees) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto c = nl.add_input("c");
+    const auto d = nl.add_input("d");
+    const auto shared = nl.make_xor(a, b);  // multi-fanout: must stay a unit
+    nl.add_output("y1", nl.make_xor(nl.make_xor(shared, c), d));
+    nl.add_output("y2", nl.make_xor(shared, d));
+    const Netlist balanced = balance_xor_trees(nl);
+    EXPECT_FALSE(check_equivalence(nl, balanced).has_value());
+    // Sharing not destroyed: still at most 4 XOR gates.
+    EXPECT_LE(balanced.stats().n_xor, 4);
+}
+
+TEST(Balance, DuplicateLeavesCancel) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto c = nl.add_input("c");
+    // (a^b) ^ (b^c) == a^c; flattening must cancel the duplicated b.
+    const auto left = nl.make_xor(a, b);
+    const auto right = nl.make_xor(b, c);
+    nl.add_output("y", nl.make_xor(left, right));
+    const Netlist balanced = balance_xor_trees(nl);
+    EXPECT_FALSE(check_equivalence(nl, balanced).has_value());
+    EXPECT_EQ(balanced.stats().n_xor, 1);  // just a ^ c
+}
+
+TEST(Balance, AndGatesUntouched) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    nl.add_output("y", nl.make_and(a, b));
+    const Netlist balanced = balance_xor_trees(nl);
+    EXPECT_EQ(balanced.stats().n_and, 1);
+    EXPECT_FALSE(check_equivalence(nl, balanced).has_value());
+}
+
+TEST(ExtractPairs, SharesCommonPairAcrossOutputs) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto c = nl.add_input("c");
+    const auto d = nl.add_input("d");
+    // y1 = a^b^c, y2 = a^b^d: the pair (a,b) occurs in both outputs.
+    nl.add_output("y1", nl.make_xor(nl.make_xor(a, b), c));
+    nl.add_output("y2", nl.make_xor(nl.make_xor(a, b), d));
+    const Netlist shared = extract_common_xor_pairs(nl);
+    EXPECT_FALSE(check_equivalence(nl, shared).has_value());
+    // a^b built once, plus one XOR per output = 3 total.
+    EXPECT_EQ(shared.stats().n_xor, 3);
+}
+
+TEST(ExtractPairs, NoFalseSharing) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto c = nl.add_input("c");
+    const auto d = nl.add_input("d");
+    nl.add_output("y1", nl.make_xor(a, b));
+    nl.add_output("y2", nl.make_xor(c, d));
+    const Netlist shared = extract_common_xor_pairs(nl);
+    EXPECT_FALSE(check_equivalence(nl, shared).has_value());
+    EXPECT_EQ(shared.stats().n_xor, 2);
+}
+
+TEST(ExtractPairs, CascadedSharing) {
+    // Three outputs all containing {a,b,c}: after extracting (a,b), the pair
+    // ((a^b), c) appears 3 times and is extracted next.
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto c = nl.add_input("c");
+    const auto d = nl.add_input("d");
+    const auto e = nl.add_input("e");
+    const auto f = nl.add_input("f");
+    auto mk = [&](NodeId extra) {
+        return nl.make_xor(nl.make_xor(nl.make_xor(a, b), c), extra);
+    };
+    nl.add_output("y1", mk(d));
+    nl.add_output("y2", mk(e));
+    nl.add_output("y3", mk(f));
+    const Netlist shared = extract_common_xor_pairs(nl);
+    EXPECT_FALSE(check_equivalence(nl, shared).has_value());
+    // a^b (1), (a^b)^c (1), plus one XOR per output: 5 total, versus 9 naive.
+    EXPECT_EQ(shared.stats().n_xor, 5);
+}
+
+TEST(Synthesize, PipelinePreservesFunction) {
+    const Netlist chain = chain_xor_circuit(24);
+    for (const bool flatten : {false, true}) {
+        for (const bool group : {false, true}) {
+            for (const bool extract : {false, true}) {
+                for (const bool balance : {false, true}) {
+                    const Netlist out = synthesize(
+                        chain, SynthOptions{.flatten_anf = flatten,
+                                            .group_cones = group,
+                                            .extract_pairs = extract,
+                                            .balance = balance});
+                    EXPECT_FALSE(check_equivalence(chain, out).has_value())
+                        << "flatten=" << flatten << " group=" << group
+                        << " extract=" << extract << " balance=" << balance;
+                    if (balance || flatten || group) {
+                        EXPECT_LE(out.stats().xor_depth, 5);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(FlattenAnf, CollapsesSharedStructure) {
+    // y1 = (a^b)^c and y2 = (a^b)^d via a shared node: flattening removes the
+    // shared unit and rebuilds each output as a flat XOR over {a,b,c/d}.
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto c = nl.add_input("c");
+    const auto d = nl.add_input("d");
+    const auto shared = nl.make_xor(a, b);
+    nl.add_output("y1", nl.make_xor(shared, c));
+    nl.add_output("y2", nl.make_xor(shared, d));
+    const Netlist flat = flatten_to_anf(nl);
+    EXPECT_FALSE(check_equivalence(nl, flat).has_value());
+    EXPECT_EQ(flat.stats().xor_depth, 2);
+}
+
+TEST(FlattenAnf, CancelsDuplicateProducts) {
+    // (a^b) ^ (b^c) flattens to a^c.
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto c = nl.add_input("c");
+    nl.add_output("y", nl.make_xor(nl.make_xor(a, b), nl.make_xor(b, c)));
+    const Netlist flat = flatten_to_anf(nl);
+    EXPECT_FALSE(check_equivalence(nl, flat).has_value());
+    EXPECT_EQ(flat.stats().n_xor, 1);
+}
+
+TEST(FlattenAnf, NonXorOutputsSurvive) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    nl.add_output("y", nl.make_and(a, b));
+    const Netlist flat = flatten_to_anf(nl);
+    EXPECT_FALSE(check_equivalence(nl, flat).has_value());
+    EXPECT_EQ(flat.stats().n_and, 1);
+}
+
+TEST(Balance, HeightAwareOverDeepSharedUnit) {
+    // A deep shared unit (multi-fanout chain) plus shallow leaves: the
+    // height-aware rebuild must put the deep unit near the root, achieving
+    // depth(unit) + 1 rather than depth(unit) + log2(n).
+    Netlist nl;
+    std::vector<NodeId> chain_leaves;
+    for (int i = 0; i < 9; ++i) {
+        chain_leaves.push_back(nl.add_input("u" + std::to_string(i)));
+    }
+    const auto deep = nl.make_xor_tree(chain_leaves, TreeShape::Chain);  // depth 8
+    nl.add_output("keep_shared", deep);  // gives the unit fanout > 1
+    std::vector<NodeId> leaves{deep};
+    for (int i = 0; i < 7; ++i) {
+        leaves.push_back(nl.add_input("v" + std::to_string(i)));
+    }
+    nl.add_output("y", nl.make_xor_tree(leaves, TreeShape::Chain));
+    const Netlist balanced = balance_xor_trees(nl);
+    EXPECT_FALSE(check_equivalence(nl, balanced).has_value());
+    // Unit depth 8 (its own tree is balanced to 4 actually: the unit itself
+    // gets rebuilt depth-optimally too: ceil(log2 9) = 4), plus the 7 extra
+    // leaves combine beside it: total depth 5, not 4 + 3.
+    EXPECT_LE(balanced.stats().xor_depth, 5);
+}
+
+TEST(Synthesize, OutputsDrivenByInputsSurvive) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    nl.add_input("b");
+    nl.add_output("y", a);
+    for (const bool extract : {false, true}) {
+        const Netlist out = synthesize(nl, SynthOptions{extract, true});
+        ASSERT_EQ(out.outputs().size(), 1U);
+        EXPECT_FALSE(check_equivalence(nl, out).has_value());
+    }
+}
+
+}  // namespace
+}  // namespace gfr::netlist

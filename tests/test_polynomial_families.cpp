@@ -1,0 +1,103 @@
+// Type I pentanomials, trinomials and the preferred-modulus selector.
+
+#include "gf2/irreducibility.h"
+#include "gf2/pentanomial.h"
+#include "multipliers/generator.h"
+#include "multipliers/verify.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::gf2 {
+namespace {
+
+TEST(TypeIPentanomial, ParameterValidity) {
+    EXPECT_TRUE(TypeIPentanomial::valid_parameters(8, 2));
+    EXPECT_TRUE(TypeIPentanomial::valid_parameters(8, 5));
+    EXPECT_FALSE(TypeIPentanomial::valid_parameters(8, 6));  // y^7 collides... n+1 = 7 < 8 but n <= m-3
+    EXPECT_FALSE(TypeIPentanomial::valid_parameters(8, 1));  // y^n = y collides
+    EXPECT_THROW((TypeIPentanomial{8, 6}.poly()), std::invalid_argument);
+}
+
+TEST(TypeIPentanomial, PolyShape) {
+    const Poly f = TypeIPentanomial{8, 3}.poly();
+    EXPECT_EQ(f, Poly::from_exponents({8, 4, 3, 1, 0}));  // the AES polynomial!
+    EXPECT_EQ(f.weight(), 5);
+}
+
+TEST(TypeIPentanomial, AesModulusIsTypeI) {
+    // The AES field modulus y^8+y^4+y^3+y+1 is the type I pentanomial (8,3).
+    EXPECT_TRUE(is_type1_irreducible(8, 3));
+}
+
+TEST(TypeIPentanomial, SearchFindsKnownFamilies) {
+    const auto ns = type1_irreducible_ns(8);
+    EXPECT_NE(std::find(ns.begin(), ns.end(), 3), ns.end());
+    for (const int n : ns) {
+        EXPECT_TRUE(is_irreducible(TypeIPentanomial{8, n}.poly()));
+    }
+}
+
+TEST(Trinomial, KnownIrreducibleTrinomials) {
+    // Classic table entries.
+    const auto k7 = irreducible_trinomial_ks(7);
+    EXPECT_NE(std::find(k7.begin(), k7.end(), 1), k7.end());  // y^7+y+1
+    const auto k233 = irreducible_trinomial_ks(233);
+    EXPECT_NE(std::find(k233.begin(), k233.end(), 74), k233.end());  // NIST K/B-233
+}
+
+TEST(Trinomial, MultiplesOfEightHaveNone) {
+    // Swan's theorem: no irreducible trinomial exists for degree = 0 mod 8.
+    for (const int m : {8, 16, 24, 32, 64}) {
+        EXPECT_TRUE(irreducible_trinomial_ks(m).empty()) << "m=" << m;
+    }
+}
+
+TEST(Trinomial, SymmetryOfReciprocals) {
+    // y^m + y^k + 1 irreducible iff y^m + y^(m-k) + 1 irreducible.
+    for (const int m : {7, 9, 15, 23}) {
+        const auto ks = irreducible_trinomial_ks(m);
+        for (const int k : ks) {
+            EXPECT_NE(std::find(ks.begin(), ks.end(), m - k), ks.end())
+                << "m=" << m << " k=" << k;
+        }
+    }
+}
+
+TEST(PreferredModulus, FollowsSelectionOrder) {
+    // m = 233: trinomial exists -> picks weight 3.
+    const auto f233 = preferred_low_weight_modulus(233);
+    ASSERT_TRUE(f233.has_value());
+    EXPECT_EQ(f233->weight(), 3);
+    // m = 8: no trinomial -> type II pentanomial (8,2).
+    const auto f8 = preferred_low_weight_modulus(8);
+    ASSERT_TRUE(f8.has_value());
+    EXPECT_EQ(*f8, Poly::from_exponents({8, 4, 3, 2, 0}));
+    // Degenerate degrees.
+    EXPECT_FALSE(preferred_low_weight_modulus(1).has_value());
+}
+
+TEST(PreferredModulus, AlwaysIrreducibleUpTo64) {
+    for (int m = 2; m <= 64; ++m) {
+        const auto f = preferred_low_weight_modulus(m);
+        ASSERT_TRUE(f.has_value()) << "m=" << m;
+        EXPECT_TRUE(is_irreducible(*f)) << "m=" << m;
+        EXPECT_EQ(f->degree(), m);
+        EXPECT_LE(f->weight(), 5);
+    }
+}
+
+TEST(PreferredModulus, MultipliersWorkOnPreferredModuli) {
+    // The generators are polynomial-agnostic: exhaustively verify the
+    // proposed method over the preferred modulus for several degrees.
+    for (const int m : {4, 6, 8}) {
+        const auto f = preferred_low_weight_modulus(m);
+        ASSERT_TRUE(f.has_value());
+        const field::Field fld{*f};
+        const auto nl = mult::build_multiplier(mult::Method::Date2018Flat, fld);
+        const auto failure = mult::verify_multiplier(nl, fld);
+        EXPECT_FALSE(failure.has_value()) << "m=" << m << ": " << failure->to_string();
+    }
+}
+
+}  // namespace
+}  // namespace gfr::gf2

@@ -1,0 +1,62 @@
+// ASCII table renderer.
+
+#include "report/table.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::report {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+    TextTable t{{"Method", "LUTs", "Time"}};
+    t.add_row({"[2]", "34", "9.86"});
+    t.add_row({"This work", "33", "9.77"});
+    const auto text = t.render();
+    EXPECT_NE(text.find("| Method    |"), std::string::npos);
+    EXPECT_NE(text.find("| This work |"), std::string::npos);
+    EXPECT_NE(text.find("+-"), std::string::npos);
+    // Every line has the same width.
+    std::size_t width = 0;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const auto end = text.find('\n', start);
+        const auto len = end - start;
+        if (width == 0) {
+            width = len;
+        }
+        EXPECT_EQ(len, width);
+        start = end + 1;
+    }
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+    TextTable t{{"A"}};
+    t.add_row({"1"});
+    t.add_rule();
+    t.add_row({"2"});
+    const auto text = t.render();
+    // Header rule + top + inserted + bottom = 4 rules.
+    std::size_t rules = 0;
+    for (std::size_t pos = text.find("+-"); pos != std::string::npos;
+         pos = text.find("+-", pos + 1)) {
+        ++rules;
+    }
+    EXPECT_GE(rules, 4U);
+}
+
+TEST(TextTable, WrongCellCountThrows) {
+    TextTable t{{"A", "B"}};
+    EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+    EXPECT_THROW(TextTable{{}}, std::invalid_argument);
+}
+
+TEST(Fmt, FixedPoint) {
+    EXPECT_EQ(fmt(9.77, 2), "9.77");
+    EXPECT_EQ(fmt(322.406, 2), "322.41");  // rounds up
+    EXPECT_EQ(fmt(9.774, 2), "9.77");      // rounds down
+    EXPECT_EQ(fmt(20.0, 2), "20.00");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+}
+
+}  // namespace
+}  // namespace gfr::report

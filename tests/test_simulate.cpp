@@ -1,0 +1,105 @@
+// Word-parallel simulation against hand-computed truth tables.
+
+#include "netlist/simulate.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::netlist {
+namespace {
+
+TEST(Simulate, AndXorLanes) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    nl.add_output("and", nl.make_and(a, b));
+    nl.add_output("xor", nl.make_xor(a, b));
+
+    const std::vector<std::uint64_t> in = {0b0101, 0b0011};
+    const auto out = simulate(nl, in);
+    ASSERT_EQ(out.size(), 2U);
+    EXPECT_EQ(out[0], 0b0001ULL);
+    EXPECT_EQ(out[1], 0b0110ULL);
+}
+
+TEST(Simulate, ConstantZero) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    nl.add_output("z", nl.make_xor(a, a));
+    const auto out = simulate(nl, std::vector<std::uint64_t>{~0ULL});
+    EXPECT_EQ(out[0], 0ULL);
+}
+
+TEST(Simulate, WrongInputCountThrows) {
+    Netlist nl;
+    nl.add_input("a");
+    nl.add_input("b");
+    Simulator sim{nl};
+    EXPECT_THROW(sim.run(std::vector<std::uint64_t>{1}), std::invalid_argument);
+}
+
+TEST(Simulate, SimulatorReuse) {
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    nl.add_output("y", nl.make_xor(a, b));
+    Simulator sim{nl};
+    EXPECT_EQ(sim.run(std::vector<std::uint64_t>{0xF0, 0x0F})[0], 0xFFULL);
+    EXPECT_EQ(sim.run(std::vector<std::uint64_t>{0xFF, 0x0F})[0], 0xF0ULL);
+}
+
+TEST(Simulate, ExhaustivePatternInWordVariables) {
+    // Input i < 6: the canonical truth-table masks; independent of block.
+    EXPECT_EQ(exhaustive_pattern(0, 0), 0xAAAAAAAAAAAAAAAAULL);
+    EXPECT_EQ(exhaustive_pattern(5, 7), 0xFFFFFFFF00000000ULL);
+}
+
+TEST(Simulate, ExhaustivePatternBlockVariables) {
+    EXPECT_EQ(exhaustive_pattern(6, 0), 0ULL);
+    EXPECT_EQ(exhaustive_pattern(6, 1), ~0ULL);
+    EXPECT_EQ(exhaustive_pattern(7, 1), 0ULL);
+    EXPECT_EQ(exhaustive_pattern(7, 2), ~0ULL);
+    EXPECT_THROW(exhaustive_pattern(-1, 0), std::invalid_argument);
+}
+
+TEST(Simulate, ExhaustiveEnumerationCoversAllAssignments) {
+    // 8 inputs -> 4 blocks x 64 lanes = 256 distinct assignments.
+    const int n = 8;
+    std::vector<bool> seen(1U << n, false);
+    for (std::uint64_t block = 0; block < 4; ++block) {
+        for (int lane = 0; lane < 64; ++lane) {
+            unsigned idx = 0;
+            for (int i = 0; i < n; ++i) {
+                idx |= static_cast<unsigned>((exhaustive_pattern(i, block) >> lane) & 1U)
+                       << i;
+            }
+            seen[idx] = true;
+        }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_TRUE(seen[i]) << "assignment " << i << " never generated";
+    }
+}
+
+TEST(Simulate, MajorityCircuit) {
+    // maj(a,b,c) = ab ^ ac ^ bc — verify against all 8 assignments.
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto c = nl.add_input("c");
+    const auto t = nl.make_xor(nl.make_and(a, b), nl.make_and(a, c));
+    nl.add_output("maj", nl.make_xor(t, nl.make_and(b, c)));
+
+    std::vector<std::uint64_t> in = {exhaustive_pattern(0, 0), exhaustive_pattern(1, 0),
+                                     exhaustive_pattern(2, 0)};
+    const auto out = simulate(nl, in);
+    for (int lane = 0; lane < 8; ++lane) {
+        const int av = (lane >> 0) & 1;
+        const int bv = (lane >> 1) & 1;
+        const int cv = (lane >> 2) & 1;
+        const int expected = (av + bv + cv >= 2) ? 1 : 0;
+        EXPECT_EQ(static_cast<int>((out[0] >> lane) & 1), expected) << "lane " << lane;
+    }
+}
+
+}  // namespace
+}  // namespace gfr::netlist

@@ -1,0 +1,126 @@
+// Slice packer and timing model.
+
+#include "fpga/priority_cuts.h"
+#include "fpga/slice_pack.h"
+#include "fpga/timing_model.h"
+#include "field/field_catalog.h"
+#include "multipliers/generator.h"
+#include "netlist/passes.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::fpga {
+namespace {
+
+LutNetwork mapped_gf28() {
+    const field::Field fld = field::gf256_paper_field();
+    const auto nl = mult::build_multiplier(mult::Method::Date2018Flat, fld);
+    return map_to_luts(nl);
+}
+
+TEST(SlicePack, EveryLutAssignedExactlyOnce) {
+    const auto net = mapped_gf28();
+    const auto result = pack_slices(net);
+    ASSERT_EQ(result.slice_of.size(), net.luts.size());
+    std::vector<int> occupancy(static_cast<std::size_t>(result.n_slices), 0);
+    for (const int s : result.slice_of) {
+        ASSERT_GE(s, 0);
+        ASSERT_LT(s, result.n_slices);
+        ++occupancy[static_cast<std::size_t>(s)];
+    }
+    for (const int occ : occupancy) {
+        EXPECT_GE(occ, 1);
+        EXPECT_LE(occ, 4);
+    }
+}
+
+TEST(SlicePack, RatioInPlausibleArtix7Range) {
+    // Table V shows ~2.3-3.2 LUTs per slice across designs; our packer
+    // should land in a similar partially-filled regime, never at the
+    // theoretical 4.0 and never fully scattered at 1.0 for real designs.
+    const auto net = mapped_gf28();
+    const auto result = pack_slices(net);
+    EXPECT_GT(result.avg_fill, 1.2);
+    EXPECT_LE(result.avg_fill, 4.0);
+}
+
+TEST(SlicePack, CapacityRespected) {
+    const auto net = mapped_gf28();
+    SliceOptions opts;
+    opts.luts_per_slice = 1;
+    const auto result = pack_slices(net, opts);
+    EXPECT_EQ(result.n_slices, net.lut_count());
+    EXPECT_THROW(static_cast<void>(pack_slices(net, SliceOptions{0})),
+                 std::invalid_argument);
+}
+
+TEST(SlicePack, MoreCapacityNeverMoreSlices) {
+    const auto net = mapped_gf28();
+    int prev = std::numeric_limits<int>::max();
+    for (const int cap : {1, 2, 4, 8}) {
+        SliceOptions opts;
+        opts.luts_per_slice = cap;
+        const int slices = pack_slices(net, opts).n_slices;
+        EXPECT_LE(slices, prev) << "cap=" << cap;
+        prev = slices;
+    }
+}
+
+TEST(Timing, CongestionGrowsWithSize) {
+    const TimingModel model;
+    EXPECT_DOUBLE_EQ(model.congestion(1), 1.0);
+    EXPECT_DOUBLE_EQ(model.congestion(33), 1.0);
+    EXPECT_GT(model.congestion(330), model.congestion(33));
+    EXPECT_GT(model.congestion(11000), model.congestion(330));
+}
+
+TEST(Timing, NetDelayGrowsWithFanout) {
+    const TimingModel model;
+    EXPECT_GT(model.net_delay(16, 1.0), model.net_delay(2, 1.0));
+    EXPECT_GT(model.net_delay(2, 2.0), model.net_delay(2, 1.0));
+}
+
+TEST(Timing, CriticalPathDominatedByIoForTinyDesigns) {
+    // A single LUT: path = t_io_in + net + t_lut + net + t_io_out ~ 7-8 ns.
+    LutNetwork net;
+    net.input_names = {"a", "b"};
+    LutNetwork::Lut l;
+    l.fanins = {0, 1};
+    l.truth = 0x8;
+    net.luts.push_back(l);
+    net.outputs = {{"y", 2}};
+    const double ns = critical_path_ns(net);
+    EXPECT_GT(ns, 6.0);
+    EXPECT_LT(ns, 9.0);
+}
+
+TEST(Timing, DeeperNetworksAreSlower) {
+    const field::Field fld = field::gf256_paper_field();
+    const auto nl = mult::build_multiplier(mult::Method::SchoolReduce, fld);
+    const auto nl_fast = mult::build_multiplier(mult::Method::Imana2016Paren, fld);
+    const auto slow = map_to_luts(netlist::dce(nl));
+    const auto fast = map_to_luts(netlist::dce(nl_fast));
+    if (slow.depth() > fast.depth()) {
+        EXPECT_GT(critical_path_ns(slow), critical_path_ns(fast));
+    }
+}
+
+TEST(Timing, Gf28LandsNearPaperWindow) {
+    // Calibration sanity: all paper (8,2) rows sit in 9.6-10.1 ns; our model
+    // must land in a comparable window for the mapped proposed multiplier.
+    const auto net = mapped_gf28();
+    const double ns = critical_path_ns(net);
+    EXPECT_GT(ns, 8.0);
+    EXPECT_LT(ns, 12.0);
+}
+
+TEST(Timing, ConstOutputsCostOnlyIo) {
+    LutNetwork net;
+    net.input_names = {"a"};
+    net.outputs = {{"y", LutNetwork::kConst0Ref}};
+    const double ns = critical_path_ns(net);
+    EXPECT_LT(ns, 5.0);
+}
+
+}  // namespace
+}  // namespace gfr::fpga

@@ -1,0 +1,167 @@
+// Squarer, constant-multiplier and reducer netlists: XOR-only structure and
+// bit-exact agreement with reference field arithmetic.
+
+#include "field/field_catalog.h"
+#include "multipliers/special.h"
+#include "netlist/simulate.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace gfr::mult {
+namespace {
+
+using field::Field;
+using gf2::Poly;
+
+/// Evaluate a single-operand netlist on one element (lane 0).
+Poly eval_unary(const netlist::Netlist& nl, const Poly& a, int n_inputs) {
+    std::vector<std::uint64_t> in(static_cast<std::size_t>(n_inputs), 0);
+    for (int i = 0; i < n_inputs; ++i) {
+        in[static_cast<std::size_t>(i)] = a.coeff(i) ? 1 : 0;
+    }
+    const auto out = netlist::simulate(nl, in);
+    Poly c;
+    for (std::size_t k = 0; k < out.size(); ++k) {
+        if (out[k] & 1U) {
+            c.set_coeff(static_cast<int>(k), true);
+        }
+    }
+    return c;
+}
+
+TEST(Squarer, XorOnly) {
+    const Field fld = field::gf256_paper_field();
+    const auto nl = build_squarer(fld);
+    const auto stats = nl.stats();
+    EXPECT_EQ(stats.n_and, 0);
+    EXPECT_GT(stats.n_xor, 0);
+    EXPECT_EQ(stats.and_depth, 0);
+}
+
+TEST(Squarer, ExhaustiveGf256) {
+    const Field fld = field::gf256_paper_field();
+    const auto nl = build_squarer(fld);
+    for (std::uint64_t v = 0; v < 256; ++v) {
+        const Poly a = fld.from_bits(v);
+        EXPECT_EQ(eval_unary(nl, a, 8), fld.sqr(a)) << "v=" << v;
+    }
+}
+
+class SquarerSweep : public ::testing::TestWithParam<field::FieldSpec> {};
+
+TEST_P(SquarerSweep, RandomAgreement) {
+    const Field fld = GetParam().make();
+    const auto nl = build_squarer(fld);
+    std::mt19937_64 rng{99};
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto a = fld.random_element(rng);
+        EXPECT_EQ(eval_unary(nl, a, fld.degree()), fld.sqr(a));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table5Fields, SquarerSweep,
+                         ::testing::ValuesIn(field::table5_fields()),
+                         [](const auto& info) {
+                             return "m" + std::to_string(info.param.m) + "n" +
+                                    std::to_string(info.param.n);
+                         });
+
+TEST(Squarer, PentanomialSquaringIsCheap) {
+    // For low-weight moduli, squaring costs O(m) XORs, far below the m^2-ish
+    // multiplier; this is why square-and-multiply ladders love pentanomials.
+    const Field fld = field::Field::type2(163, 66);
+    const auto stats = build_squarer(fld).stats();
+    EXPECT_LT(stats.n_xor, 4 * 163);
+    EXPECT_LE(stats.xor_depth, 4);
+}
+
+TEST(ConstantMultiplier, ExhaustiveGf256) {
+    const Field fld = field::gf256_paper_field();
+    std::mt19937_64 rng{7};
+    for (int trial = 0; trial < 4; ++trial) {
+        const auto b = fld.random_element(rng);
+        const auto nl = build_constant_multiplier(fld, b);
+        EXPECT_EQ(nl.stats().n_and, 0);
+        for (std::uint64_t v = 0; v < 256; v += 5) {
+            const Poly a = fld.from_bits(v);
+            EXPECT_EQ(eval_unary(nl, a, 8), fld.mul(a, b));
+        }
+    }
+}
+
+TEST(ConstantMultiplier, IdentityIsWires) {
+    const Field fld = field::gf256_paper_field();
+    const auto nl = build_constant_multiplier(fld, fld.one());
+    EXPECT_EQ(nl.stats().n_xor, 0);  // multiplying by 1 needs no logic
+}
+
+TEST(ConstantMultiplier, ZeroConstant) {
+    const Field fld = field::gf256_paper_field();
+    const auto nl = build_constant_multiplier(fld, fld.zero());
+    for (std::uint64_t v = 0; v < 256; v += 17) {
+        EXPECT_TRUE(eval_unary(nl, fld.from_bits(v), 8).is_zero());
+    }
+}
+
+TEST(ConstantMultiplier, RejectsNonElement) {
+    const Field fld = field::gf256_paper_field();
+    EXPECT_THROW(
+        static_cast<void>(build_constant_multiplier(fld, Poly::monomial(8))),
+        std::invalid_argument);
+}
+
+TEST(ConstantMultiplier, LargeFieldRandom) {
+    const Field fld = field::Field::type2(113, 4);
+    std::mt19937_64 rng{13};
+    const auto b = fld.random_element(rng);
+    const auto nl = build_constant_multiplier(fld, b);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto a = fld.random_element(rng);
+        EXPECT_EQ(eval_unary(nl, a, 113), fld.mul(a, b));
+    }
+}
+
+TEST(Reducer, MatchesPolynomialMod) {
+    const Field fld = field::gf256_paper_field();
+    const auto nl = build_reducer(fld);
+    ASSERT_EQ(nl.inputs().size(), 15U);  // d0..d14
+    std::mt19937_64 rng{31};
+    for (int trial = 0; trial < 50; ++trial) {
+        Poly d;
+        for (int i = 0; i <= 14; ++i) {
+            if (rng() & 1U) {
+                d.set_coeff(i, true);
+            }
+        }
+        EXPECT_EQ(eval_unary(nl, d, 15), d % fld.modulus());
+    }
+}
+
+TEST(Reducer, LowHalfIsIdentity) {
+    // Degrees < m pass through unreduced: c_k depends on d_k plus the high
+    // half only.
+    const Field fld = field::gf256_paper_field();
+    const auto nl = build_reducer(fld);
+    for (int k = 0; k < 8; ++k) {
+        const Poly d = Poly::monomial(k);
+        EXPECT_EQ(eval_unary(nl, d, 15), d);
+    }
+}
+
+TEST(Reducer, ComposesWithSchoolbookProduct) {
+    // reduce(schoolbook(a, b)) == field.mul(a, b) — the classic two-step.
+    const Field fld = field::Field::type2(64, 23);
+    const auto nl = build_reducer(fld);
+    std::mt19937_64 rng{41};
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto a = fld.random_element(rng);
+        const auto b = fld.random_element(rng);
+        const Poly d = a * b;  // unreduced, degree <= 126
+        EXPECT_EQ(eval_unary(nl, d, 127), fld.mul(a, b));
+    }
+}
+
+}  // namespace
+}  // namespace gfr::mult

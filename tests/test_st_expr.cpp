@@ -1,0 +1,116 @@
+// Expression parser/printer for the paper's coefficient-equation notation.
+
+#include "st/st_expr.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::st {
+namespace {
+
+TEST(AtomParse, WholeFunctions) {
+    const auto eq = parse_coefficient_line("c0 = S1 +T0 +T4 +T5 +T6;",
+                                           ParseMode::WholeFunctions);
+    EXPECT_EQ(eq.k, 0);
+    const auto atoms = eq.expr.atoms();
+    ASSERT_EQ(atoms.size(), 5U);
+    EXPECT_EQ(atoms[0].kind, Atom::Kind::WholeS);
+    EXPECT_EQ(atoms[0].i, 1);
+    EXPECT_EQ(atoms[4].kind, Atom::Kind::WholeT);
+    EXPECT_EQ(atoms[4].i, 6);
+    EXPECT_EQ(eq.to_string(), "c0 = S1 + T0 + T4 + T5 + T6");
+}
+
+TEST(AtomParse, SplitTerms) {
+    const auto eq = parse_coefficient_line("c7 = S38 +T23 +T14 +T04 +T15;",
+                                           ParseMode::SplitTerms);
+    const auto atoms = eq.expr.atoms();
+    ASSERT_EQ(atoms.size(), 5U);
+    EXPECT_EQ(atoms[0].kind, Atom::Kind::SplitS);
+    EXPECT_EQ(atoms[0].level, 3);
+    EXPECT_EQ(atoms[0].i, 8);
+    EXPECT_EQ(atoms[1].kind, Atom::Kind::SplitT);
+    EXPECT_EQ(atoms[1].level, 2);
+    EXPECT_EQ(atoms[1].i, 3);
+}
+
+TEST(AtomParse, PairNotation) {
+    const auto eq = parse_coefficient_line("c0 = (T20,4 +T25,6) + ST22,1;",
+                                           ParseMode::SplitTerms);
+    const auto atoms = eq.expr.atoms();
+    ASSERT_EQ(atoms.size(), 3U);
+    EXPECT_EQ(atoms[0].kind, Atom::Kind::PairTT);
+    EXPECT_EQ(atoms[0].level, 2);
+    EXPECT_EQ(atoms[0].i, 0);
+    EXPECT_EQ(atoms[0].j, 4);
+    EXPECT_EQ(atoms[2].kind, Atom::Kind::PairST);
+    EXPECT_EQ(atoms[2].i, 2);
+    EXPECT_EQ(atoms[2].j, 1);
+    EXPECT_EQ(atoms[0].to_string(), "T^2_{0,4}");
+    EXPECT_EQ(atoms[2].to_string(), "ST^2_{2,1}");
+}
+
+TEST(AtomParse, NestedParenthesesPreserved) {
+    const auto eq = parse_coefficient_line(
+        "c0 = ((S01 +T10,4) +T20) + (T20,4 +T25,6);", ParseMode::SplitTerms);
+    // Top level: two operands, both parenthesised sums.
+    ASSERT_FALSE(eq.expr.is_leaf());
+    ASSERT_EQ(eq.expr.children.size(), 2U);
+    const auto& left = eq.expr.children[0];
+    ASSERT_EQ(left.children.size(), 2U);          // (S01+T10,4) and T20
+    EXPECT_FALSE(left.children[0].is_leaf());     // inner parenthesised pair
+    EXPECT_TRUE(left.children[1].is_leaf());
+    EXPECT_EQ(eq.to_string(),
+              "c0 = ((S^0_1 + T^1_{0,4}) + T^2_0) + (T^2_{0,4} + T^2_{5,6})");
+}
+
+TEST(AtomParse, TableTextRoundTrip) {
+    const std::string text = "c0 = S1 +T0;\nc1 = S2 +T1;\n\n";
+    const auto eqs = parse_coefficient_table(text, ParseMode::WholeFunctions);
+    ASSERT_EQ(eqs.size(), 2U);
+    EXPECT_EQ(eqs[0].k, 0);
+    EXPECT_EQ(eqs[1].k, 1);
+}
+
+TEST(AtomParse, Errors) {
+    EXPECT_THROW(parse_coefficient_line("x0 = S1;", ParseMode::WholeFunctions),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_coefficient_line("c0 = ;", ParseMode::WholeFunctions),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_coefficient_line("c0 = S1 + (T0;", ParseMode::WholeFunctions),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_coefficient_line("c0 = Q1;", ParseMode::WholeFunctions),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_coefficient_line("c0 = ST22,1;", ParseMode::WholeFunctions),
+                 std::invalid_argument);  // pair atom in whole mode
+    EXPECT_THROW(parse_coefficient_line("c0 = ST22;", ParseMode::SplitTerms),
+                 std::invalid_argument);  // ST requires a pair
+    EXPECT_THROW(parse_coefficient_line("c0 = S1 T0;", ParseMode::WholeFunctions),
+                 std::invalid_argument);  // missing '+'
+}
+
+TEST(Expr, SumFlattensSingleOperand) {
+    Atom a;
+    a.kind = Atom::Kind::WholeS;
+    a.i = 1;
+    auto e = Expr::sum([&] {
+        std::vector<Expr> v;
+        v.push_back(Expr::leaf(a));
+        return v;
+    }());
+    EXPECT_TRUE(e.is_leaf());
+    EXPECT_THROW(Expr::sum({}), std::invalid_argument);
+}
+
+TEST(Expr, MultiDigitIndices) {
+    // Split mode: first digit is the level, the rest the index — "S312"
+    // means S^3_12 (needed beyond GF(2^9)).
+    const auto eq = parse_coefficient_line("c12 = S312;", ParseMode::SplitTerms);
+    const auto atoms = eq.expr.atoms();
+    ASSERT_EQ(atoms.size(), 1U);
+    EXPECT_EQ(atoms[0].level, 3);
+    EXPECT_EQ(atoms[0].i, 12);
+    EXPECT_EQ(eq.k, 12);
+}
+
+}  // namespace
+}  // namespace gfr::st

@@ -1,0 +1,144 @@
+// Splitting S_i/T_i into S^j_i/T^j_i: Table II golden reproduction plus
+// structural invariants for arbitrary degrees.
+
+#include "multipliers/golden_tables.h"
+#include "st/st_split.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::st {
+namespace {
+
+TEST(Split, Table2GoldenGf28) {
+    // Every split-term definition exactly as the paper's Table II prints it.
+    std::vector<std::string> got;
+    for (int i = 1; i <= 8; ++i) {
+        for (const auto& sp : split_function(make_s(8, i))) {
+            got.push_back(split_term_definition_string(sp));
+        }
+    }
+    for (int i = 0; i <= 6; ++i) {
+        for (const auto& sp : split_function(make_t(8, i))) {
+            got.push_back(split_term_definition_string(sp));
+        }
+    }
+    const auto& expected = mult::table2_expected_lines();
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i]) << "line " << i;
+    }
+}
+
+TEST(Split, Section2DecompositionStringsGf28) {
+    // "S6 = S^2_6 + S^1_6" etc., descending level as the paper writes them.
+    const auto& expected = mult::section2_expected_split_lines();
+    std::vector<std::string> got;
+    for (int i = 1; i <= 8; ++i) {
+        got.push_back(split_decomposition_string(make_s(8, i)));
+    }
+    for (int i = 0; i <= 6; ++i) {
+        got.push_back(split_decomposition_string(make_t(8, i)));
+    }
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i]) << "line " << i;
+    }
+}
+
+class SplitInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitInvariants, EveryGroupHasPowerOfTwoProducts) {
+    const int m = GetParam();
+    auto check = [&](const StFunction& f) {
+        const auto groups = split_function(f);
+        int total = 0;
+        std::vector<bool> seen_level(16, false);
+        for (const auto& g : groups) {
+            EXPECT_EQ(g.product_count(), 1 << g.level) << f.name() << " " << g.label();
+            EXPECT_FALSE(seen_level[static_cast<std::size_t>(g.level)])
+                << f.name() << ": duplicate level " << g.level;
+            seen_level[static_cast<std::size_t>(g.level)] = true;
+            total += g.product_count();
+        }
+        EXPECT_EQ(total, f.product_count()) << f.name();
+    };
+    for (int i = 1; i <= m; ++i) {
+        check(make_s(m, i));
+    }
+    for (int i = 0; i <= m - 2; ++i) {
+        check(make_t(m, i));
+    }
+}
+
+TEST_P(SplitInvariants, GroupsPartitionTermList) {
+    const int m = GetParam();
+    auto check = [&](const StFunction& f) {
+        std::vector<Term> reunion;
+        for (const auto& g : split_function(f)) {
+            reunion.insert(reunion.end(), g.terms.begin(), g.terms.end());
+        }
+        auto original = f.terms;
+        std::sort(reunion.begin(), reunion.end());
+        std::sort(original.begin(), original.end());
+        EXPECT_EQ(reunion, original) << f.name();
+    };
+    for (int i = 1; i <= m; ++i) {
+        check(make_s(m, i));
+    }
+    for (int i = 0; i <= m - 2; ++i) {
+        check(make_t(m, i));
+    }
+}
+
+TEST_P(SplitInvariants, LevelsAscendInOutput) {
+    const int m = GetParam();
+    for (int i = 1; i <= m; ++i) {
+        const auto groups = split_function(make_s(m, i));
+        for (std::size_t g = 1; g < groups.size(); ++g) {
+            EXPECT_LT(groups[g - 1].level, groups[g].level);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, SplitInvariants,
+                         ::testing::Values(2, 5, 8, 9, 16, 33, 64, 113, 163),
+                         [](const auto& info) { return "m" + std::to_string(info.param); });
+
+TEST(Split, Labels) {
+    const auto groups = split_function(make_s(8, 4));
+    ASSERT_EQ(groups.size(), 1U);
+    EXPECT_EQ(groups[0].label(), "S^2_4");
+    EXPECT_EQ(groups[0].level, 2);
+}
+
+TEST(SplitTables, ShapeAndLookup) {
+    const auto tables = make_split_tables(8);
+    EXPECT_EQ(tables.m, 8);
+    EXPECT_EQ(tables.s.size(), 8U);
+    EXPECT_EQ(tables.t.size(), 7U);
+    // Exact-level lookup.
+    EXPECT_EQ(find_split_term(tables, StKind::S, 4, 2).label(), "S^2_4");
+    // Fallback: T6 has only level 0; requesting level 1 falls back to it —
+    // the rule behind the paper's T^2_{5,6} = T^1_5 + T^0_6.
+    EXPECT_EQ(find_split_term(tables, StKind::T, 6, 1).label(), "T^0_6");
+    // No term at or below the requested level -> throws.
+    EXPECT_THROW(find_split_term(tables, StKind::T, 3, 1), std::out_of_range);
+}
+
+TEST(SplitTables, Gf28SplitCountIs25) {
+    // Table II lists 13 S-terms and 12 T-terms.
+    const auto tables = make_split_tables(8);
+    std::size_t s_count = 0;
+    for (const auto& g : tables.s) {
+        s_count += g.size();
+    }
+    std::size_t t_count = 0;
+    for (const auto& g : tables.t) {
+        t_count += g.size();
+    }
+    EXPECT_EQ(s_count, 13U);
+    EXPECT_EQ(t_count, 12U);
+}
+
+}  // namespace
+}  // namespace gfr::st

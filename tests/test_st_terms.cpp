@@ -1,0 +1,139 @@
+// S_i/T_i functions: eq. (1) versus first-principles convolution, and the
+// paper's complete GF(2^8) listing from Section II.
+
+#include "multipliers/golden_tables.h"
+#include "st/st_terms.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::st {
+namespace {
+
+TEST(Term, Basics) {
+    const Term sq{3, 3};
+    EXPECT_TRUE(sq.is_square());
+    EXPECT_EQ(sq.product_count(), 1);
+    EXPECT_EQ(term_to_paper_string(sq), "x3");
+
+    const Term cross{0, 7};
+    EXPECT_FALSE(cross.is_square());
+    EXPECT_EQ(cross.product_count(), 2);
+    EXPECT_EQ(term_to_paper_string(cross), "z^7_0");
+}
+
+TEST(StFunction, PaperSection2ListingGf28) {
+    // Every S_i and T_i for GF(2^8) exactly as printed in the paper.
+    const auto& expected = mult::section2_expected_st_lines();
+    std::vector<std::string> got;
+    for (int i = 1; i <= 8; ++i) {
+        got.push_back(to_paper_string(make_s(8, i)));
+    }
+    for (int i = 0; i <= 6; ++i) {
+        got.push_back(to_paper_string(make_t(8, i)));
+    }
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i]);
+    }
+}
+
+class Formula1VsConvolution : public ::testing::TestWithParam<int> {};
+
+TEST_P(Formula1VsConvolution, SFunctionsAgree) {
+    const int m = GetParam();
+    for (int i = 1; i <= m; ++i) {
+        const auto formula = make_s(m, i);
+        const auto conv = make_s_convolution(m, i);
+        EXPECT_TRUE(same_terms(formula, conv))
+            << "m=" << m << " S" << i << ": " << to_paper_string(formula) << " vs "
+            << to_paper_string(conv);
+    }
+}
+
+TEST_P(Formula1VsConvolution, TFunctionsAgree) {
+    const int m = GetParam();
+    for (int i = 0; i <= m - 2; ++i) {
+        const auto formula = make_t(m, i);
+        const auto conv = make_t_convolution(m, i);
+        EXPECT_TRUE(same_terms(formula, conv))
+            << "m=" << m << " T" << i << ": " << to_paper_string(formula) << " vs "
+            << to_paper_string(conv);
+    }
+}
+
+TEST_P(Formula1VsConvolution, ProductsPartitionAllPairs) {
+    // Union of all S_i and T_i covers every product a_lo*b_hi exactly once:
+    // total product count must be m^2.
+    const int m = GetParam();
+    int total = 0;
+    for (int i = 1; i <= m; ++i) {
+        total += make_s(m, i).product_count();
+    }
+    for (int i = 0; i <= m - 2; ++i) {
+        total += make_t(m, i).product_count();
+    }
+    EXPECT_EQ(total, m * m);
+}
+
+// Both parities of m, small to large, including every Table V degree.
+INSTANTIATE_TEST_SUITE_P(ManyDegrees, Formula1VsConvolution,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 16, 17, 64, 113,
+                                           122, 139, 148, 163),
+                         [](const auto& info) { return "m" + std::to_string(info.param); });
+
+TEST(StFunction, TermOrderingMatchesListing) {
+    // x term first (odd i), then z terms with ascending low index.
+    const auto s7 = make_s(8, 7);
+    ASSERT_EQ(s7.terms.size(), 4U);
+    EXPECT_TRUE(s7.terms[0].is_square());
+    EXPECT_EQ(s7.terms[1], (Term{0, 6}));
+    EXPECT_EQ(s7.terms[2], (Term{1, 5}));
+    EXPECT_EQ(s7.terms[3], (Term{2, 4}));
+}
+
+TEST(StFunction, XTermParityRules) {
+    // S_i has an x term iff i odd; T_i has one iff m,i share parity.
+    for (const int m : {8, 9}) {
+        for (int i = 1; i <= m; ++i) {
+            const bool has_x = !make_s(m, i).terms.empty() &&
+                               make_s(m, i).terms.front().is_square();
+            EXPECT_EQ(has_x, i % 2 == 1) << "m=" << m << " S" << i;
+        }
+        for (int i = 0; i <= m - 2; ++i) {
+            const auto t = make_t(m, i);
+            const bool has_x = !t.terms.empty() && t.terms.front().is_square();
+            EXPECT_EQ(has_x, (m % 2) == (i % 2)) << "m=" << m << " T" << i;
+        }
+    }
+}
+
+TEST(StFunction, Names) {
+    EXPECT_EQ(make_s(8, 3).name(), "S3");
+    EXPECT_EQ(make_t(8, 0).name(), "T0");
+}
+
+TEST(StFunction, InvalidIndicesThrow) {
+    EXPECT_THROW(make_s(8, 0), std::invalid_argument);
+    EXPECT_THROW(make_s(8, 9), std::invalid_argument);
+    EXPECT_THROW(make_t(8, -1), std::invalid_argument);
+    EXPECT_THROW(make_t(8, 7), std::invalid_argument);
+    EXPECT_THROW(make_s_convolution(8, 0), std::invalid_argument);
+    EXPECT_THROW(make_t_convolution(8, 7), std::invalid_argument);
+}
+
+TEST(StFunction, BoundaryFunctions) {
+    // S_1 = x0 (sole product of degree 0); T_(m-2) = x_(m-1) for even m.
+    const auto s1 = make_s(8, 1);
+    ASSERT_EQ(s1.terms.size(), 1U);
+    EXPECT_EQ(s1.terms[0], (Term{0, 0}));
+    const auto t6 = make_t(8, 6);
+    ASSERT_EQ(t6.terms.size(), 1U);
+    EXPECT_EQ(t6.terms[0], (Term{7, 7}));
+    // Odd m: T_(m-2) = z^(m-1)_(m-2) (no square term).
+    const auto t7 = make_t(9, 7);
+    ASSERT_EQ(t7.terms.size(), 1U);
+    EXPECT_EQ(t7.terms[0], (Term{8, 8}));
+}
+
+}  // namespace
+}  // namespace gfr::st

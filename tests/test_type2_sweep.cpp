@@ -1,0 +1,71 @@
+// Broad type II sweep: for EVERY irreducible type II pentanomial with
+// m <= 20, every architecture must verify (exhaustively for m <= 8) and the
+// structural invariants of the split method must hold.  This covers the
+// whole small end of the family the paper is about, not just its nine
+// evaluation points.
+
+#include "gf2/pentanomial.h"
+#include "multipliers/generator.h"
+#include "multipliers/verify.h"
+#include "st/complexity.h"
+
+#include <gtest/gtest.h>
+
+namespace gfr::mult {
+namespace {
+
+std::vector<gf2::TypeIIPentanomial> all_type2_upto(int max_m) {
+    std::vector<gf2::TypeIIPentanomial> out;
+    for (int m = 6; m <= max_m; ++m) {
+        for (const int n : gf2::type2_irreducible_ns(m)) {
+            out.push_back(gf2::TypeIIPentanomial{m, n});
+        }
+    }
+    return out;
+}
+
+class Type2Sweep : public ::testing::TestWithParam<gf2::TypeIIPentanomial> {};
+
+TEST_P(Type2Sweep, AllMethodsVerify) {
+    const auto penta = GetParam();
+    const field::Field fld{penta.poly()};
+    VerifyOptions opts;
+    opts.random_sweeps = 16;  // m <= 16 exhaustive anyway via the threshold
+    for (const auto& info : all_methods()) {
+        const auto nl = build_multiplier(info.method, fld);
+        const auto failure = verify_multiplier(nl, fld, opts);
+        EXPECT_FALSE(failure.has_value())
+            << std::string{info.key} << " over (m,n)=(" << penta.m << "," << penta.n
+            << "): " << failure->to_string();
+    }
+}
+
+TEST_P(Type2Sweep, SplitTheoryHolds) {
+    const auto penta = GetParam();
+    const auto theory = st::split_method_complexity(penta.poly());
+    const field::Field fld{penta.poly()};
+    const auto paren = build_multiplier(Method::Imana2016Paren, fld).stats();
+    EXPECT_EQ(paren.xor_depth, theory.depth_paren);
+    EXPECT_EQ(paren.n_and, penta.m * penta.m);
+}
+
+INSTANTIATE_TEST_SUITE_P(UpTo20, Type2Sweep, ::testing::ValuesIn(all_type2_upto(20)),
+                         [](const auto& info) {
+                             return "m" + std::to_string(info.param.m) + "n" +
+                                    std::to_string(info.param.n);
+                         });
+
+TEST(Type2Family, DensityIsSubstantial) {
+    // The paper calls type II pentanomials "abundant": count the degrees up
+    // to 64 admitting at least one.
+    int degrees_with = 0;
+    for (int m = 6; m <= 64; ++m) {
+        if (!gf2::type2_irreducible_ns(m).empty()) {
+            ++degrees_with;
+        }
+    }
+    EXPECT_GE(degrees_with, 30);  // more than half of all degrees
+}
+
+}  // namespace
+}  // namespace gfr::mult
