@@ -1,0 +1,148 @@
+#include "field/field_ops.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gfr::field {
+
+using detail::clmul64;
+
+FieldOps::FieldOps(gf2::Poly modulus) : modulus_{std::move(modulus)}, m_{modulus_.degree()} {
+#if defined(GFR_USE_PCLMUL) && defined(__PCLMUL__) && defined(__GNUC__)
+    // Compiled for PCLMULQDQ: fail loudly here rather than SIGILL later when
+    // this binary lands on a CPU without it (rebuild with
+    // -DGFR_ENABLE_PCLMUL=OFF for a portable binary).
+    if (!__builtin_cpu_supports("pclmul")) {
+        throw std::runtime_error{
+            "FieldOps: built with GFR_USE_PCLMUL but this CPU lacks PCLMULQDQ"};
+    }
+#endif
+    if (m_ < 2) {
+        throw std::invalid_argument{"FieldOps: modulus degree must be >= 2"};
+    }
+    for (const int e : modulus_.support()) {
+        if (e < m_) {
+            tails_.push_back(e);
+        }
+    }
+    if (m_ <= 64) {
+        elem_mask_ = (m_ == 64) ? ~std::uint64_t{0}
+                                : ((std::uint64_t{1} << m_) - 1);
+        for (const int t : tails_) {
+            tails_mask_ |= std::uint64_t{1} << t;
+        }
+    }
+}
+
+std::uint64_t FieldOps::inv(std::uint64_t a) const {
+    if (a == 0) {
+        throw std::invalid_argument{"FieldOps::inv: zero has no inverse"};
+    }
+    // Fermat: a^(2^m - 2) as the product of the m-1 high squarings.
+    std::uint64_t result = 1;
+    std::uint64_t power = sqr(a);
+    for (int i = 1; i < m_; ++i) {
+        result = mul(result, power);
+        power = sqr(power);
+    }
+    return result;
+}
+
+void FieldOps::mul_region(std::span<const std::uint64_t> a,
+                          std::span<const std::uint64_t> b,
+                          std::span<std::uint64_t> out) const {
+    if (a.size() != b.size() || a.size() != out.size()) {
+        throw std::invalid_argument{"FieldOps::mul_region: span length mismatch"};
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        out[i] = mul(a[i], b[i]);
+    }
+}
+
+void FieldOps::mul_region_const(std::uint64_t c, std::span<std::uint64_t> data) const {
+    const ConstMultiplier cm{*this, c};
+    cm.mul_region(data);
+}
+
+void FieldOps::mul(const gf2::Poly& a, const gf2::Poly& b, gf2::Poly& out) {
+    const auto aw = a.words();
+    const auto bw = b.words();
+    if (single_word() && aw.size() <= 1 && bw.size() <= 1) {
+        out.assign_word(mul(aw.empty() ? 0 : aw[0], bw.empty() ? 0 : bw[0]));
+        return;
+    }
+    if (aw.empty() || bw.empty()) {
+        out.assign_words({});
+        return;
+    }
+    // Word-level schoolbook: one carry-less 64x64 product per word pair
+    // (PCLMULQDQ when compiled in, portable comb otherwise).
+    prod_.assign(aw.size() + bw.size(), 0);
+    for (std::size_t i = 0; i < aw.size(); ++i) {
+        for (std::size_t j = 0; j < bw.size(); ++j) {
+            std::uint64_t hi = 0;
+            std::uint64_t lo = 0;
+            clmul64(aw[i], bw[j], hi, lo);
+            prod_[i + j] ^= lo;
+            prod_[i + j + 1] ^= hi;
+        }
+    }
+    out.assign_words(prod_);
+    reduce_in_place(out);
+}
+
+void FieldOps::sqr(const gf2::Poly& a, gf2::Poly& out) {
+    const auto aw = a.words();
+    if (single_word() && aw.size() <= 1) {
+        out.assign_word(sqr(aw.empty() ? 0 : aw[0]));
+        return;
+    }
+    gf2::Poly::square_into(a, out);
+    reduce_in_place(out);
+}
+
+void FieldOps::reduce_in_place(gf2::Poly& p) {
+    // Fold the excess E = p div y^m down through the tails until deg < m,
+    // via the allocation-free Poly kernels; excess_ is reused across calls.
+    while (p.degree() >= m_) {
+        gf2::Poly::shr_into(p, m_, excess_);
+        p.truncate(m_);
+        for (const int t : tails_) {
+            p.add_shifted(excess_, t);
+        }
+    }
+}
+
+ConstMultiplier::ConstMultiplier(const FieldOps& ops, std::uint64_t c) {
+    if (!ops.single_word()) {
+        throw std::invalid_argument{
+            "ConstMultiplier: requires a single-word field (m <= 64)"};
+    }
+    c_ = ops.reduce(0, c);  // canonicalise so constant() reports a field element
+    windows_ = (ops.degree() + 3) / 4;
+    table_.assign(static_cast<std::size_t>(windows_) * 16, 0);
+    for (int w = 0; w < windows_; ++w) {
+        for (std::uint64_t v = 1; v < 16; ++v) {
+            table_[static_cast<std::size_t>(w) * 16 + v] =
+                ops.mul(c_, ops.reduce(0, v << (4 * w)));
+        }
+    }
+}
+
+void ConstMultiplier::mul_region(std::span<std::uint64_t> data) const noexcept {
+    for (auto& d : data) {
+        d = mul(d);
+    }
+}
+
+void ConstMultiplier::mul_region(std::span<const std::uint64_t> in,
+                                 std::span<std::uint64_t> out) const {
+    if (in.size() != out.size()) {
+        throw std::invalid_argument{"ConstMultiplier::mul_region: span length mismatch"};
+    }
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        out[i] = mul(in[i]);
+    }
+}
+
+}  // namespace gfr::field

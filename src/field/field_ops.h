@@ -1,0 +1,226 @@
+#ifndef GFR_FIELD_FIELD_OPS_H
+#define GFR_FIELD_FIELD_OPS_H
+
+// Fixed-modulus fast arithmetic engine for GF(2^m).
+//
+// The paper's whole premise is that sparse (trinomial / pentanomial) moduli
+// admit cheap shift-XOR reduction.  FieldOps precomputes the modulus's sparse
+// support once and then reduces products by folding the excess bits down
+// through the tail exponents, instead of the generic bit-serial divmod the
+// reference path uses.  Two regimes:
+//
+//   - m <= 64 ("single-word"): elements are one std::uint64_t.  Multiply is a
+//     portable carry-less comb (or PCLMULQDQ when compiled with
+//     GFR_USE_PCLMUL on x86), reduction is 2-3 fold iterations, and no
+//     operation allocates.
+//   - m > 64 ("multi-word"): elements stay gf2::Poly; the engine routes
+//     through the allocation-free Poly kernels (mul_into / square_into /
+//     add_shifted) and reuses an internal excess scratch, so steady-state
+//     multiplies do no heap work beyond the caller's output element.
+//
+// ConstMultiplier serves bulk "region" traffic (Reed-Solomon encoding,
+// verification sweeps): one constant multiplied across many elements via
+// per-constant 4-bit window tables, the classic software-GF technique
+// (cf. ParPar's fast-GF-multiplication notes).
+//
+// Thread-safety: the multi-word path mutates internal scratch, so one
+// FieldOps instance must not be shared across threads without external
+// locking.  The single-word path and ConstMultiplier::mul are pure.
+
+#include "gf2/gf2_poly.h"
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#if defined(GFR_USE_PCLMUL) && defined(__PCLMUL__)
+#include <wmmintrin.h>
+#endif
+
+namespace gfr::field {
+
+namespace detail {
+
+/// 64x64 -> 128 carry-less multiply.  Header-inline so the single-word field
+/// operations fold into their callers.
+inline void clmul64(std::uint64_t a, std::uint64_t b, std::uint64_t& hi,
+                    std::uint64_t& lo) noexcept {
+#if defined(GFR_USE_PCLMUL) && defined(__PCLMUL__)
+    const __m128i va = _mm_cvtsi64_si128(static_cast<long long>(a));
+    const __m128i vb = _mm_cvtsi64_si128(static_cast<long long>(b));
+    const __m128i prod = _mm_clmulepi64_si128(va, vb, 0x00);
+    lo = static_cast<std::uint64_t>(_mm_cvtsi128_si64(prod));
+    // High half via SSE2 unpack (avoids an SSE4.1 dependency for the extract).
+    hi = static_cast<std::uint64_t>(_mm_cvtsi128_si64(_mm_unpackhi_epi64(prod, prod)));
+#else
+    // Portable comb over the set bits of the sparser operand.
+    if (std::popcount(b) > std::popcount(a)) {
+        std::swap(a, b);
+    }
+    hi = 0;
+    lo = 0;
+    while (b != 0) {
+        const int k = std::countr_zero(b);
+        b &= b - 1;
+        lo ^= a << k;
+        if (k != 0) {
+            hi ^= a >> (64 - k);
+        }
+    }
+#endif
+}
+
+using gf2::detail::spread32;  // shared with Poly::square_into
+
+}  // namespace detail
+
+class FieldOps {
+public:
+    /// Precompute the reduction structure for a fixed modulus of degree >= 2.
+    /// Irreducibility is the caller's concern (field::Field checks it).
+    explicit FieldOps(gf2::Poly modulus);
+
+    [[nodiscard]] int degree() const noexcept { return m_; }
+    [[nodiscard]] const gf2::Poly& modulus() const noexcept { return modulus_; }
+
+    /// True when elements fit one word and the u64 fast path applies.
+    [[nodiscard]] bool single_word() const noexcept { return m_ <= 64; }
+
+    // --- Single-word path (requires single_word()); zero heap allocations --
+    // Header-inline: these are the innermost ops of every hot loop.
+
+    /// Reduce a 128-bit carry-less product (hi:lo) modulo the field modulus.
+    /// Folds the excess E = P div y^m down by one carry-less multiply with
+    /// the tail polynomial (P mod f == P mod y^m + E * (f - y^m)), iterated
+    /// until no excess remains; sparse moduli converge in 2-3 folds because
+    /// the largest tail sits far below m.
+    [[nodiscard]] std::uint64_t reduce(std::uint64_t hi, std::uint64_t lo) const noexcept {
+        if (m_ == 64) {
+            while (hi != 0) {
+                std::uint64_t fold_hi = 0;
+                std::uint64_t fold_lo = 0;
+                detail::clmul64(hi, tails_mask_, fold_hi, fold_lo);
+                lo ^= fold_lo;
+                hi = fold_hi;
+            }
+            return lo;
+        }
+        for (;;) {
+            const std::uint64_t ex_lo = (lo >> m_) | (hi << (64 - m_));
+            const std::uint64_t ex_hi = hi >> m_;
+            if ((ex_lo | ex_hi) == 0) {
+                return lo;
+            }
+            lo &= elem_mask_;
+            std::uint64_t fold_hi = 0;
+            std::uint64_t fold_lo = 0;
+            detail::clmul64(ex_lo, tails_mask_, fold_hi, fold_lo);
+            lo ^= fold_lo;
+            hi = fold_hi;
+            if (ex_hi != 0) {
+                // deg(ex_hi) + deg(tails) < 64, so this lands entirely in hi.
+                detail::clmul64(ex_hi, tails_mask_, fold_hi, fold_lo);
+                hi ^= fold_lo;
+            }
+        }
+    }
+
+    [[nodiscard]] std::uint64_t mul(std::uint64_t a, std::uint64_t b) const noexcept {
+        std::uint64_t hi = 0;
+        std::uint64_t lo = 0;
+        detail::clmul64(a, b, hi, lo);
+        return reduce(hi, lo);
+    }
+
+    [[nodiscard]] std::uint64_t sqr(std::uint64_t a) const noexcept {
+        return reduce(detail::spread32(static_cast<std::uint32_t>(a >> 32)),
+                      detail::spread32(static_cast<std::uint32_t>(a)));
+    }
+
+    [[nodiscard]] std::uint64_t pow(std::uint64_t a, std::uint64_t e) const noexcept {
+        std::uint64_t result = 1;
+        std::uint64_t base = a;
+        while (e != 0) {
+            if (e & 1U) {
+                result = mul(result, base);
+            }
+            base = sqr(base);
+            e >>= 1U;
+        }
+        return result;
+    }
+
+    /// Multiplicative inverse via Fermat (a^(2^m - 2)).  Throws on zero.
+    [[nodiscard]] std::uint64_t inv(std::uint64_t a) const;
+
+    /// Element-wise batch multiply: out[i] = a[i] * b[i].  Spans must have
+    /// equal length; out may alias a or b.
+    void mul_region(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                    std::span<std::uint64_t> out) const;
+
+    /// In-place scale of a region by one constant.  Operands must be
+    /// canonical (degree < m): the window tables do not cover higher bits.
+    /// For repeated use of the same constant, hold a ConstMultiplier instead
+    /// (this builds one per call).
+    void mul_region_const(std::uint64_t c, std::span<std::uint64_t> data) const;
+
+    // --- Multi-word path (any m); internal scratch reuse -------------------
+
+    /// out = a * b mod f.  out must not alias a or b.
+    void mul(const gf2::Poly& a, const gf2::Poly& b, gf2::Poly& out);
+
+    /// out = a^2 mod f.  out must not alias a.
+    void sqr(const gf2::Poly& a, gf2::Poly& out);
+
+    /// Reduce an arbitrary polynomial modulo f by shift-XOR folding.
+    void reduce_in_place(gf2::Poly& p);
+
+private:
+    gf2::Poly modulus_;
+    int m_ = 0;
+    std::vector<int> tails_;        ///< support of the modulus below y^m
+    std::uint64_t elem_mask_ = 0;   ///< low-m mask (all-ones when m == 64)
+    std::uint64_t tails_mask_ = 0;  ///< bit t set per tail (f - y^m), m <= 64
+    std::vector<std::uint64_t> prod_;  ///< multi-word product scratch
+    gf2::Poly excess_;                 ///< multi-word reduction scratch
+};
+
+/// Precomputed constant multiplier for region traffic in single-word fields:
+/// table_[w][v] = c * (v << 4w) mod f for every 4-bit window w of the operand,
+/// so one multiply is ceil(m/4) table lookups XORed together.
+class ConstMultiplier {
+public:
+    /// Requires ops.single_word().  Builds ceil(m/4) * 16 table entries.
+    /// The constant is reduced; operands passed to mul() must already be
+    /// canonical (degree < m) — bits beyond the top window are not reduced.
+    ConstMultiplier(const FieldOps& ops, std::uint64_t c);
+
+    [[nodiscard]] std::uint64_t constant() const noexcept { return c_; }
+
+    [[nodiscard]] std::uint64_t mul(std::uint64_t a) const noexcept {
+        std::uint64_t acc = 0;
+        const std::uint64_t* t = table_.data();
+        for (int w = 0; w < windows_; ++w, t += 16) {
+            acc ^= t[(a >> (4 * w)) & 0xF];
+        }
+        return acc;
+    }
+
+    /// data[i] = c * data[i] for the whole region, in place.
+    void mul_region(std::span<std::uint64_t> data) const noexcept;
+
+    /// out[i] = c * in[i].  Spans must have equal length; may alias.
+    void mul_region(std::span<const std::uint64_t> in,
+                    std::span<std::uint64_t> out) const;
+
+private:
+    std::uint64_t c_ = 0;
+    int windows_ = 0;
+    std::vector<std::uint64_t> table_;  ///< windows_ x 16 window products
+};
+
+}  // namespace gfr::field
+
+#endif  // GFR_FIELD_FIELD_OPS_H

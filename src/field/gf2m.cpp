@@ -9,6 +9,21 @@ namespace gfr::field {
 
 using gf2::Poly;
 
+namespace {
+
+/// Low word of a canonical element (elements of single-word fields have at
+/// most one word by the degree < m invariant).
+std::uint64_t word_of(const Field::Element& e) noexcept {
+    return e.words().empty() ? 0 : e.words()[0];
+}
+
+/// True when the u64 fast path may read this operand whole.  Non-canonical
+/// inputs of degree >= 64 must take the generic path (which reduces them)
+/// rather than being silently truncated to their low word.
+bool fits_word(const Field::Element& e) noexcept { return e.words().size() <= 1; }
+
+}  // namespace
+
 Field::Field(Poly modulus) : modulus_{std::move(modulus)}, m_{modulus_.degree()} {
     if (m_ < 2) {
         throw std::invalid_argument{"Field: modulus degree must be >= 2"};
@@ -17,6 +32,13 @@ Field::Field(Poly modulus) : modulus_{std::move(modulus)}, m_{modulus_.degree()}
         throw std::invalid_argument{"Field: modulus is not irreducible: " +
                                     modulus_.to_string()};
     }
+    ops_ = std::make_shared<FieldOps>(modulus_);
+}
+
+Field::Element Field::element_from_word(std::uint64_t w) const {
+    Element e;
+    e.assign_word(w);
+    return e;
 }
 
 Field Field::type2(int m, int n) {
@@ -27,13 +49,65 @@ bool Field::is_element(const Element& e) const noexcept { return e.degree() < m_
 
 Field::Element Field::add(const Element& a, const Element& b) const { return a + b; }
 
+Field::Element Field::reduce(const gf2::Poly& p) const {
+    Element out = p;
+    ops_->reduce_in_place(out);
+    return out;
+}
+
 Field::Element Field::mul(const Element& a, const Element& b) const {
+    if (ops_->single_word() && fits_word(a) && fits_word(b)) {
+        return element_from_word(ops_->mul(word_of(a), word_of(b)));
+    }
+    Element out;
+    ops_->mul(a, b, out);
+    return out;
+}
+
+Field::Element Field::sqr(const Element& a) const {
+    if (ops_->single_word() && fits_word(a)) {
+        return element_from_word(ops_->sqr(word_of(a)));
+    }
+    Element out;
+    ops_->sqr(a, out);
+    return out;
+}
+
+Field::Element Field::mul_reference(const Element& a, const Element& b) const {
     return (a * b) % modulus_;
 }
 
-Field::Element Field::sqr(const Element& a) const { return a.square() % modulus_; }
+Field::Element Field::sqr_reference(const Element& a) const {
+    return a.square() % modulus_;
+}
+
+void Field::mul_region_const(const Element& c, std::span<Element> data) const {
+    Element constant = c;  // snapshot: c may alias an element of data
+    ops_->reduce_in_place(constant);
+    if (ops_->single_word()) {
+        const ConstMultiplier cm{*ops_, word_of(constant)};
+        Element out;
+        for (auto& e : data) {
+            if (is_element(e)) {  // window tables cover canonical operands only
+                e.assign_word(cm.mul(word_of(e)));
+            } else {  // non-canonical entry: reduce through the generic path
+                ops_->mul(constant, e, out);
+                std::swap(e, out);
+            }
+        }
+        return;
+    }
+    Element out;
+    for (auto& e : data) {
+        ops_->mul(constant, e, out);
+        std::swap(e, out);  // buffer ping-pong: no per-element allocation
+    }
+}
 
 Field::Element Field::pow(const Element& a, std::uint64_t e) const {
+    if (ops_->single_word() && fits_word(a)) {
+        return element_from_word(ops_->pow(word_of(a), e));
+    }
     Element result = one();
     Element base = a;
     while (e != 0) {
@@ -72,6 +146,9 @@ Field::Element Field::inv(const Element& a) const {
 Field::Element Field::inv_fermat(const Element& a) const {
     if (a.is_zero()) {
         throw std::invalid_argument{"Field::inv_fermat: zero has no inverse"};
+    }
+    if (ops_->single_word() && fits_word(a)) {
+        return element_from_word(ops_->inv(word_of(a)));
     }
     // a^(2^m - 2) = prod of squarings: (2^m - 2) = 111...10 in binary.
     Element result = one();
@@ -125,7 +202,7 @@ Field::Element Field::from_bits(std::uint64_t bits) const {
     if (m_ < 64 && m_ >= 0) {
         bits &= (m_ == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << m_) - 1);
     }
-    return Poly::from_words({bits});
+    return element_from_word(bits);  // heap-free: single word stays inline
 }
 
 std::uint64_t Field::to_bits(const Element& e) const {
@@ -144,7 +221,7 @@ Field::Element Field::random_element(std::mt19937_64& rng) const {
     if (top_bits != 0) {
         words.back() &= (std::uint64_t{1} << top_bits) - 1;
     }
-    return Poly::from_words(std::move(words));
+    return Poly::from_words(words);
 }
 
 std::string Field::to_string() const {

@@ -1,5 +1,6 @@
 #include "gf2/gf2_poly.h"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -8,6 +9,27 @@ namespace gfr::gf2 {
 namespace {
 constexpr int kWordBits = 64;
 }  // namespace
+
+void WordVec::grow(std::size_t n) {
+    const std::size_t new_cap = std::max(n, cap_ * 2);
+    auto* block = new std::uint64_t[new_cap];
+    std::memcpy(block, ptr_, size_ * sizeof(std::uint64_t));
+    if (ptr_ != inline_) {
+        delete[] ptr_;
+    }
+    ptr_ = block;
+    cap_ = new_cap;
+}
+
+void WordVec::grow_discard(std::size_t n) {
+    const std::size_t new_cap = std::max(n, cap_ * 2);
+    auto* block = new std::uint64_t[new_cap];
+    if (ptr_ != inline_) {
+        delete[] ptr_;
+    }
+    ptr_ = block;
+    cap_ = new_cap;
+}
 
 void Poly::normalize() {
     while (!words_.empty() && words_.back() == 0) {
@@ -37,11 +59,20 @@ Poly Poly::from_exponents(const std::vector<int>& exponents) {
     return p;
 }
 
-Poly Poly::from_words(std::vector<std::uint64_t> words) {
+Poly Poly::from_words(std::span<const std::uint64_t> words) {
     Poly p;
-    p.words_ = std::move(words);
+    p.words_.assign(words);
     p.normalize();
     return p;
+}
+
+Poly Poly::from_words(std::initializer_list<std::uint64_t> words) {
+    return from_words(std::span<const std::uint64_t>{words.begin(), words.size()});
+}
+
+void Poly::assign_words(std::span<const std::uint64_t> words) {
+    words_.assign(words);
+    normalize();
 }
 
 bool Poly::is_one() const noexcept {
@@ -74,7 +105,7 @@ void Poly::set_coeff(int k, bool value) {
     const auto w = static_cast<std::size_t>(k / kWordBits);
     if (value) {
         if (w >= words_.size()) {
-            words_.resize(w + 1, 0);
+            words_.resize(w + 1);
         }
         words_[w] |= std::uint64_t{1} << (k % kWordBits);
     } else if (w < words_.size()) {
@@ -113,7 +144,7 @@ Poly operator+(const Poly& a, const Poly& b) {
 
 Poly& Poly::operator+=(const Poly& rhs) {
     if (rhs.words_.size() > words_.size()) {
-        words_.resize(rhs.words_.size(), 0);
+        words_.resize(rhs.words_.size());
     }
     for (std::size_t i = 0; i < rhs.words_.size(); ++i) {
         words_[i] ^= rhs.words_[i];
@@ -129,48 +160,65 @@ Poly operator<<(const Poly& a, int shift) {
     if (a.is_zero() || shift == 0) {
         return a;
     }
-    const int word_shift = shift / kWordBits;
-    const int bit_shift = shift % kWordBits;
-    std::vector<std::uint64_t> out(a.words_.size() + static_cast<std::size_t>(word_shift) + 1, 0);
-    for (std::size_t i = 0; i < a.words_.size(); ++i) {
-        out[i + static_cast<std::size_t>(word_shift)] ^= a.words_[i] << bit_shift;
-        if (bit_shift != 0) {
-            out[i + static_cast<std::size_t>(word_shift) + 1] ^=
-                a.words_[i] >> (kWordBits - bit_shift);
-        }
-    }
-    return Poly::from_words(std::move(out));
+    Poly out;
+    out.add_shifted(a, shift);
+    return out;
 }
 
 Poly operator>>(const Poly& a, int shift) {
     if (shift < 0) {
         throw std::invalid_argument{"Poly::operator>>: negative shift"};
     }
-    const int word_shift = shift / kWordBits;
-    const int bit_shift = shift % kWordBits;
-    if (static_cast<std::size_t>(word_shift) >= a.words_.size()) {
-        return Poly{};
-    }
-    std::vector<std::uint64_t> out(a.words_.size() - static_cast<std::size_t>(word_shift), 0);
-    for (std::size_t i = 0; i < out.size(); ++i) {
-        out[i] = a.words_[i + static_cast<std::size_t>(word_shift)] >> bit_shift;
-        if (bit_shift != 0 && i + static_cast<std::size_t>(word_shift) + 1 < a.words_.size()) {
-            out[i] ^= a.words_[i + static_cast<std::size_t>(word_shift) + 1]
-                      << (kWordBits - bit_shift);
-        }
-    }
-    return Poly::from_words(std::move(out));
+    Poly out;
+    Poly::shr_into(a, shift, out);
+    return out;
 }
 
 Poly operator*(const Poly& a, const Poly& b) {
+    Poly out;
+    Poly::mul_into(a, b, out);
+    return out;
+}
+
+void Poly::add_shifted(const Poly& p, int shift) {
+    if (shift < 0) {
+        throw std::invalid_argument{"Poly::add_shifted: negative shift"};
+    }
+    if (p.is_zero()) {
+        return;
+    }
+    const int ws = shift / kWordBits;
+    const int bs = shift % kWordBits;
+    const std::size_t need =
+        p.words_.size() + static_cast<std::size_t>(ws) + (bs != 0 ? 1 : 0);
+    if (words_.size() < need) {
+        words_.resize(need);
+    }
+    for (std::size_t i = 0; i < p.words_.size(); ++i) {
+        words_[i + static_cast<std::size_t>(ws)] ^= p.words_[i] << bs;
+        if (bs != 0) {
+            words_[i + static_cast<std::size_t>(ws) + 1] ^=
+                p.words_[i] >> (kWordBits - bs);
+        }
+    }
+    normalize();
+}
+
+void Poly::mul_into(const Poly& a, const Poly& b, Poly& out) {
+    if (&out == &a || &out == &b) {
+        out = a * b;  // aliasing: fall back to a temporary
+        return;
+    }
     if (a.is_zero() || b.is_zero()) {
-        return Poly{};
+        out.words_.clear();
+        return;
     }
     // Comb multiplication: for every set bit of a, XOR a shifted copy of b.
-    // Work over raw words to avoid repeated reallocation.
+    // Work over raw words; out's capacity is reused across calls.
     const std::size_t out_words =
         static_cast<std::size_t>((a.degree() + b.degree()) / kWordBits) + 1;
-    std::vector<std::uint64_t> acc(out_words + 1, 0);
+    out.words_.assign(out_words + 1, 0);
+    auto& acc = out.words_;
     for (std::size_t wi = 0; wi < a.words_.size(); ++wi) {
         std::uint64_t w = a.words_[wi];
         while (w != 0) {
@@ -188,7 +236,70 @@ Poly operator*(const Poly& a, const Poly& b) {
             }
         }
     }
-    return Poly::from_words(std::move(acc));
+    out.normalize();
+}
+
+void Poly::square_into(const Poly& a, Poly& out) {
+    using detail::spread32;
+    if (&out == &a) {
+        Poly tmp;
+        square_into(a, tmp);
+        out = std::move(tmp);
+        return;
+    }
+    out.words_.assign(a.words_.size() * 2, 0);
+    for (std::size_t i = 0; i < a.words_.size(); ++i) {
+        const std::uint64_t w = a.words_[i];
+        out.words_[2 * i] = spread32(static_cast<std::uint32_t>(w));
+        out.words_[2 * i + 1] = spread32(static_cast<std::uint32_t>(w >> 32));
+    }
+    out.normalize();
+}
+
+void Poly::shr_into(const Poly& a, int shift, Poly& out) {
+    if (shift < 0) {
+        throw std::invalid_argument{"Poly::shr_into: negative shift"};
+    }
+    const int word_shift = shift / kWordBits;
+    const int bit_shift = shift % kWordBits;
+    if (static_cast<std::size_t>(word_shift) >= a.words_.size()) {
+        out.words_.clear();
+        return;
+    }
+    out.words_.resize(a.words_.size() - static_cast<std::size_t>(word_shift));
+    for (std::size_t i = 0; i < out.words_.size(); ++i) {
+        out.words_[i] = a.words_[i + static_cast<std::size_t>(word_shift)] >> bit_shift;
+        if (bit_shift != 0 && i + static_cast<std::size_t>(word_shift) + 1 < a.words_.size()) {
+            out.words_[i] ^= a.words_[i + static_cast<std::size_t>(word_shift) + 1]
+                             << (kWordBits - bit_shift);
+        }
+    }
+    out.normalize();
+}
+
+void Poly::truncate(int bits) {
+    if (bits <= 0) {
+        words_.clear();
+        return;
+    }
+    const auto keep_words = static_cast<std::size_t>((bits + kWordBits - 1) / kWordBits);
+    if (words_.size() > keep_words) {
+        words_.resize(keep_words);
+    }
+    const int top = bits % kWordBits;
+    if (top != 0 && words_.size() == keep_words) {
+        words_.back() &= (std::uint64_t{1} << top) - 1;
+    }
+    normalize();
+}
+
+void Poly::assign_word(std::uint64_t word) {
+    if (word == 0) {
+        words_.clear();
+        return;
+    }
+    words_.resize(1);
+    words_[0] = word;
 }
 
 Poly Poly::square() const {
@@ -200,20 +311,29 @@ Poly Poly::square() const {
     return out;
 }
 
-std::pair<Poly, Poly> Poly::divmod(const Poly& num, const Poly& den) {
+void Poly::divmod_inplace(Poly& rem, const Poly& den, Poly* quot) {
     if (den.is_zero()) {
         throw std::invalid_argument{"Poly::divmod: division by zero polynomial"};
     }
-    Poly rem = num;
-    Poly quot;
+    if (quot != nullptr) {
+        quot->words_.clear();
+    }
     const int dd = den.degree();
     int rd = rem.degree();
     while (rd >= dd) {
         const int shift = rd - dd;
-        quot.set_coeff(shift, true);
-        rem += den << shift;
+        if (quot != nullptr) {
+            quot->set_coeff(shift, true);
+        }
+        rem.add_shifted(den, shift);  // in-place; no den << shift temporary
         rd = rem.degree();
     }
+}
+
+std::pair<Poly, Poly> Poly::divmod(const Poly& num, const Poly& den) {
+    Poly rem = num;
+    Poly quot;
+    divmod_inplace(rem, den, &quot);
     return {std::move(quot), std::move(rem)};
 }
 

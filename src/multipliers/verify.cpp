@@ -3,6 +3,7 @@
 #include "multipliers/product_layer.h"
 #include "netlist/simulate.h"
 
+#include <array>
 #include <bit>
 #include <random>
 #include <stdexcept>
@@ -21,32 +22,91 @@ std::string VerifyFailure::to_string() const {
 
 namespace {
 
-/// Extract the field element carried by `lane` across the first/second half
-/// of the input words.
-Poly element_from_lane(std::span<const std::uint64_t> words, int offset, int m,
-                       int lane) {
-    std::vector<std::uint64_t> bits(static_cast<std::size_t>((m + 63) / 64), 0);
+/// Fill `out` with the field element carried by `lane` across m input words
+/// starting at `offset`, reusing the scratch word buffer.
+void element_from_lane_into(std::span<const std::uint64_t> words, int offset, int m,
+                            int lane, std::vector<std::uint64_t>& bits, Poly& out) {
+    bits.assign(static_cast<std::size_t>((m + 63) / 64), 0);
     for (int i = 0; i < m; ++i) {
         if ((words[static_cast<std::size_t>(offset + i)] >> lane) & 1U) {
             bits[static_cast<std::size_t>(i / 64)] |= std::uint64_t{1} << (i % 64);
         }
     }
-    return Poly::from_words(std::move(bits));
+    out.assign_words(bits);
 }
 
+/// One-shot variant for failure reporting (off the hot path).
+Poly element_from_lane(std::span<const std::uint64_t> words, int offset, int m,
+                       int lane) {
+    std::vector<std::uint64_t> bits;
+    Poly out;
+    element_from_lane_into(words, offset, m, lane, bits, out);
+    return out;
+}
+
+/// Buffers shared by every sweep of one verification run: the simulator's
+/// output words, the transposed operands / expected products for the
+/// engine's batched multiply (m <= 64), and reusable element storage for the
+/// multi-word path — so sweeps in either regime are allocation-free in
+/// steady state.
+struct SweepScratch {
+    std::vector<std::uint64_t> out_words;
+    std::array<std::uint64_t, 64> a_lanes{};
+    std::array<std::uint64_t, 64> b_lanes{};
+    std::array<std::uint64_t, 64> expected{};
+    std::vector<std::uint64_t> lane_bits;  // multi-word lane extraction
+    Poly a_elem;
+    Poly b_elem;
+    Poly product;
+};
+
 std::optional<VerifyFailure> check_sweep(netlist::Simulator& sim, const Field& field,
-                                         const std::vector<std::uint64_t>& in_words) {
+                                         const std::vector<std::uint64_t>& in_words,
+                                         SweepScratch& scratch) {
     const int m = field.degree();
-    const auto out_words = sim.run(in_words);
+    sim.run_into(in_words, scratch.out_words);
+    const auto& out_words = scratch.out_words;
+
+    if (field.ops().single_word()) {
+        // Transpose the 64 lanes into u64 operands and compute all 64
+        // reference products in one allocation-free region call.
+        for (int lane = 0; lane < 64; ++lane) {
+            std::uint64_t a = 0;
+            std::uint64_t b = 0;
+            for (int i = 0; i < m; ++i) {
+                a |= ((in_words[static_cast<std::size_t>(i)] >> lane) & std::uint64_t{1})
+                     << i;
+                b |= ((in_words[static_cast<std::size_t>(m + i)] >> lane) & std::uint64_t{1})
+                     << i;
+            }
+            scratch.a_lanes[static_cast<std::size_t>(lane)] = a;
+            scratch.b_lanes[static_cast<std::size_t>(lane)] = b;
+        }
+        field.ops().mul_region(scratch.a_lanes, scratch.b_lanes, scratch.expected);
+        for (int lane = 0; lane < 64; ++lane) {
+            const std::uint64_t want = scratch.expected[static_cast<std::size_t>(lane)];
+            for (int k = 0; k < m; ++k) {
+                const bool got_bit = (out_words[static_cast<std::size_t>(k)] >> lane) & 1U;
+                const bool want_bit = (want >> k) & 1U;
+                if (got_bit != want_bit) {
+                    return VerifyFailure{
+                        element_from_lane(in_words, 0, m, lane),
+                        element_from_lane(in_words, m, m, lane), k, got_bit, want_bit};
+                }
+            }
+        }
+        return std::nullopt;
+    }
+
     for (int lane = 0; lane < 64; ++lane) {
-        const Poly a = element_from_lane(in_words, 0, m, lane);
-        const Poly b = element_from_lane(in_words, m, m, lane);
-        const Poly expected = field.mul(a, b);
+        element_from_lane_into(in_words, 0, m, lane, scratch.lane_bits, scratch.a_elem);
+        element_from_lane_into(in_words, m, m, lane, scratch.lane_bits, scratch.b_elem);
+        field.ops().mul(scratch.a_elem, scratch.b_elem, scratch.product);
         for (int k = 0; k < m; ++k) {
             const bool got = (out_words[static_cast<std::size_t>(k)] >> lane) & 1U;
-            const bool want = expected.coeff(k);
+            const bool want = scratch.product.coeff(k);
             if (got != want) {
-                return VerifyFailure{a, b, k, got, want};
+                return VerifyFailure{scratch.a_elem, scratch.b_elem, k, got, want};
             }
         }
     }
@@ -72,7 +132,26 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
         }
     }
 
+    // The sweeps compare the netlist against the fast engine; anchor the
+    // engine itself to the independent reference arithmetic first, so a
+    // reduction bug for this particular modulus cannot silently become the
+    // verification oracle.
+    {
+        std::mt19937_64 oracle_rng{options.seed ^ 0x0A0A0A0AULL};
+        for (int i = 0; i < 16; ++i) {
+            const Poly a = field.random_element(oracle_rng);
+            const Poly b = field.random_element(oracle_rng);
+            if (field.mul(a, b) != field.mul_reference(a, b)) {
+                throw std::logic_error{
+                    "verify_multiplier: fast engine disagrees with reference arithmetic"};
+            }
+        }
+    }
+
+    // One simulator, one output buffer, one set of transpose scratch arrays
+    // for the entire run — sweeps allocate nothing.
     netlist::Simulator sim{nl};
+    SweepScratch scratch;
     std::vector<std::uint64_t> in_words(static_cast<std::size_t>(2 * m), 0);
 
     if (2 * m <= options.max_exhaustive_inputs) {
@@ -82,7 +161,7 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
             for (int i = 0; i < 2 * m; ++i) {
                 in_words[static_cast<std::size_t>(i)] = netlist::exhaustive_pattern(i, block);
             }
-            if (auto failure = check_sweep(sim, field, in_words)) {
+            if (auto failure = check_sweep(sim, field, in_words, scratch)) {
                 return failure;
             }
         }
@@ -94,7 +173,7 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
         for (auto& w : in_words) {
             w = rng();
         }
-        if (auto failure = check_sweep(sim, field, in_words)) {
+        if (auto failure = check_sweep(sim, field, in_words, scratch)) {
             return failure;
         }
     }

@@ -43,12 +43,25 @@ std::vector<int> match_ports(const std::vector<Port>& lhs, const std::vector<Por
     return map;
 }
 
-std::optional<Mismatch> compare_sweep(const Netlist& lhs, const Netlist& rhs,
+/// One pair of simulators plus output buffers, reused across every sweep of
+/// an equivalence run so the hot loop does not allocate.
+struct SweepContext {
+    SweepContext(const Netlist& lhs, const Netlist& rhs) : lhs_sim{lhs}, rhs_sim{rhs} {}
+
+    Simulator lhs_sim;
+    Simulator rhs_sim;
+    std::vector<std::uint64_t> lhs_out;
+    std::vector<std::uint64_t> rhs_out;
+};
+
+std::optional<Mismatch> compare_sweep(SweepContext& ctx, const Netlist& lhs,
                                       const std::vector<int>& out_map,
                                       const std::vector<std::uint64_t>& lhs_in,
                                       const std::vector<std::uint64_t>& rhs_in) {
-    const auto lhs_out = simulate(lhs, lhs_in);
-    const auto rhs_out = simulate(rhs, rhs_in);
+    ctx.lhs_sim.run_into(lhs_in, ctx.lhs_out);
+    ctx.rhs_sim.run_into(rhs_in, ctx.rhs_out);
+    const auto& lhs_out = ctx.lhs_out;
+    const auto& rhs_out = ctx.rhs_out;
     for (std::size_t o = 0; o < lhs_out.size(); ++o) {
         const std::uint64_t diff = lhs_out[o] ^ rhs_out[static_cast<std::size_t>(out_map[o])];
         if (diff == 0) {
@@ -78,6 +91,7 @@ std::optional<Mismatch> check_equivalence(const Netlist& lhs, const Netlist& rhs
     const int n = static_cast<int>(lhs.inputs().size());
     std::vector<std::uint64_t> lhs_in(static_cast<std::size_t>(n), 0);
     std::vector<std::uint64_t> rhs_in(static_cast<std::size_t>(n), 0);
+    SweepContext ctx{lhs, rhs};
 
     if (n <= options.max_exhaustive_inputs) {
         const std::uint64_t blocks =
@@ -88,7 +102,7 @@ std::optional<Mismatch> check_equivalence(const Netlist& lhs, const Netlist& rhs
                 rhs_in[static_cast<std::size_t>(in_map[i])] =
                     lhs_in[static_cast<std::size_t>(i)];
             }
-            if (auto mm = compare_sweep(lhs, rhs, out_map, lhs_in, rhs_in)) {
+            if (auto mm = compare_sweep(ctx, lhs, out_map, lhs_in, rhs_in)) {
                 return mm;
             }
         }
@@ -102,7 +116,7 @@ std::optional<Mismatch> check_equivalence(const Netlist& lhs, const Netlist& rhs
             rhs_in[static_cast<std::size_t>(in_map[i])] =
                 lhs_in[static_cast<std::size_t>(i)];
         }
-        if (auto mm = compare_sweep(lhs, rhs, out_map, lhs_in, rhs_in)) {
+        if (auto mm = compare_sweep(ctx, lhs, out_map, lhs_in, rhs_in)) {
             return mm;
         }
     }

@@ -5,6 +5,13 @@
 namespace gfr::netlist {
 
 std::vector<std::uint64_t> Simulator::run(std::span<const std::uint64_t> input_words) {
+    std::vector<std::uint64_t> out;
+    run_into(input_words, out);
+    return out;
+}
+
+void Simulator::run_into(std::span<const std::uint64_t> input_words,
+                         std::vector<std::uint64_t>& out_words) {
     const auto& nl = *nl_;
     if (input_words.size() != nl.inputs().size()) {
         throw std::invalid_argument{"Simulator::run: wrong number of input words"};
@@ -28,12 +35,10 @@ std::vector<std::uint64_t> Simulator::run(std::span<const std::uint64_t> input_w
                 break;
         }
     }
-    std::vector<std::uint64_t> out;
-    out.reserve(nl.outputs().size());
-    for (const auto& port : nl.outputs()) {
-        out.push_back(values_[port.node]);
+    out_words.resize(nl.outputs().size());
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+        out_words[o] = values_[nl.outputs()[o].node];
     }
-    return out;
 }
 
 std::vector<std::uint64_t> simulate(const Netlist& nl,

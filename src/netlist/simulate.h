@@ -24,6 +24,13 @@ public:
     /// value of input i (in inputs() order).  Returns one word per output.
     std::vector<std::uint64_t> run(std::span<const std::uint64_t> input_words);
 
+    /// Allocation-free variant: writes one word per output into out_words,
+    /// resizing it only on first use.  Sweep loops (verification,
+    /// equivalence) should hold one Simulator and one output buffer and call
+    /// this instead of run().
+    void run_into(std::span<const std::uint64_t> input_words,
+                  std::vector<std::uint64_t>& out_words);
+
 private:
     const Netlist* nl_;
     std::vector<std::uint64_t> values_;
