@@ -48,5 +48,11 @@ int main() {
     std::puts("and irregular structure cost LUTs after mapping — consistent with");
     std::puts("the literature preferring schoolbook-based bit-parallel forms at");
     std::puts("these field sizes on LUT fabrics.");
+    std::printf(
+        "\nSoftware engine counterpart: gf2::Poly::mul_into switches from the\n"
+        "word-level schoolbook to Karatsuba above %d words per operand\n"
+        "(threshold tuned by microbench_field; measured crossover and the\n"
+        "m=1024 modular-multiply win are recorded in BENCH_2.json).\n",
+        gf2::karatsuba_threshold_words());
     return 0;
 }

@@ -10,7 +10,12 @@
 //   *_engine    the fixed-modulus fast engine (FieldOps: sparse shift-XOR
 //               reduction, single-word u64 kernels, region tables).
 //
-// Results go to stdout as a table and to BENCH_1.json (path overridable as
+// PR 2 adds the large-field tier on top: an inversion sweep over every
+// Table V field (extended Euclid vs the engine's Itoh-Tsujii chain) and the
+// Karatsuba crossover measurement (word-level schoolbook vs the recursive
+// split at growing word counts, plus the full modular multiply at m = 1024).
+//
+// Results go to stdout as a table and to BENCH_2.json (path overridable as
 // argv[1]) as machine-readable ns/op so future PRs have a perf trajectory.
 
 #include "field/field_catalog.h"
@@ -212,7 +217,8 @@ void bench_field(const Field& f) {
     record("sqr_reference", m, measure_ns([&] { return checksum(f.sqr_reference(a)); }));
     record("sqr_engine", m, measure_ns([&] { return checksum(f.sqr(a)); }));
 
-    record("inv_euclid", m, measure_ns([&] { return checksum(f.inv(a)); }));
+    record("inv_euclid", m, measure_ns([&] { return checksum(f.inv_euclid(a)); }));
+    record("inv_engine", m, measure_ns([&] { return checksum(f.inv(a)); }));
     record("inv_fermat_engine", m, measure_ns([&] { return checksum(f.inv_fermat(a)); }));
 
     // Region traffic: scale 4096 symbols by one constant.
@@ -256,10 +262,121 @@ void bench_field(const Field& f) {
     std::printf("\n");
 }
 
+// --- Inversion sweep: every Table V field ------------------------------------
+// The acceptance bar for the tier: the engine's Itoh-Tsujii chain must beat
+// the seed's extended Euclid on every catalog field.
+
+struct InvRow {
+    std::string label;
+    int m = 0;
+    double euclid_ns = 0.0;
+    double engine_ns = 0.0;
+};
+
+std::vector<InvRow> bench_inv_table5() {
+    std::printf("=== Inversion: Table V fields, extended Euclid vs Itoh-Tsujii ===\n");
+    std::vector<InvRow> rows;
+    for (const auto& spec : field::table5_fields()) {
+        const Field f = spec.make();
+        std::mt19937_64 rng{static_cast<std::uint64_t>(spec.m) * 0x51D + spec.n};
+        Poly a = f.random_element(rng);
+        if (a.is_zero()) {
+            a = f.one();
+        }
+        InvRow row;
+        row.label = spec.label();
+        row.m = spec.m;
+        row.euclid_ns = measure_ns([&] { return checksum(f.inv_euclid(a)); });
+        row.engine_ns = measure_ns([&] { return checksum(f.inv(a)); });
+        std::printf("  %-12s euclid %9.1f ns  itoh-tsujii %9.1f ns  speedup %5.1fx\n",
+                    row.label.c_str(), row.euclid_ns, row.engine_ns,
+                    row.euclid_ns / row.engine_ns);
+        rows.push_back(row);
+    }
+    std::printf("\n");
+    return rows;
+}
+
+// --- Karatsuba crossover -----------------------------------------------------
+// Raw word-level products (no reduction): schoolbook vs the Karatsuba layer
+// at growing operand sizes, locating the crossover; then the full modular
+// multiply and inverse at m = 1024 with the layer on and off.
+
+struct KaraRow {
+    int words = 0;
+    double school_ns = 0.0;
+    double kara_ns = 0.0;
+};
+
+std::vector<KaraRow> bench_karatsuba_crossover(int& crossover_words) {
+    std::printf("=== Karatsuba layer: word-level product crossover (threshold %d) ===\n",
+                gf2::karatsuba_threshold_words());
+    std::mt19937_64 rng{0xCA2A};
+    std::vector<KaraRow> rows;
+    crossover_words = 0;
+    gf2::MulArena arena;
+    Poly out;
+    for (const int n : {4, 8, 12, 16, 24, 32, 64}) {
+        std::vector<std::uint64_t> wa(static_cast<std::size_t>(n));
+        std::vector<std::uint64_t> wb(static_cast<std::size_t>(n));
+        for (auto& w : wa) {
+            w = rng();
+        }
+        for (auto& w : wb) {
+            w = rng();
+        }
+        const Poly a = Poly::from_words(wa);
+        const Poly b = Poly::from_words(wb);
+        KaraRow row;
+        row.words = n;
+        row.school_ns = measure_ns([&] {
+            Poly::mul_schoolbook_into(a, b, out);
+            return checksum(out);
+        });
+        row.kara_ns = measure_ns([&] {
+            Poly::mul_into(a, b, out, arena);
+            return checksum(out);
+        });
+        // Only sizes above the threshold actually diverge from schoolbook —
+        // below it both lambdas run the identical kernel and any "win" is
+        // timing noise, not a crossover.
+        if (crossover_words == 0 && n > gf2::karatsuba_threshold_words() &&
+            row.kara_ns < row.school_ns) {
+            crossover_words = n;
+        }
+        std::printf("  n=%-3d words  schoolbook %9.1f ns  karatsuba %9.1f ns  ratio %.2f\n",
+                    n, row.school_ns, row.kara_ns, row.school_ns / row.kara_ns);
+        rows.push_back(row);
+    }
+    std::printf("  measured crossover: %d words (~m = %d)\n\n", crossover_words,
+                crossover_words * 64);
+    return rows;
+}
+
+void bench_large_field_tier(const Field& f) {
+    const int m = f.degree();
+    std::printf("GF(2^%d): modular multiply and inverse, Karatsuba layer on/off\n", m);
+    std::mt19937_64 rng{static_cast<std::uint64_t>(m)};
+    Poly a = f.random_element(rng);
+    Poly b = f.random_element(rng);
+    if (a.is_zero()) a = f.one();
+    if (b.is_zero()) b = f.one();
+
+    const int tuned = gf2::karatsuba_threshold_words();
+    gf2::set_karatsuba_threshold_words(1 << 20);  // force pure schoolbook (PR-1 path)
+    record("mul_engine_schoolbook", m, measure_ns([&] { return checksum(f.mul(a, b)); }));
+    record("inv_engine_schoolbook", m, measure_ns([&] { return checksum(f.inv(a)); }));
+    gf2::set_karatsuba_threshold_words(tuned);
+    record("mul_engine_karatsuba", m, measure_ns([&] { return checksum(f.mul(a, b)); }));
+    record("inv_engine_karatsuba", m, measure_ns([&] { return checksum(f.inv(a)); }));
+    record("inv_euclid", m, measure_ns([&] { return checksum(f.inv_euclid(a)); }));
+    std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    const std::string json_path = (argc > 1) ? argv[1] : "BENCH_1.json";
+    const std::string json_path = (argc > 1) ? argv[1] : "BENCH_2.json";
 
     std::vector<Field> fields;
     fields.push_back(Field::type2(8, 2));     // the paper's worked example
@@ -273,16 +390,46 @@ int main(int argc, char** argv) {
         bench_field(f);
     }
 
+    const auto inv_rows = bench_inv_table5();
+    int crossover_words = 0;
+    const auto kara_rows = bench_karatsuba_crossover(crossover_words);
+    // The large-m showcase: 16-word operands, where the layer must beat the
+    // PR-1 schoolbook outright.
+    const Field f1024{Poly::from_exponents({1024, 19, 6, 1, 0})};
+    bench_large_field_tier(f1024);
+
     std::FILE* json = std::fopen(json_path.c_str(), "w");
     if (json == nullptr) {
         std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
         return 1;
     }
-    std::fprintf(json, "{\n  \"schema\": \"gfr-bench-v1\",\n  \"benchmarks\": [\n");
+    std::fprintf(json, "{\n  \"schema\": \"gfr-bench-v2\",\n");
+    std::fprintf(json, "  \"karatsuba_threshold_words\": %d,\n",
+                 gf2::karatsuba_threshold_words());
+    std::fprintf(json, "  \"karatsuba_crossover_words\": %d,\n", crossover_words);
+    std::fprintf(json, "  \"benchmarks\": [\n");
     for (std::size_t i = 0; i < g_results.size(); ++i) {
         const auto& r = g_results[i];
         std::fprintf(json, "    {\"name\": \"%s\", \"m\": %d, \"ns_per_op\": %.3f}%s\n",
                      r.name.c_str(), r.m, r.ns, (i + 1 < g_results.size()) ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"inv_table5\": [\n");
+    for (std::size_t i = 0; i < inv_rows.size(); ++i) {
+        const auto& r = inv_rows[i];
+        std::fprintf(json,
+                     "    {\"field\": \"%s\", \"m\": %d, \"euclid_ns\": %.3f, "
+                     "\"engine_ns\": %.3f, \"speedup\": %.2f}%s\n",
+                     r.label.c_str(), r.m, r.euclid_ns, r.engine_ns,
+                     r.euclid_ns / r.engine_ns, (i + 1 < inv_rows.size()) ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"karatsuba_crossover\": [\n");
+    for (std::size_t i = 0; i < kara_rows.size(); ++i) {
+        const auto& r = kara_rows[i];
+        std::fprintf(json,
+                     "    {\"words\": %d, \"schoolbook_ns\": %.3f, "
+                     "\"karatsuba_ns\": %.3f, \"ratio\": %.2f}%s\n",
+                     r.words, r.school_ns, r.kara_ns, r.school_ns / r.kara_ns,
+                     (i + 1 < kara_rows.size()) ? "," : "");
     }
     std::fprintf(json, "  ],\n  \"speedups\": [\n");
     bool first = true;
@@ -299,6 +446,33 @@ int main(int argc, char** argv) {
                      first ? "" : ",\n", m, seed, engine, seed / engine);
         first = false;
         std::printf("m=%-3d mul speedup seed/engine: %.1fx\n", m, seed / engine);
+    }
+    for (const auto& f : fields) {
+        const int m = f.degree();
+        const double euclid = ns_of("inv_euclid", m);
+        const double engine = ns_of("inv_engine", m);
+        if (euclid <= 0.0 || engine <= 0.0) {
+            continue;
+        }
+        std::fprintf(json,
+                     "%s    {\"name\": \"inv_euclid_vs_engine\", \"m\": %d, "
+                     "\"seed_ns\": %.3f, \"engine_ns\": %.3f, \"speedup\": %.2f}",
+                     first ? "" : ",\n", m, euclid, engine, euclid / engine);
+        first = false;
+        std::printf("m=%-3d inv speedup euclid/engine: %.1fx\n", m, euclid / engine);
+    }
+    {
+        const double school = ns_of("mul_engine_schoolbook", 1024);
+        const double kara = ns_of("mul_engine_karatsuba", 1024);
+        if (school > 0.0 && kara > 0.0) {
+            std::fprintf(json,
+                         "%s    {\"name\": \"mul_schoolbook_vs_karatsuba\", \"m\": 1024, "
+                         "\"seed_ns\": %.3f, \"engine_ns\": %.3f, \"speedup\": %.2f}",
+                         first ? "" : ",\n", school, kara, school / kara);
+            first = false;
+            std::printf("m=1024 mul speedup schoolbook/karatsuba: %.2fx\n",
+                        school / kara);
+        }
     }
     std::fprintf(json, "\n  ]\n}\n");
     std::fclose(json);

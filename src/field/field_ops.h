@@ -23,10 +23,15 @@
 // per-constant 4-bit window tables, the classic software-GF technique
 // (cf. ParPar's fast-GF-multiplication notes).
 //
-// Thread-safety: the multi-word path mutates internal scratch, so one
-// FieldOps instance must not be shared across threads without external
-// locking.  The single-word path and ConstMultiplier::mul are pure.
+// Thread-safety: FieldOps is immutable after construction; every operation
+// is const.  The multi-word (m > 64) path needs working buffers, which the
+// caller passes as an explicit FieldOps::Scratch — one per thread (or use
+// the convenience overloads, which borrow a thread_local default).  One
+// FieldOps instance can therefore serve concurrent verification and
+// region-encode traffic with no external locking.  The single-word path and
+// ConstMultiplier::mul are pure.
 
+#include "gf2/clmul.h"
 #include "gf2/gf2_poly.h"
 
 #include <bit>
@@ -35,44 +40,12 @@
 #include <utility>
 #include <vector>
 
-#if defined(GFR_USE_PCLMUL) && defined(__PCLMUL__)
-#include <wmmintrin.h>
-#endif
-
 namespace gfr::field {
 
 namespace detail {
 
-/// 64x64 -> 128 carry-less multiply.  Header-inline so the single-word field
-/// operations fold into their callers.
-inline void clmul64(std::uint64_t a, std::uint64_t b, std::uint64_t& hi,
-                    std::uint64_t& lo) noexcept {
-#if defined(GFR_USE_PCLMUL) && defined(__PCLMUL__)
-    const __m128i va = _mm_cvtsi64_si128(static_cast<long long>(a));
-    const __m128i vb = _mm_cvtsi64_si128(static_cast<long long>(b));
-    const __m128i prod = _mm_clmulepi64_si128(va, vb, 0x00);
-    lo = static_cast<std::uint64_t>(_mm_cvtsi128_si64(prod));
-    // High half via SSE2 unpack (avoids an SSE4.1 dependency for the extract).
-    hi = static_cast<std::uint64_t>(_mm_cvtsi128_si64(_mm_unpackhi_epi64(prod, prod)));
-#else
-    // Portable comb over the set bits of the sparser operand.
-    if (std::popcount(b) > std::popcount(a)) {
-        std::swap(a, b);
-    }
-    hi = 0;
-    lo = 0;
-    while (b != 0) {
-        const int k = std::countr_zero(b);
-        b &= b - 1;
-        lo ^= a << k;
-        if (k != 0) {
-            hi ^= a >> (64 - k);
-        }
-    }
-#endif
-}
-
-using gf2::detail::spread32;  // shared with Poly::square_into
+using gf2::detail::clmul64;    // word-level carry-less product primitive
+using gf2::detail::spread32;   // shared with Poly::square_into
 
 }  // namespace detail
 
@@ -87,6 +60,11 @@ public:
 
     /// True when elements fit one word and the u64 fast path applies.
     [[nodiscard]] bool single_word() const noexcept { return m_ <= 64; }
+
+    /// Words per canonical element: ceil(m / 64).
+    [[nodiscard]] std::size_t elem_words() const noexcept {
+        return static_cast<std::size_t>(m_ + 63) / 64;
+    }
 
     // --- Single-word path (requires single_word()); zero heap allocations --
     // Header-inline: these are the innermost ops of every hot loop.
@@ -152,8 +130,16 @@ public:
         return result;
     }
 
-    /// Multiplicative inverse via Fermat (a^(2^m - 2)).  Throws on zero.
+    /// Multiplicative inverse via the Itoh-Tsujii addition chain on m - 1:
+    /// a^-1 = (a^(2^(m-1) - 1))^2, built from ~m squarings but only
+    /// floor(log2(m-1)) + popcount(m-1) - 1 multiplies (Fermat's ladder pays
+    /// m - 1 multiplies).  Throws std::invalid_argument on zero.
     [[nodiscard]] std::uint64_t inv(std::uint64_t a) const;
+
+    /// Multiplicative inverse via Fermat (a^(2^m - 2)): the m-1 high
+    /// squarings multiplied together.  Kept as an engine-internal
+    /// cross-check/benchmark target for inv()'s addition chain.
+    [[nodiscard]] std::uint64_t inv_fermat(std::uint64_t a) const;
 
     /// Element-wise batch multiply: out[i] = a[i] * b[i].  Spans must have
     /// equal length; out may alias a or b.
@@ -166,16 +152,66 @@ public:
     /// (this builds one per call).
     void mul_region_const(std::uint64_t c, std::span<std::uint64_t> data) const;
 
-    // --- Multi-word path (any m); internal scratch reuse -------------------
+    // --- Multi-word path (any m); caller-owned scratch ---------------------
+    //
+    // The engine itself is immutable: all working storage for the m > 64
+    // operations lives in a Scratch the caller owns.  Hot consumers
+    // (verification sweeps, region encoders) hold one Scratch per thread and
+    // pass it explicitly; casual callers can use the overloads without a
+    // scratch parameter, which borrow a thread_local default.
+
+    /// Working buffers for the multi-word operations.  Modulus-independent:
+    /// one Scratch serves any number of FieldOps instances, but must not be
+    /// shared between threads.  Buffers grow to the largest operand seen and
+    /// are then reused, so steady-state operation allocates nothing.
+    struct Scratch {
+        gf2::MulArena arena;  ///< Karatsuba split/sum arena for mul
+        gf2::Poly base;       ///< reduced operand held across the inv chain
+        // Raw word buffers for the reduction fold and the inversion chain's
+        // square/multiply loop (kept off the Poly bookkeeping: ~m squarings
+        // per inverse make per-op normalize/degree scans the dominant cost
+        // otherwise).
+        std::vector<std::uint64_t> wcur, wtmp, wprod, wsave;
+    };
+
+    /// The calling thread's default Scratch (shared by every FieldOps on
+    /// that thread; never shared across threads).
+    static Scratch& thread_scratch();
 
     /// out = a * b mod f.  out must not alias a or b.
-    void mul(const gf2::Poly& a, const gf2::Poly& b, gf2::Poly& out);
+    void mul(const gf2::Poly& a, const gf2::Poly& b, gf2::Poly& out,
+             Scratch& scratch) const;
+    void mul(const gf2::Poly& a, const gf2::Poly& b, gf2::Poly& out) const {
+        mul(a, b, out, thread_scratch());
+    }
 
     /// out = a^2 mod f.  out must not alias a.
-    void sqr(const gf2::Poly& a, gf2::Poly& out);
+    void sqr(const gf2::Poly& a, gf2::Poly& out, Scratch& scratch) const;
+    void sqr(const gf2::Poly& a, gf2::Poly& out) const {
+        sqr(a, out, thread_scratch());
+    }
+
+    /// out = a^-1 mod f via the Itoh-Tsujii addition chain (multi-word
+    /// sibling of inv(std::uint64_t); also serves m <= 64 operands).  Throws
+    /// std::invalid_argument when a is zero (mod f).  out must not alias a.
+    void inv(const gf2::Poly& a, gf2::Poly& out, Scratch& scratch) const;
+    void inv(const gf2::Poly& a, gf2::Poly& out) const {
+        inv(a, out, thread_scratch());
+    }
 
     /// Reduce an arbitrary polynomial modulo f by shift-XOR folding.
-    void reduce_in_place(gf2::Poly& p);
+    void reduce_in_place(gf2::Poly& p, Scratch& scratch) const;
+    void reduce_in_place(gf2::Poly& p) const {
+        reduce_in_place(p, thread_scratch());
+    }
+
+    /// In-place word-span reduction: fold every bit >= m of p (pn words)
+    /// down through the modulus tails, leaving the canonical element in the
+    /// low elem_words() words and zeros above.  The raw sibling of
+    /// reduce_in_place for callers holding bare buffers (the inversion
+    /// chain, bulk pipelines).  Requires pn >= elem_words() + 1 so tail
+    /// spill of the boundary word stays in bounds.
+    void reduce_words(std::uint64_t* p, std::size_t pn) const noexcept;
 
 private:
     gf2::Poly modulus_;
@@ -183,8 +219,13 @@ private:
     std::vector<int> tails_;        ///< support of the modulus below y^m
     std::uint64_t elem_mask_ = 0;   ///< low-m mask (all-ones when m == 64)
     std::uint64_t tails_mask_ = 0;  ///< bit t set per tail (f - y^m), m <= 64
-    std::vector<std::uint64_t> prod_;  ///< multi-word product scratch
-    gf2::Poly excess_;                 ///< multi-word reduction scratch
+    // Nonzero tails packed as one word shifted down by their minimum
+    // exponent: a type II pentanomial's {n, n+1, n+2} cluster (or a
+    // trinomial's single tail) folds with ONE carry-less multiply deposited
+    // at bit n, plus a direct XOR for the constant tail.
+    std::uint64_t cluster_mask_ = 0;  ///< (f - y^m - 1) >> cluster_shift_
+    int cluster_shift_ = 0;           ///< smallest nonzero tail exponent
+    bool cluster_fold_ok_ = false;    ///< fast single-pass fold applicable
 };
 
 /// Precomputed constant multiplier for region traffic in single-word fields:

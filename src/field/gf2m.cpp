@@ -74,7 +74,9 @@ Field::Element Field::sqr(const Element& a) const {
 }
 
 Field::Element Field::mul_reference(const Element& a, const Element& b) const {
-    return (a * b) % modulus_;
+    Poly prod;
+    Poly::mul_comb_into(a, b, prod);  // independent of the clmul/Karatsuba path
+    return prod % modulus_;
 }
 
 Field::Element Field::sqr_reference(const Element& a) const {
@@ -124,6 +126,18 @@ Field::Element Field::inv(const Element& a) const {
     if (a.is_zero()) {
         throw std::invalid_argument{"Field::inv: zero has no inverse"};
     }
+    if (ops_->single_word() && fits_word(a)) {
+        return element_from_word(ops_->inv(word_of(a)));
+    }
+    Element out;
+    ops_->inv(a, out);
+    return out;
+}
+
+Field::Element Field::inv_euclid(const Element& a) const {
+    if (a.is_zero()) {
+        throw std::invalid_argument{"Field::inv_euclid: zero has no inverse"};
+    }
     // Extended Euclid over GF(2)[y]: maintain g1*a == r1 (mod f).
     Poly r0 = modulus_;
     Poly r1 = a;
@@ -137,7 +151,8 @@ Field::Element Field::inv(const Element& a) const {
         g0 = std::move(g1);
         g1 = std::move(g);
         if (r1.is_zero()) {
-            throw std::logic_error{"Field::inv: gcd != 1; modulus not irreducible?"};
+            throw std::logic_error{
+                "Field::inv_euclid: gcd != 1; modulus not irreducible?"};
         }
     }
     return g1 % modulus_;
@@ -148,7 +163,7 @@ Field::Element Field::inv_fermat(const Element& a) const {
         throw std::invalid_argument{"Field::inv_fermat: zero has no inverse"};
     }
     if (ops_->single_word() && fits_word(a)) {
-        return element_from_word(ops_->inv(word_of(a)));
+        return element_from_word(ops_->inv_fermat(word_of(a)));
     }
     // a^(2^m - 2) = prod of squarings: (2^m - 2) = 111...10 in binary.
     Element result = one();

@@ -1,0 +1,53 @@
+#ifndef GFR_GF2_CLMUL_H
+#define GFR_GF2_CLMUL_H
+
+// 64x64 -> 128 carry-less multiply, the word-level primitive under both the
+// fixed-modulus field engine (field::FieldOps) and the Poly word-level
+// product kernels.  Lives in gf2 so the polynomial layer can use it without
+// depending on the field layer above it.
+//
+// Compiled with GFR_USE_PCLMUL on x86 this is a single PCLMULQDQ; otherwise a
+// portable comb over the set bits of the sparser operand.
+
+#include <bit>
+#include <cstdint>
+#include <utility>
+
+#if defined(GFR_USE_PCLMUL) && defined(__PCLMUL__)
+#include <wmmintrin.h>
+#endif
+
+namespace gfr::gf2::detail {
+
+/// 64x64 -> 128 carry-less multiply.  Header-inline so the single-word field
+/// operations and the word-level product kernels fold it into their callers.
+inline void clmul64(std::uint64_t a, std::uint64_t b, std::uint64_t& hi,
+                    std::uint64_t& lo) noexcept {
+#if defined(GFR_USE_PCLMUL) && defined(__PCLMUL__)
+    const __m128i va = _mm_cvtsi64_si128(static_cast<long long>(a));
+    const __m128i vb = _mm_cvtsi64_si128(static_cast<long long>(b));
+    const __m128i prod = _mm_clmulepi64_si128(va, vb, 0x00);
+    lo = static_cast<std::uint64_t>(_mm_cvtsi128_si64(prod));
+    // High half via SSE2 unpack (avoids an SSE4.1 dependency for the extract).
+    hi = static_cast<std::uint64_t>(_mm_cvtsi128_si64(_mm_unpackhi_epi64(prod, prod)));
+#else
+    // Portable comb over the set bits of the sparser operand.
+    if (std::popcount(b) > std::popcount(a)) {
+        std::swap(a, b);
+    }
+    hi = 0;
+    lo = 0;
+    while (b != 0) {
+        const int k = std::countr_zero(b);
+        b &= b - 1;
+        lo ^= a << k;
+        if (k != 0) {
+            hi ^= a >> (64 - k);
+        }
+    }
+#endif
+}
+
+}  // namespace gfr::gf2::detail
+
+#endif  // GFR_GF2_CLMUL_H

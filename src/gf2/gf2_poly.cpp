@@ -1,6 +1,9 @@
 #include "gf2/gf2_poly.h"
 
+#include "gf2/clmul.h"
+
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <stdexcept>
 
@@ -8,7 +11,147 @@ namespace gfr::gf2 {
 
 namespace {
 constexpr int kWordBits = 64;
+
+// Default Karatsuba crossover, in words per operand (tuned by
+// bench/microbench_field, recorded in BENCH_2.json).  With PCLMULQDQ the
+// word product is a single instruction and schoolbook stays competitive
+// longer — the measured crossover sits at 16 words, so operands below that
+// never split (15 keeps 9-15-word operands, e.g. NIST m=571, on the faster
+// schoolbook) and a 16-word multiply does one split onto 8-word schoolbook
+// halves.  The portable comb clmul is ~an order of magnitude costlier per
+// word pair, so splitting pays off much earlier there.
+#if defined(GFR_USE_PCLMUL) && defined(__PCLMUL__)
+constexpr int kDefaultKaratsubaThresholdWords = 15;
+#else
+constexpr int kDefaultKaratsubaThresholdWords = 2;
+#endif
+
+std::atomic<int> g_karatsuba_threshold{kDefaultKaratsubaThresholdWords};
+
+// --- Word-level product kernels ---------------------------------------------
+//
+// All kernels XOR the product of (a, an words) x (b, bn words) into dest,
+// which the caller supplies pre-zeroed with an + bn words.  Working over raw
+// word spans keeps the Karatsuba recursion free of Poly bookkeeping and lets
+// every temporary live in one caller-owned arena.
+
+/// Schoolbook: one carry-less 64x64 product per word pair.
+void school_mul_words(const std::uint64_t* a, std::size_t an, const std::uint64_t* b,
+                      std::size_t bn, std::uint64_t* dest) noexcept {
+    for (std::size_t i = 0; i < an; ++i) {
+        const std::uint64_t ai = a[i];
+        if (ai == 0) {
+            continue;
+        }
+        for (std::size_t j = 0; j < bn; ++j) {
+            std::uint64_t hi = 0;
+            std::uint64_t lo = 0;
+            detail::clmul64(ai, b[j], hi, lo);
+            dest[i + j] ^= lo;
+            dest[i + j + 1] ^= hi;
+        }
+    }
+}
+
+/// Scratch words kara_mul_words may touch for operands of <= n words per
+/// side at the given threshold: 4*ceil(n/2) per recursion level (two split
+/// sums plus one 2k-word temporary product), summed down the levels.
+std::size_t kara_scratch_words(std::size_t n, std::size_t threshold) noexcept {
+    std::size_t total = 0;
+    while (n > threshold) {
+        const std::size_t k = (n + 1) / 2;
+        total += 4 * k;
+        n = k;
+    }
+    return total;
+}
+
+/// Karatsuba on word-aligned splits.  dest (an + bn words) must be
+/// pre-zeroed; scratch must hold kara_scratch_words(max(an, bn), threshold)
+/// words.  Recurses until the smaller operand fits the schoolbook threshold.
+void kara_mul_words(const std::uint64_t* a, std::size_t an, const std::uint64_t* b,
+                    std::size_t bn, std::uint64_t* dest, std::uint64_t* scratch,
+                    std::size_t threshold) noexcept {
+    if (an < bn) {
+        std::swap(a, b);
+        std::swap(an, bn);
+    }
+    if (bn == 0) {
+        return;
+    }
+    if (bn <= threshold) {
+        school_mul_words(a, an, b, bn, dest);
+        return;
+    }
+    const std::size_t k = (an + 1) / 2;
+    if (bn <= k) {
+        // b spans only the low split of a: a*b = a0*b + (a1*b) << 64k, two
+        // subproducts with no middle term.  The high part goes through a
+        // zeroed temporary because its destination overlaps a0*b's words.
+        kara_mul_words(a, k, b, bn, dest, scratch, threshold);
+        const std::size_t hi_words = (an - k) + bn;
+        std::uint64_t* t = scratch;
+        std::memset(t, 0, hi_words * sizeof(std::uint64_t));
+        kara_mul_words(a + k, an - k, b, bn, t, scratch + 2 * k, threshold);
+        for (std::size_t i = 0; i < hi_words; ++i) {
+            dest[k + i] ^= t[i];
+        }
+        return;
+    }
+    // Balanced split at k words: a = a0 + a1 X, b = b0 + b1 X with X = y^64k.
+    //   z0 = a0*b0, z2 = a1*b1, middle = (a0^a1)(b0^b1) ^ z0 ^ z2.
+    // z0 and z2 land in disjoint halves of dest directly; the middle term is
+    // built in scratch and XORed in at offset k.
+    const std::size_t a1n = an - k;
+    const std::size_t b1n = bn - k;
+    kara_mul_words(a, k, b, k, dest, scratch, threshold);
+    kara_mul_words(a + k, a1n, b + k, b1n, dest + 2 * k, scratch, threshold);
+    std::uint64_t* sa = scratch;
+    std::uint64_t* sb = scratch + k;
+    std::uint64_t* t = scratch + 2 * k;
+    for (std::size_t i = 0; i < k; ++i) {
+        sa[i] = a[i] ^ (i < a1n ? a[k + i] : 0);
+        sb[i] = b[i] ^ (i < b1n ? b[k + i] : 0);
+    }
+    std::memset(t, 0, 2 * k * sizeof(std::uint64_t));
+    kara_mul_words(sa, k, sb, k, t, scratch + 4 * k, threshold);
+    for (std::size_t i = 0; i < 2 * k; ++i) {
+        t[i] ^= dest[i];  // ^= z0
+    }
+    for (std::size_t i = 0; i < a1n + b1n; ++i) {
+        t[i] ^= dest[2 * k + i];  // ^= z2
+    }
+    for (std::size_t i = 0; i < 2 * k; ++i) {
+        dest[k + i] ^= t[i];
+    }
+}
+
 }  // namespace
+
+int karatsuba_threshold_words() noexcept {
+    return g_karatsuba_threshold.load(std::memory_order_relaxed);
+}
+
+void set_karatsuba_threshold_words(int words) {
+    g_karatsuba_threshold.store(std::max(words, 1), std::memory_order_relaxed);
+}
+
+void mul_words_schoolbook(const std::uint64_t* a, std::size_t an,
+                          const std::uint64_t* b, std::size_t bn,
+                          std::uint64_t* dest) noexcept {
+    school_mul_words(a, an, b, bn, dest);
+}
+
+void mul_words(const std::uint64_t* a, std::size_t an, const std::uint64_t* b,
+               std::size_t bn, std::uint64_t* dest, MulArena& arena) {
+    const auto threshold = static_cast<std::size_t>(karatsuba_threshold_words());
+    if (std::min(an, bn) <= threshold) {
+        school_mul_words(a, an, b, bn, dest);
+        return;
+    }
+    std::uint64_t* scratch = arena.ensure(kara_scratch_words(std::max(an, bn), threshold));
+    kara_mul_words(a, an, b, bn, dest, scratch, threshold);
+}
 
 void WordVec::grow(std::size_t n) {
     const std::size_t new_cap = std::max(n, cap_ * 2);
@@ -204,9 +347,51 @@ void Poly::add_shifted(const Poly& p, int shift) {
     normalize();
 }
 
-void Poly::mul_into(const Poly& a, const Poly& b, Poly& out) {
+void Poly::mul_into(const Poly& a, const Poly& b, Poly& out, MulArena& arena) {
     if (&out == &a || &out == &b) {
-        out = a * b;  // aliasing: fall back to a temporary
+        Poly tmp;
+        mul_into(a, b, tmp, arena);  // aliasing: fall back to a temporary
+        out = std::move(tmp);
+        return;
+    }
+    if (a.is_zero() || b.is_zero()) {
+        out.words_.clear();
+        return;
+    }
+    const std::size_t an = a.words_.size();
+    const std::size_t bn = b.words_.size();
+    out.words_.assign(an + bn, 0);
+    mul_words(a.words_.data(), an, b.words_.data(), bn, out.words_.data(), arena);
+    out.normalize();
+}
+
+void Poly::mul_into(const Poly& a, const Poly& b, Poly& out) {
+    static thread_local MulArena arena;
+    mul_into(a, b, out, arena);
+}
+
+void Poly::mul_schoolbook_into(const Poly& a, const Poly& b, Poly& out) {
+    if (&out == &a || &out == &b) {
+        Poly tmp;
+        mul_schoolbook_into(a, b, tmp);
+        out = std::move(tmp);
+        return;
+    }
+    if (a.is_zero() || b.is_zero()) {
+        out.words_.clear();
+        return;
+    }
+    out.words_.assign(a.words_.size() + b.words_.size(), 0);
+    school_mul_words(a.words_.data(), a.words_.size(), b.words_.data(),
+                     b.words_.size(), out.words_.data());
+    out.normalize();
+}
+
+void Poly::mul_comb_into(const Poly& a, const Poly& b, Poly& out) {
+    if (&out == &a || &out == &b) {
+        Poly tmp;
+        mul_comb_into(a, b, tmp);
+        out = std::move(tmp);
         return;
     }
     if (a.is_zero() || b.is_zero()) {

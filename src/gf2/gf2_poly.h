@@ -175,6 +175,54 @@ private:
     std::uint64_t inline_[kInlineWords];
 };
 
+/// Reusable scratch arena for the word-level product kernels.
+///
+/// The Karatsuba layer in Poly::mul_into needs O(n) words of working space
+/// for the split-operand sums and intermediate products.  An arena is one
+/// growable word buffer handed down the recursion, so steady-state multiplies
+/// allocate nothing once the arena has seen the largest operand size.
+/// An arena holds no per-modulus or per-operand state: one instance can be
+/// reused across arbitrary multiplies, but must not be shared between
+/// threads (each thread should own one, or use the thread-local default).
+class MulArena {
+public:
+    /// Pointer to at least `words` words of scratch (contents unspecified).
+    std::uint64_t* ensure(std::size_t words) {
+        if (words > buf_.size()) {
+            buf_.resize(words);
+        }
+        return buf_.data();
+    }
+
+    [[nodiscard]] std::size_t capacity_words() const noexcept { return buf_.size(); }
+
+private:
+    WordVec buf_;
+};
+
+/// Operand size (in 64-bit words) below which Poly::mul_into uses the plain
+/// word-level schoolbook instead of recursing with Karatsuba.  The default is
+/// tuned by bench/microbench_field (see BENCH_2.json); tests and benches may
+/// override it process-wide to force either path or probe the boundary.
+[[nodiscard]] int karatsuba_threshold_words() noexcept;
+void set_karatsuba_threshold_words(int words);
+
+// --- Raw word-span products --------------------------------------------------
+// The kernels under Poly::mul_into, exposed over bare spans for callers that
+// manage their own word buffers (the field engine's inversion chain).  Both
+// XOR the product of (a, an words) x (b, bn words) into dest, which the
+// caller supplies zeroed with an + bn words.
+
+/// Word-level schoolbook only: one carry-less 64x64 product per word pair.
+void mul_words_schoolbook(const std::uint64_t* a, std::size_t an,
+                          const std::uint64_t* b, std::size_t bn,
+                          std::uint64_t* dest) noexcept;
+
+/// Schoolbook with the Karatsuba layer above karatsuba_threshold_words();
+/// recursion scratch comes from `arena`.
+void mul_words(const std::uint64_t* a, std::size_t an, const std::uint64_t* b,
+               std::size_t bn, std::uint64_t* dest, MulArena& arena);
+
 /// Immutable-by-convention dense GF(2)[y] polynomial.
 ///
 /// Invariant: words_ has no trailing zero word, so degree() is O(1) on the
@@ -254,9 +302,29 @@ public:
     /// Grows storage only when the result outgrows current capacity.
     void add_shifted(const Poly& p, int shift);
 
-    /// out = a * b (comb product) reusing out's capacity.  out may alias
-    /// neither a nor b (checked; falls back to a temporary if it does).
+    /// out = a * b reusing out's capacity.  One carry-less 64x64 product per
+    /// word pair (word-level schoolbook), with a Karatsuba layer on
+    /// word-aligned splits once both operands exceed
+    /// karatsuba_threshold_words().  Scratch for the Karatsuba recursion
+    /// comes from `arena`; in steady state (arena warmed, out capacity
+    /// sufficient) the call does not allocate.  out may alias neither a nor b
+    /// (checked; falls back to a temporary if it does).
+    static void mul_into(const Poly& a, const Poly& b, Poly& out, MulArena& arena);
+
+    /// mul_into using a thread-local default arena.
     static void mul_into(const Poly& a, const Poly& b, Poly& out);
+
+    /// out = a * b via word-level schoolbook only (no Karatsuba layer) — the
+    /// PR-1 engine product, kept callable for crossover benching and for
+    /// boundary tests pinning the Karatsuba layer to it.
+    static void mul_schoolbook_into(const Poly& a, const Poly& b, Poly& out);
+
+    /// out = a * b via the bit-serial shift-and-XOR comb.  Deliberately
+    /// shares no code with the word-level kernels (no clmul, no Karatsuba):
+    /// this is the independent reference product that differential tests and
+    /// Field::mul_reference cross-check the fast paths against, in the spirit
+    /// of formal GF(2^m) verification work (Yu & Ciesielski).
+    static void mul_comb_into(const Poly& a, const Poly& b, Poly& out);
 
     /// out = a * a reusing out's capacity.  out must not alias a.
     static void square_into(const Poly& a, Poly& out);

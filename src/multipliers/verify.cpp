@@ -46,9 +46,10 @@ Poly element_from_lane(std::span<const std::uint64_t> words, int offset, int m,
 
 /// Buffers shared by every sweep of one verification run: the simulator's
 /// output words, the transposed operands / expected products for the
-/// engine's batched multiply (m <= 64), and reusable element storage for the
-/// multi-word path — so sweeps in either regime are allocation-free in
-/// steady state.
+/// engine's batched multiply (m <= 64), reusable element storage for the
+/// multi-word path, and an explicit engine scratch — so sweeps in either
+/// regime are allocation-free in steady state, and concurrent verification
+/// runs over one shared Field never contend (each run owns its scratch).
 struct SweepScratch {
     std::vector<std::uint64_t> out_words;
     std::array<std::uint64_t, 64> a_lanes{};
@@ -58,6 +59,7 @@ struct SweepScratch {
     Poly a_elem;
     Poly b_elem;
     Poly product;
+    field::FieldOps::Scratch ops_scratch;  // engine working buffers
 };
 
 std::optional<VerifyFailure> check_sweep(netlist::Simulator& sim, const Field& field,
@@ -101,7 +103,8 @@ std::optional<VerifyFailure> check_sweep(netlist::Simulator& sim, const Field& f
     for (int lane = 0; lane < 64; ++lane) {
         element_from_lane_into(in_words, 0, m, lane, scratch.lane_bits, scratch.a_elem);
         element_from_lane_into(in_words, m, m, lane, scratch.lane_bits, scratch.b_elem);
-        field.ops().mul(scratch.a_elem, scratch.b_elem, scratch.product);
+        field.ops().mul(scratch.a_elem, scratch.b_elem, scratch.product,
+                        scratch.ops_scratch);
         for (int k = 0; k < m; ++k) {
             const bool got = (out_words[static_cast<std::size_t>(k)] >> lane) & 1U;
             const bool want = scratch.product.coeff(k);

@@ -44,7 +44,10 @@ std::vector<int> match_ports(const std::vector<Port>& lhs, const std::vector<Por
 }
 
 /// One pair of simulators plus output buffers, reused across every sweep of
-/// an equivalence run so the hot loop does not allocate.
+/// an equivalence run so the hot loop does not allocate.  Each run owns its
+/// context outright (nothing is shared through the netlists, which stay
+/// const), so equivalence checks may run concurrently from worker threads —
+/// the same explicit-scratch discipline the field engine follows.
 struct SweepContext {
     SweepContext(const Netlist& lhs, const Netlist& rhs) : lhs_sim{lhs}, rhs_sim{rhs} {}
 

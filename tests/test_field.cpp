@@ -76,12 +76,15 @@ TEST_P(FieldAxioms, InversesAgreeAndWork) {
         if (a.is_zero()) {
             a = f.one();
         }
-        const auto inv_eea = f.inv(a);
-        const auto inv_fer = f.inv_fermat(a);
+        const auto inv_chain = f.inv(a);         // engine Itoh-Tsujii
+        const auto inv_eea = f.inv_euclid(a);    // extended Euclid
+        const auto inv_fer = f.inv_fermat(a);    // Fermat ladder
+        EXPECT_EQ(inv_chain, inv_eea);
         EXPECT_EQ(inv_eea, inv_fer);
-        EXPECT_EQ(f.mul(a, inv_eea), f.one());
+        EXPECT_EQ(f.mul(a, inv_chain), f.one());
     }
     EXPECT_THROW(f.inv(f.zero()), std::invalid_argument);
+    EXPECT_THROW(f.inv_euclid(f.zero()), std::invalid_argument);
     EXPECT_THROW(f.inv_fermat(f.zero()), std::invalid_argument);
 }
 

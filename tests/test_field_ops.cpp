@@ -8,44 +8,16 @@
 #include "field/field_catalog.h"
 #include "field/gf2m.h"
 #include "gf2/pentanomial.h"
+#include "testutil.h"  // PRNG, generators, Table V iteration, counting allocator
 
 #include <gtest/gtest.h>
-
-#include <atomic>
-#include <cstdlib>
-#include <new>
-#include <random>
-
-// --- Global allocation counter ---------------------------------------------
-// Replacing operator new in this test binary lets the allocation-free claims
-// be asserted, not just promised.  Counts every heap allocation in the
-// process; tests measure deltas around tight loops that must stay at zero.
-
-namespace {
-std::atomic<long> g_allocations{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-    g_allocations.fetch_add(1, std::memory_order_relaxed);
-    if (void* p = std::malloc(size)) {
-        return p;
-    }
-    throw std::bad_alloc{};
-}
-
-void* operator new[](std::size_t size) { return ::operator new(size); }
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace gfr::field {
 namespace {
 
 using gf2::Poly;
-
-long allocation_count() { return g_allocations.load(std::memory_order_relaxed); }
+using testutil::allocation_count;
+using testutil::Xorshift64Star;
 
 // --- Exhaustive cross-checks on every field with m <= 10 --------------------
 
@@ -80,7 +52,7 @@ TEST_P(FieldOpsExhaustive, SqrAndInvMatchReference) {
         if (a != 0) {
             const std::uint64_t ia = ops.inv(a);
             EXPECT_EQ(ops.mul(a, ia), 1U) << "a=" << a;
-            EXPECT_EQ(ia, f.to_bits(f.inv(pa))) << "a=" << a;
+            EXPECT_EQ(ia, f.to_bits(f.inv_euclid(pa))) << "a=" << a;  // independent path
         }
     }
     EXPECT_THROW(static_cast<void>(ops.inv(0)), std::invalid_argument);
@@ -105,17 +77,17 @@ TEST_P(FieldOpsSingleWordRandomized, EngineMatchesReference) {
     const Field f{modulus};
     const auto& ops = f.ops();
     ASSERT_TRUE(ops.single_word());
-    std::mt19937_64 rng{static_cast<std::uint64_t>(m) * 0xBEEF};
+    testutil::Xorshift64Star rng{static_cast<std::uint64_t>(m) * 0xBEEF};
     for (int trial = 0; trial < 200; ++trial) {
-        const Poly pa = f.random_element(rng);
-        const Poly pb = f.random_element(rng);
+        const Poly pa = testutil::random_element(f, rng);
+        const Poly pb = testutil::random_element(f, rng);
         const std::uint64_t a = f.to_bits(pa);
         const std::uint64_t b = f.to_bits(pb);
         ASSERT_EQ(ops.mul(a, b), f.to_bits(f.mul_reference(pa, pb)))
             << "a=" << a << " b=" << b << " m=" << m;
         ASSERT_EQ(ops.sqr(a), f.to_bits(f.sqr_reference(pa)));
         if (a != 0) {
-            ASSERT_EQ(ops.inv(a), f.to_bits(f.inv(pa))) << "a=" << a;
+            ASSERT_EQ(ops.inv(a), f.to_bits(f.inv_euclid(pa))) << "a=" << a;
         }
     }
 }
@@ -132,16 +104,16 @@ class FieldOpsRandomized : public ::testing::TestWithParam<Poly> {};
 
 TEST_P(FieldOpsRandomized, EngineMatchesReference) {
     const Field f{GetParam()};
-    std::mt19937_64 rng{static_cast<std::uint64_t>(f.degree()) * 0xC0FFEE};
+    testutil::Xorshift64Star rng{static_cast<std::uint64_t>(f.degree()) * 0xC0FFEE};
     for (int trial = 0; trial < 100; ++trial) {
-        const Poly a = f.random_element(rng);
-        const Poly b = f.random_element(rng);
+        const Poly a = testutil::random_element(f, rng);
+        const Poly b = testutil::random_element(f, rng);
         EXPECT_EQ(f.mul(a, b), f.mul_reference(a, b));
         EXPECT_EQ(f.sqr(a), f.sqr_reference(a));
         EXPECT_EQ(f.reduce(a * b), f.mul(a, b));
     }
     for (int trial = 0; trial < 5; ++trial) {
-        Poly a = f.random_element(rng);
+        Poly a = testutil::random_element(f, rng);
         if (a.is_zero()) {
             a = f.one();
         }
@@ -165,10 +137,10 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(FieldOpsCatalog, EngineMatchesReferenceOnAllTable5Fields) {
     for (const auto& spec : table5_fields()) {
         const Field f = spec.make();
-        std::mt19937_64 rng{static_cast<std::uint64_t>(spec.m * 131 + spec.n)};
+        testutil::Xorshift64Star rng{static_cast<std::uint64_t>(spec.m * 131 + spec.n)};
         for (int trial = 0; trial < 50; ++trial) {
-            const Poly a = f.random_element(rng);
-            const Poly b = f.random_element(rng);
+            const Poly a = testutil::random_element(f, rng);
+            const Poly b = testutil::random_element(f, rng);
             ASSERT_EQ(f.mul(a, b), f.mul_reference(a, b)) << spec.label();
             ASSERT_EQ(f.sqr(a), f.sqr_reference(a)) << spec.label();
         }
@@ -202,7 +174,7 @@ TEST(FieldOpsNonCanonical, UnreducedInputsAreReducedNotTruncated) {
 TEST(FieldOpsRegion, ConstMultiplierMatchesScalarLoop) {
     const Field f = Field::type2(8, 2);
     const auto& ops = f.ops();
-    std::mt19937_64 rng{808};
+    testutil::Xorshift64Star rng{808};
     for (int trial = 0; trial < 8; ++trial) {
         const std::uint64_t c = rng() & 0xFF;
         const ConstMultiplier cm{ops, c};
@@ -215,7 +187,7 @@ TEST(FieldOpsRegion, ConstMultiplierMatchesScalarLoop) {
 TEST(FieldOpsRegion, RegionOpsMatchScalarOnWideSingleWordField) {
     const Field f = Field::type2(64, 23);
     const auto& ops = f.ops();
-    std::mt19937_64 rng{6423};
+    testutil::Xorshift64Star rng{6423};
     std::vector<std::uint64_t> a(257);
     std::vector<std::uint64_t> b(257);
     std::vector<std::uint64_t> out(257);
@@ -238,11 +210,11 @@ TEST(FieldOpsRegion, RegionOpsMatchScalarOnWideSingleWordField) {
 
 TEST(FieldOpsRegion, ElementRegionMatchesScalarOnMultiWordField) {
     const Field f = Field::type2(163, 66);
-    std::mt19937_64 rng{163 * 7};
-    const Poly c = f.random_element(rng);
+    testutil::Xorshift64Star rng{163 * 7};
+    const Poly c = testutil::random_element(f, rng);
     std::vector<Poly> data(33);
     for (auto& e : data) {
-        e = f.random_element(rng);
+        e = testutil::random_element(f, rng);
     }
     auto scaled = data;
     f.mul_region_const(c, scaled);
@@ -298,9 +270,9 @@ TEST(FieldOpsAllocations, ConstMultiplierRegionIsAllocationFree) {
 TEST(FieldOpsAllocations, MultiWordSteadyStateIsAllocationFree) {
     const Field f = Field::type2(163, 66);
     auto& ops = f.ops();
-    std::mt19937_64 rng{163};
-    const Poly a = f.random_element(rng);
-    const Poly b = f.random_element(rng);
+    testutil::Xorshift64Star rng{163};
+    const Poly a = testutil::random_element(f, rng);
+    const Poly b = testutil::random_element(f, rng);
     Poly prod;
     Poly square;
     ops.mul(a, b, prod);  // warm the product/excess scratch and output storage
@@ -316,7 +288,7 @@ TEST(FieldOpsAllocations, MultiWordSteadyStateIsAllocationFree) {
 // --- Allocation-free Poly kernels -------------------------------------------
 
 TEST(PolyKernels, AddShiftedMatchesShiftPlusAdd) {
-    std::mt19937_64 rng{11};
+    testutil::Xorshift64Star rng{11};
     for (int trial = 0; trial < 50; ++trial) {
         Poly a;
         Poly b;
@@ -332,7 +304,7 @@ TEST(PolyKernels, AddShiftedMatchesShiftPlusAdd) {
 }
 
 TEST(PolyKernels, MulIntoAndSquareIntoMatchOperators) {
-    std::mt19937_64 rng{22};
+    testutil::Xorshift64Star rng{22};
     Poly out;
     for (int trial = 0; trial < 50; ++trial) {
         Poly a;
@@ -367,7 +339,7 @@ TEST(PolyKernels, ShrIntoTruncateAssignWord) {
 }
 
 TEST(PolyKernels, DivmodInplaceMatchesDivmod) {
-    std::mt19937_64 rng{33};
+    testutil::Xorshift64Star rng{33};
     for (int trial = 0; trial < 50; ++trial) {
         Poly num;
         Poly den;

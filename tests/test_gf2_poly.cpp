@@ -2,23 +2,18 @@
 
 #include "gf2/gf2_poly.h"
 
-#include <gtest/gtest.h>
+#include "testutil.h"  // shared PRNG + random polynomial generator
 
-#include <random>
+#include <gtest/gtest.h>
 
 namespace gfr::gf2 {
 namespace {
 
-Poly random_poly(std::mt19937_64& rng, int max_degree) {
-    Poly p;
-    std::uniform_int_distribution<int> deg_dist{-1, max_degree};
-    const int d = deg_dist(rng);
-    for (int k = 0; k <= d; ++k) {
-        if (rng() & 1U) {
-            p.set_coeff(k, true);
-        }
-    }
-    return p;
+/// Random polynomial of varying length, degree < max_degree + 1 (the shared
+/// generator, with the bound jittered so short and empty operands appear).
+Poly varied_poly(testutil::Xorshift64Star& rng, int max_degree) {
+    const int bits = static_cast<int>(rng() % static_cast<std::uint64_t>(max_degree + 2));
+    return testutil::random_poly(rng, bits);
 }
 
 TEST(Gf2Poly, ZeroProperties) {
@@ -72,18 +67,18 @@ TEST(Gf2Poly, AdditionIsXor) {
 }
 
 TEST(Gf2Poly, AdditionSelfInverse) {
-    std::mt19937_64 rng{7};
+    testutil::Xorshift64Star rng{7};
     for (int trial = 0; trial < 50; ++trial) {
-        const Poly a = random_poly(rng, 200);
+        const Poly a = varied_poly(rng, 200);
         EXPECT_TRUE((a + a).is_zero());
         EXPECT_EQ(a + Poly{}, a);
     }
 }
 
 TEST(Gf2Poly, ShiftLeftRightRoundTrip) {
-    std::mt19937_64 rng{11};
+    testutil::Xorshift64Star rng{11};
     for (int trial = 0; trial < 50; ++trial) {
-        const Poly a = random_poly(rng, 150);
+        const Poly a = varied_poly(rng, 150);
         const int s = static_cast<int>(rng() % 130);
         EXPECT_EQ((a << s) >> s, a) << "shift " << s;
         if (!a.is_zero()) {
@@ -102,10 +97,10 @@ TEST(Gf2Poly, MultiplicationSmallKnown) {
 }
 
 TEST(Gf2Poly, MultiplicationDegreeAndCommutativity) {
-    std::mt19937_64 rng{13};
+    testutil::Xorshift64Star rng{13};
     for (int trial = 0; trial < 50; ++trial) {
-        const Poly a = random_poly(rng, 120);
-        const Poly b = random_poly(rng, 120);
+        const Poly a = varied_poly(rng, 120);
+        const Poly b = varied_poly(rng, 120);
         EXPECT_EQ(a * b, b * a);
         if (!a.is_zero() && !b.is_zero()) {
             EXPECT_EQ((a * b).degree(), a.degree() + b.degree());
@@ -114,48 +109,48 @@ TEST(Gf2Poly, MultiplicationDegreeAndCommutativity) {
 }
 
 TEST(Gf2Poly, MultiplicationDistributesOverAddition) {
-    std::mt19937_64 rng{17};
+    testutil::Xorshift64Star rng{17};
     for (int trial = 0; trial < 50; ++trial) {
-        const Poly a = random_poly(rng, 100);
-        const Poly b = random_poly(rng, 100);
-        const Poly c = random_poly(rng, 100);
+        const Poly a = varied_poly(rng, 100);
+        const Poly b = varied_poly(rng, 100);
+        const Poly c = varied_poly(rng, 100);
         EXPECT_EQ(a * (b + c), a * b + a * c);
     }
 }
 
 TEST(Gf2Poly, MultiplicationAssociativity) {
-    std::mt19937_64 rng{19};
+    testutil::Xorshift64Star rng{19};
     for (int trial = 0; trial < 20; ++trial) {
-        const Poly a = random_poly(rng, 70);
-        const Poly b = random_poly(rng, 70);
-        const Poly c = random_poly(rng, 70);
+        const Poly a = varied_poly(rng, 70);
+        const Poly b = varied_poly(rng, 70);
+        const Poly c = varied_poly(rng, 70);
         EXPECT_EQ((a * b) * c, a * (b * c));
     }
 }
 
 TEST(Gf2Poly, SquareMatchesSelfProduct) {
-    std::mt19937_64 rng{23};
+    testutil::Xorshift64Star rng{23};
     for (int trial = 0; trial < 50; ++trial) {
-        const Poly a = random_poly(rng, 150);
+        const Poly a = varied_poly(rng, 150);
         EXPECT_EQ(a.square(), a * a);
     }
 }
 
 TEST(Gf2Poly, SquareIsFrobenius) {
     // (a + b)^2 = a^2 + b^2 in characteristic 2.
-    std::mt19937_64 rng{29};
+    testutil::Xorshift64Star rng{29};
     for (int trial = 0; trial < 30; ++trial) {
-        const Poly a = random_poly(rng, 100);
-        const Poly b = random_poly(rng, 100);
+        const Poly a = varied_poly(rng, 100);
+        const Poly b = varied_poly(rng, 100);
         EXPECT_EQ((a + b).square(), a.square() + b.square());
     }
 }
 
 TEST(Gf2Poly, DivmodIdentity) {
-    std::mt19937_64 rng{31};
+    testutil::Xorshift64Star rng{31};
     for (int trial = 0; trial < 100; ++trial) {
-        const Poly num = random_poly(rng, 180);
-        Poly den = random_poly(rng, 60);
+        const Poly num = varied_poly(rng, 180);
+        Poly den = varied_poly(rng, 60);
         if (den.is_zero()) {
             den = Poly::one();
         }
@@ -186,10 +181,10 @@ TEST(Gf2Poly, GcdBasics) {
 }
 
 TEST(Gf2Poly, GcdDividesBoth) {
-    std::mt19937_64 rng{37};
+    testutil::Xorshift64Star rng{37};
     for (int trial = 0; trial < 40; ++trial) {
-        const Poly a = random_poly(rng, 80);
-        const Poly b = random_poly(rng, 80);
+        const Poly a = varied_poly(rng, 80);
+        const Poly b = varied_poly(rng, 80);
         const Poly g = Poly::gcd(a, b);
         if (g.is_zero()) {
             EXPECT_TRUE(a.is_zero());
@@ -202,11 +197,11 @@ TEST(Gf2Poly, GcdDividesBoth) {
 }
 
 TEST(Gf2Poly, MulmodMatchesTwoStep) {
-    std::mt19937_64 rng{41};
+    testutil::Xorshift64Star rng{41};
     const Poly f = Poly::from_exponents({64, 25, 24, 23, 0});
     for (int trial = 0; trial < 40; ++trial) {
-        const Poly a = random_poly(rng, 63);
-        const Poly b = random_poly(rng, 63);
+        const Poly a = varied_poly(rng, 63);
+        const Poly b = varied_poly(rng, 63);
         EXPECT_EQ(Poly::mulmod(a, b, f), (a * b) % f);
     }
 }

@@ -1,0 +1,146 @@
+// Boundary tests for the Karatsuba layer above the word-level schoolbook
+// product in Poly::mul_into.
+//
+// Three kernels are compared pairwise: mul_into (schoolbook + Karatsuba
+// above the crossover), mul_schoolbook_into (word-level schoolbook only, the
+// PR-1 engine product), and mul_comb_into (bit-serial comb — the independent
+// reference sharing no code with either).  The threshold is forced low so
+// the recursion is exercised at, just below, and just above the crossover
+// without needing megabit operands, then restored.
+
+#include "gf2/gf2_poly.h"
+
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gfr::gf2 {
+namespace {
+
+using testutil::Xorshift64Star;
+
+/// Force a process-wide threshold for one scope, restoring the tuned value.
+class ThresholdGuard {
+public:
+    explicit ThresholdGuard(int words) : saved_{karatsuba_threshold_words()} {
+        set_karatsuba_threshold_words(words);
+    }
+    ~ThresholdGuard() { set_karatsuba_threshold_words(saved_); }
+    ThresholdGuard(const ThresholdGuard&) = delete;
+    ThresholdGuard& operator=(const ThresholdGuard&) = delete;
+
+private:
+    int saved_;
+};
+
+/// All three kernels must agree bit-exactly on (a, b).
+void expect_all_kernels_agree(const Poly& a, const Poly& b, const char* what) {
+    Poly fast;
+    Poly school;
+    Poly comb;
+    MulArena arena;
+    Poly::mul_into(a, b, fast, arena);
+    Poly::mul_schoolbook_into(a, b, school);
+    Poly::mul_comb_into(a, b, comb);
+    EXPECT_EQ(fast, school) << what;
+    EXPECT_EQ(school, comb) << what;
+    EXPECT_EQ(fast, a * b) << what;  // operator* rides the fast kernel
+}
+
+TEST(KaratsubaMul, AgreesWithSchoolbookAroundTheCrossover) {
+    const ThresholdGuard guard{2};
+    Xorshift64Star rng{0x5EED};
+    // Word counts straddling the forced crossover: the smaller operand at
+    // threshold (schoolbook base case), threshold + 1 (first split), and a
+    // few sizes above (multi-level recursion).
+    for (const int an : {1, 2, 3, 4, 5, 7, 8, 16}) {
+        for (const int bn : {1, 2, 3, 4, 5, 7, 8, 16}) {
+            for (int trial = 0; trial < 8; ++trial) {
+                const Poly a = testutil::random_poly(rng, an * 64);
+                const Poly b = testutil::random_poly(rng, bn * 64);
+                expect_all_kernels_agree(
+                    a, b,
+                    ("an=" + std::to_string(an) + " bn=" + std::to_string(bn)).c_str());
+            }
+        }
+    }
+}
+
+TEST(KaratsubaMul, DegenerateOperands) {
+    const ThresholdGuard guard{2};
+    Xorshift64Star rng{0xDE6E};
+    const Poly zero;
+    const Poly one = Poly::one();
+    const Poly wide = testutil::random_poly(rng, 40 * 64);
+    // Zero and identity.
+    expect_all_kernels_agree(zero, wide, "0 * wide");
+    expect_all_kernels_agree(wide, zero, "wide * 0");
+    expect_all_kernels_agree(one, wide, "1 * wide");
+    // Single word x many words (the unbalanced split path, recursively).
+    expect_all_kernels_agree(testutil::random_poly(rng, 64), wide, "1w * 40w");
+    // Highly unbalanced degrees (3 words vs 40 words).
+    expect_all_kernels_agree(testutil::random_poly(rng, 3 * 64), wide, "3w * 40w");
+    // Sparse operands (top bit only) across a split boundary.
+    expect_all_kernels_agree(Poly::monomial(64 * 7), Poly::monomial(64 * 9 + 63),
+                             "monomials");
+    // Squaring shape: a * a through the multiply kernels.
+    const Poly a = testutil::random_poly(rng, 20 * 64);
+    expect_all_kernels_agree(a, a, "a * a");
+}
+
+TEST(KaratsubaMul, EveryThresholdProducesTheSameProduct) {
+    // The crossover is a performance knob, never a correctness one: sweep it
+    // across the operand size and demand identical products each time.
+    Xorshift64Star rng{0x7157};
+    const Poly a = testutil::random_poly(rng, 24 * 64);
+    const Poly b = testutil::random_poly(rng, 17 * 64);
+    Poly want;
+    Poly::mul_comb_into(a, b, want);
+    for (int threshold = 1; threshold <= 32; ++threshold) {
+        const ThresholdGuard guard{threshold};
+        Poly got;
+        Poly::mul_into(a, b, got);
+        ASSERT_EQ(got, want) << "threshold=" << threshold;
+    }
+}
+
+TEST(KaratsubaMul, ThresholdSetterClampsToOne) {
+    const int saved = karatsuba_threshold_words();
+    set_karatsuba_threshold_words(0);
+    EXPECT_EQ(karatsuba_threshold_words(), 1);
+    set_karatsuba_threshold_words(-5);
+    EXPECT_EQ(karatsuba_threshold_words(), 1);
+    set_karatsuba_threshold_words(saved);
+}
+
+TEST(KaratsubaMul, SteadyStateWithWarmArenaIsAllocationFree) {
+    const ThresholdGuard guard{2};
+    Xorshift64Star rng{0xA11C};
+    const Poly a = testutil::random_poly(rng, 16 * 64);
+    const Poly b = testutil::random_poly(rng, 16 * 64);
+    MulArena arena;
+    Poly out;
+    Poly::mul_into(a, b, out, arena);  // warm arena and output capacity
+    const testutil::AllocationGuard alloc;
+    for (int i = 0; i < 200; ++i) {
+        Poly::mul_into(a, b, out, arena);
+    }
+    EXPECT_EQ(alloc.delta(), 0) << "Karatsuba steady state touched the heap";
+}
+
+TEST(KaratsubaMul, AliasedOutputFallsBackCorrectly) {
+    const ThresholdGuard guard{2};
+    Xorshift64Star rng{0xA11A};
+    Poly a = testutil::random_poly(rng, 12 * 64);
+    const Poly b = testutil::random_poly(rng, 12 * 64);
+    Poly want;
+    Poly::mul_comb_into(a, b, want);
+    MulArena arena;
+    Poly::mul_into(a, b, a, arena);  // out aliases a
+    EXPECT_EQ(a, want);
+}
+
+}  // namespace
+}  // namespace gfr::gf2
