@@ -1,0 +1,248 @@
+// Verification campaign driver: the paper-style sweep plus the throughput
+// numbers behind BENCH_3.json.
+//
+// Part 1 — Table V campaign: every generator family x every Table V field,
+// each verified through the parallel campaign engine (exhaustive where the
+// operand space allows, random sweeps beyond), printed as a pass/fail +
+// throughput table in the spirit of the paper's Table V.
+//
+// Part 2 — throughput ladder: the exhaustive GF(2^8) space (all 2^16
+// products of the paper's worked field) verified with
+//   (a) the PR-2 path: single-threaded sweep loop, per-lane transpose,
+//       engine mul_region, per-bit compare — reimplemented here verbatim as
+//       the frozen baseline, and
+//   (b) the campaign engine at 1, 4 and hardware_concurrency threads
+//       (bitsliced lane reference + sharded sweeps).
+// The acceptance bar for PR 3 is campaign@4 >= 3x the PR-2 baseline with
+// bit-identical verdicts; the measured numbers land in BENCH_3.json
+// (path overridable as argv[1]).
+
+#include "field/field_catalog.h"
+#include "multipliers/generator.h"
+#include "multipliers/verify.h"
+#include "netlist/simulate.h"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gfr {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The PR-2 exhaustive verification path, frozen: one thread, transposing
+/// every sweep's 64 lanes into u64 operands, batching the reference
+/// products through FieldOps::mul_region, then comparing bit by bit.  Kept
+/// byte-for-byte equivalent to the pre-campaign implementation so BENCH_N
+/// speedups stay anchored to the same baseline over time.
+bool pr2_exhaustive_verify(const netlist::Netlist& nl, const field::Field& field) {
+    const int m = field.degree();
+    netlist::Simulator sim{nl};
+    std::vector<std::uint64_t> in_words(static_cast<std::size_t>(2 * m), 0);
+    std::vector<std::uint64_t> out_words;
+    std::array<std::uint64_t, 64> a_lanes{};
+    std::array<std::uint64_t, 64> b_lanes{};
+    std::array<std::uint64_t, 64> expected{};
+
+    const std::uint64_t blocks = (2 * m <= 6) ? 1 : (std::uint64_t{1} << (2 * m - 6));
+    for (std::uint64_t block = 0; block < blocks; ++block) {
+        for (int i = 0; i < 2 * m; ++i) {
+            in_words[static_cast<std::size_t>(i)] = netlist::exhaustive_pattern(i, block);
+        }
+        sim.run_into(in_words, out_words);
+        for (int lane = 0; lane < 64; ++lane) {
+            std::uint64_t a = 0;
+            std::uint64_t b = 0;
+            for (int i = 0; i < m; ++i) {
+                a |= ((in_words[static_cast<std::size_t>(i)] >> lane) & std::uint64_t{1})
+                     << i;
+                b |= ((in_words[static_cast<std::size_t>(m + i)] >> lane) &
+                      std::uint64_t{1})
+                     << i;
+            }
+            a_lanes[static_cast<std::size_t>(lane)] = a;
+            b_lanes[static_cast<std::size_t>(lane)] = b;
+        }
+        field.ops().mul_region(a_lanes, b_lanes, expected);
+        for (int lane = 0; lane < 64; ++lane) {
+            const std::uint64_t want = expected[static_cast<std::size_t>(lane)];
+            for (int k = 0; k < m; ++k) {
+                const bool got_bit =
+                    (out_words[static_cast<std::size_t>(k)] >> lane) & 1U;
+                const bool want_bit = (want >> k) & 1U;
+                if (got_bit != want_bit) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+struct ThroughputPoint {
+    std::string label;
+    int threads = 0;
+    double seconds = 0;
+    double products_per_sec = 0;
+    bool ok = false;
+};
+
+template <typename Fn>
+ThroughputPoint measure(const std::string& label, int threads, double products,
+                        const Fn& run, int repeats) {
+    ThroughputPoint p;
+    p.label = label;
+    p.threads = threads;
+    p.ok = true;
+    double best = 1e100;
+    for (int r = 0; r < repeats; ++r) {
+        const auto t0 = Clock::now();
+        p.ok = run() && p.ok;
+        best = std::min(best, seconds_since(t0));
+    }
+    p.seconds = best;
+    p.products_per_sec = products / best;
+    return p;
+}
+
+struct SweepRow {
+    std::string method;
+    std::string field;
+    std::string regime;
+    double products = 0;
+    double seconds = 0;
+    double products_per_sec = 0;
+    bool pass = false;
+};
+
+}  // namespace
+}  // namespace gfr
+
+int main(int argc, char** argv) {
+    using namespace gfr;
+    const std::string json_path = (argc > 1) ? argv[1] : "BENCH_3.json";
+    const int hw = static_cast<int>(std::max(1U, std::thread::hardware_concurrency()));
+
+    // --- Part 1: generator family x Table V field campaign ------------------
+    std::vector<SweepRow> rows;
+    std::printf("Table V verification campaign (campaign engine, auto threads)\n");
+    std::printf("%-14s %-12s %-11s %12s %10s %14s  %s\n", "method", "field", "regime",
+                "products", "seconds", "products/s", "verdict");
+    for (const auto& info : mult::all_methods()) {
+        for (const auto& spec : field::table5_fields()) {
+            const field::Field fld = spec.make();
+            const auto nl = mult::build_multiplier(info.method, fld);
+            mult::VerifyOptions opts;  // auto threads, default regime thresholds
+            const bool exhaustive = 2 * fld.degree() <= opts.max_exhaustive_inputs;
+            const double products =
+                exhaustive ? static_cast<double>(std::uint64_t{1} << (2 * fld.degree()))
+                           : 64.0 * opts.random_sweeps;
+            const auto t0 = Clock::now();
+            const auto failure = mult::verify_multiplier(nl, fld, opts);
+            const double secs = seconds_since(t0);
+            SweepRow row;
+            row.method = std::string{info.key};
+            row.field = spec.label();
+            row.regime = exhaustive ? "exhaustive" : "random";
+            row.products = products;
+            row.seconds = secs;
+            row.products_per_sec = products / secs;
+            row.pass = !failure.has_value();
+            rows.push_back(row);
+            std::printf("%-14s %-12s %-11s %12.0f %10.4f %14.0f  %s\n",
+                        row.method.c_str(), row.field.c_str(), row.regime.c_str(),
+                        row.products, row.seconds, row.products_per_sec,
+                        row.pass ? "PASS" : "FAIL");
+        }
+    }
+
+    // --- Part 2: exhaustive GF(2^8) throughput ladder -----------------------
+    const field::Field gf256 = field::gf256_paper_field();
+    const auto nl8 = mult::build_multiplier(mult::Method::Date2018Flat, gf256);
+    const double products8 = 65536.0;
+    constexpr int kRepeats = 9;
+
+    std::vector<ThroughputPoint> ladder;
+    ladder.push_back(measure("pr2_single_thread", 1, products8,
+                             [&] { return pr2_exhaustive_verify(nl8, gf256); },
+                             kRepeats));
+    std::vector<int> thread_points = {1, 4};
+    if (hw != 1 && hw != 4) {
+        thread_points.push_back(hw);
+    }
+    for (const int threads : thread_points) {
+        mult::VerifyOptions opts;
+        opts.threads = threads;
+        ladder.push_back(measure(
+            "campaign_t" + std::to_string(threads), threads, products8,
+            [&] { return !mult::verify_multiplier(nl8, gf256, opts).has_value(); },
+            kRepeats));
+    }
+
+    const double base = ladder.front().seconds;
+    std::printf("\nExhaustive GF(2^8) space: 65536 products, best of %d runs\n",
+                kRepeats);
+    std::printf("%-22s %8s %12s %16s %9s\n", "path", "threads", "seconds",
+                "products/s", "speedup");
+    for (const auto& p : ladder) {
+        std::printf("%-22s %8d %12.6f %16.0f %8.2fx  %s\n", p.label.c_str(), p.threads,
+                    p.seconds, p.products_per_sec, base / p.seconds,
+                    p.ok ? "" : "(VERIFY FAILED)");
+    }
+
+    // --- JSON ----------------------------------------------------------------
+    std::FILE* json = std::fopen(json_path.c_str(), "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(json, "{\n  \"schema\": \"gfr-bench-v3\",\n");
+    std::fprintf(json, "  \"hardware_concurrency\": %d,\n", hw);
+    std::fprintf(json, "  \"verify_exhaustive_m8\": {\n");
+    std::fprintf(json, "    \"products\": 65536,\n    \"paths\": [\n");
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        const auto& p = ladder[i];
+        std::fprintf(json,
+                     "      {\"path\": \"%s\", \"threads\": %d, \"seconds\": %.6f, "
+                     "\"products_per_sec\": %.0f, \"speedup_vs_pr2\": %.3f, "
+                     "\"verdict_ok\": %s}%s\n",
+                     p.label.c_str(), p.threads, p.seconds, p.products_per_sec,
+                     base / p.seconds, p.ok ? "true" : "false",
+                     i + 1 < ladder.size() ? "," : "");
+    }
+    std::fprintf(json, "    ]\n  },\n");
+    std::fprintf(json, "  \"table5_campaign\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        std::fprintf(json,
+                     "    {\"method\": \"%s\", \"field\": \"%s\", \"regime\": \"%s\", "
+                     "\"products\": %.0f, \"seconds\": %.6f, \"products_per_sec\": "
+                     "%.0f, \"pass\": %s}%s\n",
+                     r.method.c_str(), r.field.c_str(), r.regime.c_str(), r.products,
+                     r.seconds, r.products_per_sec, r.pass ? "true" : "false",
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote %s\n", json_path.c_str());
+
+    for (const auto& r : rows) {
+        if (!r.pass) {
+            return 1;
+        }
+    }
+    for (const auto& p : ladder) {
+        if (!p.ok) {
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -2,9 +2,11 @@
 
 #include "multipliers/product_layer.h"
 #include "netlist/simulate.h"
+#include "verify/campaign.h"
+#include "verify/lane_reference.h"
 
-#include <array>
 #include <bit>
+#include <memory>
 #include <random>
 #include <stdexcept>
 
@@ -44,73 +46,89 @@ Poly element_from_lane(std::span<const std::uint64_t> words, int offset, int m,
     return out;
 }
 
-/// Buffers shared by every sweep of one verification run: the simulator's
-/// output words, the transposed operands / expected products for the
-/// engine's batched multiply (m <= 64), reusable element storage for the
-/// multi-word path, and an explicit engine scratch — so sweeps in either
-/// regime are allocation-free in steady state, and concurrent verification
-/// runs over one shared Field never contend (each run owns its scratch).
-struct SweepScratch {
+/// Everything one campaign worker owns: the simulator and its output buffer,
+/// the sweep's input words, the lane-reference scratch (m <= 64), and the
+/// element storage plus engine scratch for the multi-word regime.  The
+/// Netlist, Field and LaneReference stay shared and immutable; workers never
+/// contend, and sweeps are allocation-free in steady state.
+struct SweepWorker {
+    SweepWorker(const netlist::Netlist& nl, int m)
+        : sim{nl}, in_words(static_cast<std::size_t>(2 * m), 0) {}
+
+    netlist::Simulator sim;
+    std::vector<std::uint64_t> in_words;
     std::vector<std::uint64_t> out_words;
-    std::array<std::uint64_t, 64> a_lanes{};
-    std::array<std::uint64_t, 64> b_lanes{};
-    std::array<std::uint64_t, 64> expected{};
-    std::vector<std::uint64_t> lane_bits;  // multi-word lane extraction
+    std::vector<std::uint64_t> want_words;      // lane-major reference products
+    verify::LaneReference::Scratch lane_scratch;
+    std::vector<std::uint64_t> lane_bits;       // multi-word lane extraction
+    std::vector<std::uint64_t> got_bits;        // multi-word netlist gather
     Poly a_elem;
     Poly b_elem;
     Poly product;
     field::FieldOps::Scratch ops_scratch;  // engine working buffers
 };
 
-std::optional<VerifyFailure> check_sweep(netlist::Simulator& sim, const Field& field,
-                                         const std::vector<std::uint64_t>& in_words,
-                                         SweepScratch& scratch) {
+/// Check the 64 lanes currently loaded in w.in_words.  laneref is non-null
+/// exactly when the field is single-word.  The failure reported is the
+/// lane-major first one (lowest lane, then lowest coefficient), matching a
+/// bit-serial scan of the 64 assignments.
+std::optional<VerifyFailure> check_sweep(SweepWorker& w, const Field& field,
+                                         const verify::LaneReference* laneref) {
     const int m = field.degree();
-    sim.run_into(in_words, scratch.out_words);
-    const auto& out_words = scratch.out_words;
+    w.sim.run_into(w.in_words, w.out_words);
+    const auto& out_words = w.out_words;
 
-    if (field.ops().single_word()) {
-        // Transpose the 64 lanes into u64 operands and compute all 64
-        // reference products in one allocation-free region call.
-        for (int lane = 0; lane < 64; ++lane) {
-            std::uint64_t a = 0;
-            std::uint64_t b = 0;
-            for (int i = 0; i < m; ++i) {
-                a |= ((in_words[static_cast<std::size_t>(i)] >> lane) & std::uint64_t{1})
-                     << i;
-                b |= ((in_words[static_cast<std::size_t>(m + i)] >> lane) & std::uint64_t{1})
-                     << i;
-            }
-            scratch.a_lanes[static_cast<std::size_t>(lane)] = a;
-            scratch.b_lanes[static_cast<std::size_t>(lane)] = b;
+    if (laneref != nullptr) {
+        // Bitsliced reference: all 64 products in m^2 word ops, already
+        // lane-major — the success path is m XOR-compares.
+        laneref->products(w.in_words, w.want_words, w.lane_scratch);
+        std::uint64_t diff_any = 0;
+        for (int k = 0; k < m; ++k) {
+            diff_any |= out_words[static_cast<std::size_t>(k)] ^
+                        w.want_words[static_cast<std::size_t>(k)];
         }
-        field.ops().mul_region(scratch.a_lanes, scratch.b_lanes, scratch.expected);
-        for (int lane = 0; lane < 64; ++lane) {
-            const std::uint64_t want = scratch.expected[static_cast<std::size_t>(lane)];
-            for (int k = 0; k < m; ++k) {
-                const bool got_bit = (out_words[static_cast<std::size_t>(k)] >> lane) & 1U;
-                const bool want_bit = (want >> k) & 1U;
-                if (got_bit != want_bit) {
-                    return VerifyFailure{
-                        element_from_lane(in_words, 0, m, lane),
-                        element_from_lane(in_words, m, m, lane), k, got_bit, want_bit};
-                }
+        if (diff_any == 0) {
+            return std::nullopt;
+        }
+        const int lane = std::countr_zero(diff_any);
+        for (int k = 0; k < m; ++k) {
+            const bool got_bit = (out_words[static_cast<std::size_t>(k)] >> lane) & 1U;
+            const bool want_bit =
+                (w.want_words[static_cast<std::size_t>(k)] >> lane) & 1U;
+            if (got_bit != want_bit) {
+                return VerifyFailure{element_from_lane(w.in_words, 0, m, lane),
+                                     element_from_lane(w.in_words, m, m, lane), k,
+                                     got_bit, want_bit};
             }
         }
-        return std::nullopt;
+        return std::nullopt;  // unreachable: diff_any had a set bit
     }
 
+    // Multi-word regime: per lane, one batched engine product
+    // (FieldOps::mul through the worker's scratch) and a word-level compare
+    // of the gathered netlist output against the product words.
+    const std::size_t wn = static_cast<std::size_t>((m + 63) / 64);
     for (int lane = 0; lane < 64; ++lane) {
-        element_from_lane_into(in_words, 0, m, lane, scratch.lane_bits, scratch.a_elem);
-        element_from_lane_into(in_words, m, m, lane, scratch.lane_bits, scratch.b_elem);
-        field.ops().mul(scratch.a_elem, scratch.b_elem, scratch.product,
-                        scratch.ops_scratch);
+        element_from_lane_into(w.in_words, 0, m, lane, w.lane_bits, w.a_elem);
+        element_from_lane_into(w.in_words, m, m, lane, w.lane_bits, w.b_elem);
+        field.ops().mul(w.a_elem, w.b_elem, w.product, w.ops_scratch);
+        w.got_bits.assign(wn, 0);
         for (int k = 0; k < m; ++k) {
-            const bool got = (out_words[static_cast<std::size_t>(k)] >> lane) & 1U;
-            const bool want = scratch.product.coeff(k);
-            if (got != want) {
-                return VerifyFailure{scratch.a_elem, scratch.b_elem, k, got, want};
+            if ((out_words[static_cast<std::size_t>(k)] >> lane) & 1U) {
+                w.got_bits[static_cast<std::size_t>(k / 64)] |= std::uint64_t{1}
+                                                                << (k % 64);
             }
+        }
+        const auto pw = w.product.words();
+        for (std::size_t word = 0; word < wn; ++word) {
+            const std::uint64_t want_w = word < pw.size() ? pw[word] : 0;
+            const std::uint64_t diff = w.got_bits[word] ^ want_w;
+            if (diff == 0) {
+                continue;
+            }
+            const int k = static_cast<int>(word) * 64 + std::countr_zero(diff);
+            const bool got_bit = (w.got_bits[word] >> (k % 64)) & 1U;
+            return VerifyFailure{w.a_elem, w.b_elem, k, got_bit, !got_bit};
         }
     }
     return std::nullopt;
@@ -151,36 +169,90 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
         }
     }
 
-    // One simulator, one output buffer, one set of transpose scratch arrays
-    // for the entire run — sweeps allocate nothing.
-    netlist::Simulator sim{nl};
-    SweepScratch scratch;
-    std::vector<std::uint64_t> in_words(static_cast<std::size_t>(2 * m), 0);
-
-    if (2 * m <= options.max_exhaustive_inputs) {
-        const std::uint64_t blocks =
-            (2 * m <= 6) ? 1 : (std::uint64_t{1} << (2 * m - 6));
-        for (std::uint64_t block = 0; block < blocks; ++block) {
-            for (int i = 0; i < 2 * m; ++i) {
-                in_words[static_cast<std::size_t>(i)] = netlist::exhaustive_pattern(i, block);
+    // Single-word fields use the bitsliced lane reference as the sweep
+    // oracle; anchor it against the engine on one sweep of random lanes
+    // before trusting it with the campaign.
+    std::unique_ptr<verify::LaneReference> laneref;
+    if (field.ops().single_word()) {
+        laneref = std::make_unique<verify::LaneReference>(field);
+        verify::SweepRng rng{verify::Campaign::derive_sweep_seed(options.seed,
+                                                                verify::kNoFailure)};
+        std::vector<std::uint64_t> in(static_cast<std::size_t>(2 * m));
+        for (auto& word : in) {
+            word = rng();
+        }
+        std::vector<std::uint64_t> want;
+        verify::LaneReference::Scratch scratch;
+        laneref->products(in, want, scratch);
+        for (int lane = 0; lane < 64; ++lane) {
+            std::uint64_t a = 0;
+            std::uint64_t b = 0;
+            std::uint64_t c = 0;
+            for (int k = 0; k < m; ++k) {
+                a |= ((in[static_cast<std::size_t>(k)] >> lane) & std::uint64_t{1}) << k;
+                b |= ((in[static_cast<std::size_t>(m + k)] >> lane) & std::uint64_t{1})
+                     << k;
+                c |= ((want[static_cast<std::size_t>(k)] >> lane) & std::uint64_t{1})
+                     << k;
             }
-            if (auto failure = check_sweep(sim, field, in_words, scratch)) {
-                return failure;
+            if (field.ops().mul(a, b) != c) {
+                throw std::logic_error{
+                    "verify_multiplier: lane reference disagrees with the engine"};
             }
         }
+    }
+
+    const bool exhaustive = 2 * m <= options.max_exhaustive_inputs;
+    const std::uint64_t total_sweeps =
+        exhaustive ? ((2 * m <= 6) ? 1 : (std::uint64_t{1} << (2 * m - 6)))
+                   : static_cast<std::uint64_t>(options.random_sweeps);
+
+    // Random sweeps cost a netlist simulation plus 64 reference products
+    // (multi-word: 64 engine muls) — worth sharding even at the default 64
+    // sweeps.  Exhaustive sweeps are microsecond-cheap; keep the default
+    // floor so tiny spaces run inline.
+    verify::Campaign campaign{{.threads = options.threads,
+                               .min_sweeps_per_worker = exhaustive ? 64U : 4U}};
+    const int workers = campaign.worker_count(total_sweeps);
+    std::vector<std::optional<VerifyFailure>> payload(static_cast<std::size_t>(workers));
+    std::vector<std::uint64_t> payload_sweep(static_cast<std::size_t>(workers),
+                                             verify::kNoFailure);
+
+    const auto factory = [&](int worker_id) -> verify::Campaign::SweepFn {
+        auto worker = std::make_shared<SweepWorker>(nl, m);
+        return [&, worker_id, worker](std::uint64_t sweep) -> bool {
+            if (exhaustive) {
+                for (int i = 0; i < 2 * m; ++i) {
+                    worker->in_words[static_cast<std::size_t>(i)] =
+                        netlist::exhaustive_pattern(i, sweep);
+                }
+            } else {
+                verify::SweepRng rng{
+                    verify::Campaign::derive_sweep_seed(options.seed, sweep)};
+                for (auto& word : worker->in_words) {
+                    word = rng();
+                }
+            }
+            auto failure = check_sweep(*worker, field, laneref.get());
+            if (failure.has_value()) {
+                payload[static_cast<std::size_t>(worker_id)] = std::move(failure);
+                payload_sweep[static_cast<std::size_t>(worker_id)] = sweep;
+                return true;
+            }
+            return false;
+        };
+    };
+
+    const std::uint64_t failing_sweep = campaign.run(total_sweeps, factory);
+    if (failing_sweep == verify::kNoFailure) {
         return std::nullopt;
     }
-
-    std::mt19937_64 rng{options.seed};
-    for (int sweep = 0; sweep < options.random_sweeps; ++sweep) {
-        for (auto& w : in_words) {
-            w = rng();
-        }
-        if (auto failure = check_sweep(sim, field, in_words, scratch)) {
-            return failure;
+    for (int w = 0; w < workers; ++w) {
+        if (payload_sweep[static_cast<std::size_t>(w)] == failing_sweep) {
+            return payload[static_cast<std::size_t>(w)];
         }
     }
-    return std::nullopt;
+    return std::nullopt;  // unreachable: the failing worker recorded its payload
 }
 
 }  // namespace gfr::mult

@@ -8,6 +8,13 @@
 // c0..c(m-1).  For 2m <= max_exhaustive_inputs the check enumerates all
 // 2^(2m) operand pairs (word-parallel, 64 per sweep); otherwise it runs
 // random sweeps, each verifying 64 random products bit-exactly.
+//
+// The sweep space is driven through verify::Campaign: it is sharded across
+// worker threads (each owning its simulator buffers and engine scratch over
+// the one shared immutable Field), random sweeps draw their PRNG seed from
+// (options.seed, sweep index) so their contents never depend on scheduling,
+// and the reported failure is the globally first one — the verdict and the
+// counterexample are bit-identical at any thread count.
 
 #include "field/gf2m.h"
 #include "netlist/netlist.h"
@@ -19,9 +26,10 @@
 namespace gfr::mult {
 
 struct VerifyOptions {
-    int max_exhaustive_inputs = 16;  ///< exhaustive iff 2m <= this (m=8 -> 2^16)
+    int max_exhaustive_inputs = 22;  ///< exhaustive iff 2m <= this (m=11 -> 2^22)
     int random_sweeps = 64;          ///< 64 random products per sweep
     std::uint64_t seed = 0xD1CEULL;
+    int threads = 0;  ///< campaign workers; <= 0 = hardware concurrency
 };
 
 /// A failing product: the operands and the first differing coefficient.

@@ -251,9 +251,12 @@ std::optional<Mismatch> check_equivalence_bdd(const Netlist& lhs, const Netlist&
             Mismatch mm;
             mm.output_name = lhs.outputs()[o].name;
             mm.input_bits.resize(static_cast<std::size_t>(n));
+            mm.input_names.resize(static_cast<std::size_t>(n));
             for (int i = 0; i < n; ++i) {
                 mm.input_bits[static_cast<std::size_t>(i)] =
                     static_cast<std::uint8_t>((*cex >> i) & 1U);
+                mm.input_names[static_cast<std::size_t>(i)] =
+                    lhs.inputs()[static_cast<std::size_t>(i)].name;
             }
             mm.lhs_value = mgr.evaluate(lhs_bdds[o], *cex);
             mm.rhs_value = mgr.evaluate(*rhs_bdd, *cex);

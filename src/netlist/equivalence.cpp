@@ -1,9 +1,12 @@
 #include "netlist/equivalence.h"
 
 #include "netlist/simulate.h"
+#include "verify/campaign.h"
 
 #include <algorithm>
-#include <random>
+#include <bit>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
 namespace gfr::netlist {
@@ -12,8 +15,19 @@ std::string Mismatch::to_string() const {
     std::string out = "output '" + output_name + "': lhs=" +
                       std::to_string(static_cast<int>(lhs_value)) + " rhs=" +
                       std::to_string(static_cast<int>(rhs_value)) + " inputs=";
-    for (const auto bit : input_bits) {
-        out += static_cast<char>('0' + bit);
+    if (input_names.size() == input_bits.size()) {
+        for (std::size_t i = 0; i < input_bits.size(); ++i) {
+            if (i != 0) {
+                out += ' ';
+            }
+            out += input_names[i];
+            out += '=';
+            out += static_cast<char>('0' + input_bits[i]);
+        }
+    } else {
+        for (const auto bit : input_bits) {
+            out += static_cast<char>('0' + bit);
+        }
     }
     return out;
 }
@@ -43,26 +57,29 @@ std::vector<int> match_ports(const std::vector<Port>& lhs, const std::vector<Por
     return map;
 }
 
-/// One pair of simulators plus output buffers, reused across every sweep of
-/// an equivalence run so the hot loop does not allocate.  Each run owns its
-/// context outright (nothing is shared through the netlists, which stay
-/// const), so equivalence checks may run concurrently from worker threads —
-/// the same explicit-scratch discipline the field engine follows.
+/// One campaign worker's state: a pair of simulators, their output buffers
+/// and the sweep's input words.  Each worker owns its context outright
+/// (nothing is shared through the netlists, which stay const), the same
+/// explicit-scratch discipline the field engine follows.
 struct SweepContext {
-    SweepContext(const Netlist& lhs, const Netlist& rhs) : lhs_sim{lhs}, rhs_sim{rhs} {}
+    SweepContext(const Netlist& lhs, const Netlist& rhs, int n)
+        : lhs_sim{lhs},
+          rhs_sim{rhs},
+          lhs_in(static_cast<std::size_t>(n), 0),
+          rhs_in(static_cast<std::size_t>(n), 0) {}
 
     Simulator lhs_sim;
     Simulator rhs_sim;
+    std::vector<std::uint64_t> lhs_in;
+    std::vector<std::uint64_t> rhs_in;
     std::vector<std::uint64_t> lhs_out;
     std::vector<std::uint64_t> rhs_out;
 };
 
 std::optional<Mismatch> compare_sweep(SweepContext& ctx, const Netlist& lhs,
-                                      const std::vector<int>& out_map,
-                                      const std::vector<std::uint64_t>& lhs_in,
-                                      const std::vector<std::uint64_t>& rhs_in) {
-    ctx.lhs_sim.run_into(lhs_in, ctx.lhs_out);
-    ctx.rhs_sim.run_into(rhs_in, ctx.rhs_out);
+                                      const std::vector<int>& out_map) {
+    ctx.lhs_sim.run_into(ctx.lhs_in, ctx.lhs_out);
+    ctx.rhs_sim.run_into(ctx.rhs_in, ctx.rhs_out);
     const auto& lhs_out = ctx.lhs_out;
     const auto& rhs_out = ctx.rhs_out;
     for (std::size_t o = 0; o < lhs_out.size(); ++o) {
@@ -75,9 +92,11 @@ std::optional<Mismatch> compare_sweep(SweepContext& ctx, const Netlist& lhs,
         mm.output_name = lhs.outputs()[o].name;
         mm.lhs_value = (lhs_out[o] >> lane) & 1U;
         mm.rhs_value = (rhs_out[static_cast<std::size_t>(out_map[o])] >> lane) & 1U;
-        mm.input_bits.resize(lhs_in.size());
-        for (std::size_t i = 0; i < lhs_in.size(); ++i) {
-            mm.input_bits[i] = static_cast<std::uint8_t>((lhs_in[i] >> lane) & 1U);
+        mm.input_bits.resize(ctx.lhs_in.size());
+        mm.input_names.resize(ctx.lhs_in.size());
+        for (std::size_t i = 0; i < ctx.lhs_in.size(); ++i) {
+            mm.input_bits[i] = static_cast<std::uint8_t>((ctx.lhs_in[i] >> lane) & 1U);
+            mm.input_names[i] = lhs.inputs()[i].name;
         }
         return mm;
     }
@@ -92,38 +111,59 @@ std::optional<Mismatch> check_equivalence(const Netlist& lhs, const Netlist& rhs
     const auto out_map = match_ports(lhs.outputs(), rhs.outputs(), "output");
 
     const int n = static_cast<int>(lhs.inputs().size());
-    std::vector<std::uint64_t> lhs_in(static_cast<std::size_t>(n), 0);
-    std::vector<std::uint64_t> rhs_in(static_cast<std::size_t>(n), 0);
-    SweepContext ctx{lhs, rhs};
+    const bool exhaustive = n <= options.max_exhaustive_inputs;
+    const std::uint64_t total_sweeps =
+        exhaustive ? ((n <= 6) ? 1 : (std::uint64_t{1} << (n - 6)))
+                   : static_cast<std::uint64_t>(options.random_sweeps);
 
-    if (n <= options.max_exhaustive_inputs) {
-        const std::uint64_t blocks =
-            (n <= 6) ? 1 : (std::uint64_t{1} << (n - 6));
-        for (std::uint64_t block = 0; block < blocks; ++block) {
-            for (int i = 0; i < n; ++i) {
-                lhs_in[static_cast<std::size_t>(i)] = exhaustive_pattern(i, block);
-                rhs_in[static_cast<std::size_t>(in_map[i])] =
-                    lhs_in[static_cast<std::size_t>(i)];
+    // Same floor policy as verify_multiplier: random sweeps (two
+    // simulations over dense vectors) shard even at small sweep counts,
+    // tiny exhaustive spaces stay inline.
+    verify::Campaign campaign{{.threads = options.threads,
+                               .min_sweeps_per_worker = exhaustive ? 64U : 4U}};
+    const int workers = campaign.worker_count(total_sweeps);
+    std::vector<std::optional<Mismatch>> payload(static_cast<std::size_t>(workers));
+    std::vector<std::uint64_t> payload_sweep(static_cast<std::size_t>(workers),
+                                             verify::kNoFailure);
+
+    const auto factory = [&](int worker_id) -> verify::Campaign::SweepFn {
+        auto ctx = std::make_shared<SweepContext>(lhs, rhs, n);
+        return [&, worker_id, ctx](std::uint64_t sweep) -> bool {
+            if (exhaustive) {
+                for (int i = 0; i < n; ++i) {
+                    ctx->lhs_in[static_cast<std::size_t>(i)] = exhaustive_pattern(i, sweep);
+                    ctx->rhs_in[static_cast<std::size_t>(in_map[i])] =
+                        ctx->lhs_in[static_cast<std::size_t>(i)];
+                }
+            } else {
+                verify::SweepRng rng{
+                    verify::Campaign::derive_sweep_seed(options.seed, sweep)};
+                for (int i = 0; i < n; ++i) {
+                    ctx->lhs_in[static_cast<std::size_t>(i)] = rng();
+                    ctx->rhs_in[static_cast<std::size_t>(in_map[i])] =
+                        ctx->lhs_in[static_cast<std::size_t>(i)];
+                }
             }
-            if (auto mm = compare_sweep(ctx, lhs, out_map, lhs_in, rhs_in)) {
-                return mm;
+            auto mm = compare_sweep(*ctx, lhs, out_map);
+            if (mm.has_value()) {
+                payload[static_cast<std::size_t>(worker_id)] = std::move(mm);
+                payload_sweep[static_cast<std::size_t>(worker_id)] = sweep;
+                return true;
             }
-        }
+            return false;
+        };
+    };
+
+    const std::uint64_t failing_sweep = campaign.run(total_sweeps, factory);
+    if (failing_sweep == verify::kNoFailure) {
         return std::nullopt;
     }
-
-    std::mt19937_64 rng{options.seed};
-    for (int sweep = 0; sweep < options.random_sweeps; ++sweep) {
-        for (int i = 0; i < n; ++i) {
-            lhs_in[static_cast<std::size_t>(i)] = rng();
-            rhs_in[static_cast<std::size_t>(in_map[i])] =
-                lhs_in[static_cast<std::size_t>(i)];
-        }
-        if (auto mm = compare_sweep(ctx, lhs, out_map, lhs_in, rhs_in)) {
-            return mm;
+    for (int w = 0; w < workers; ++w) {
+        if (payload_sweep[static_cast<std::size_t>(w)] == failing_sweep) {
+            return payload[static_cast<std::size_t>(w)];
         }
     }
-    return std::nullopt;
+    return std::nullopt;  // unreachable: the failing worker recorded its payload
 }
 
 }  // namespace gfr::netlist

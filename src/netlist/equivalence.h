@@ -9,6 +9,11 @@
 // vectors.  Random simulation over tens of thousands of lanes is a strong
 // filter for XOR/AND logic of this shape: any single wrong product term
 // flips ~half of all lanes.
+//
+// The sweep space runs through verify::Campaign: shards across worker
+// threads (each owning its pair of simulators), per-sweep seed derivation
+// in the random regime, and globally-first-mismatch reporting, so verdict
+// and counterexample are identical at any thread count.
 
 #include "netlist/netlist.h"
 
@@ -19,8 +24,14 @@
 namespace gfr::netlist {
 
 /// A concrete counterexample: input assignment plus the differing output.
+///
+/// input_bits is indexed like lhs.inputs() — NOT like rhs.inputs(), whose
+/// declaration order may differ.  input_names carries the matching lhs input
+/// names so the assignment is unambiguous however the ports are ordered;
+/// to_string() prints name=value pairs.
 struct Mismatch {
     std::vector<std::uint8_t> input_bits;  // indexed like lhs.inputs()
+    std::vector<std::string> input_names;  // lhs.inputs() names, same indexing
     std::string output_name;
     bool lhs_value = false;
     bool rhs_value = false;
@@ -32,6 +43,7 @@ struct EquivalenceOptions {
     int max_exhaustive_inputs = 22;   ///< exhaustive up to 2^22 assignments
     int random_sweeps = 256;          ///< 64 lanes per sweep when random
     std::uint64_t seed = 0x5eed5eedULL;
+    int threads = 0;  ///< campaign workers; <= 0 = hardware concurrency
 };
 
 /// Returns std::nullopt when equivalent (under the chosen regime), or the

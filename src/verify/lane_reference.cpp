@@ -1,0 +1,54 @@
+#include "verify/lane_reference.h"
+
+#include "mastrovito/reduction_matrix.h"
+
+#include <stdexcept>
+
+namespace gfr::verify {
+
+LaneReference::LaneReference(const field::Field& field) : m_{field.degree()} {
+    const mastrovito::ReductionMatrix q{field.modulus()};
+    reduction_offsets_.reserve(static_cast<std::size_t>(m_) + 1);
+    reduction_offsets_.push_back(0);
+    for (int k = 0; k < m_; ++k) {
+        for (const int i : q.t_indices_for_coefficient(k)) {
+            reduction_indices_.push_back(i);
+        }
+        reduction_offsets_.push_back(static_cast<std::int32_t>(reduction_indices_.size()));
+    }
+}
+
+void LaneReference::products(std::span<const std::uint64_t> in_words,
+                             std::vector<std::uint64_t>& out_words,
+                             Scratch& scratch) const {
+    const std::size_t m = static_cast<std::size_t>(m_);
+    if (in_words.size() != 2 * m) {
+        throw std::invalid_argument{"LaneReference::products: need 2m input words"};
+    }
+    auto& d = scratch.d;
+    d.assign(2 * m - 1, 0);
+    const std::uint64_t* a = in_words.data();
+    const std::uint64_t* b = in_words.data() + m;
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::uint64_t ai = a[i];
+        if (ai == 0) {
+            continue;
+        }
+        std::uint64_t* row = d.data() + i;
+        for (std::size_t j = 0; j < m; ++j) {
+            row[j] ^= ai & b[j];
+        }
+    }
+    out_words.resize(m);
+    for (std::size_t k = 0; k < m; ++k) {
+        std::uint64_t c = d[k];
+        const std::int32_t lo = reduction_offsets_[k];
+        const std::int32_t hi = reduction_offsets_[k + 1];
+        for (std::int32_t t = lo; t < hi; ++t) {
+            c ^= d[m + static_cast<std::size_t>(reduction_indices_[t])];
+        }
+        out_words[k] = c;
+    }
+}
+
+}  // namespace gfr::verify

@@ -1,6 +1,8 @@
-// Equivalence checker: positive and negative cases, interface mismatches.
+// Equivalence checker: positive and negative cases, interface mismatches,
+// counterexample fidelity under permuted port orders.
 
 #include "netlist/equivalence.h"
+#include "netlist/simulate.h"
 
 #include <gtest/gtest.h>
 
@@ -102,6 +104,55 @@ TEST(Equivalence, RandomRegimePassesOnEqual) {
     lhs.add_output("y", lhs.make_xor_tree(li, TreeShape::Balanced));
     rhs.add_output("y", rhs.make_xor_tree(ri, TreeShape::Chain));
     EXPECT_FALSE(check_equivalence(lhs, rhs).has_value());
+}
+
+TEST(Equivalence, PermutedInputOrderCounterexampleIsUnambiguous) {
+    // lhs declares (p, q, r); rhs declares (r, q, p).  The two differ on
+    // output y.  Mismatch::input_bits is indexed like lhs.inputs() — the
+    // named pairs must replay to exactly the reported lhs/rhs values when
+    // each netlist is driven through its OWN input order, which is the
+    // property that makes the counterexample unambiguous.
+    Netlist lhs;
+    {
+        const auto p = lhs.add_input("p");
+        const auto q = lhs.add_input("q");
+        const auto r = lhs.add_input("r");
+        lhs.add_output("y", lhs.make_xor(lhs.make_and(p, q), r));
+    }
+    Netlist rhs;
+    {
+        const auto r = rhs.add_input("r");  // reversed declaration order
+        const auto q = rhs.add_input("q");
+        const auto p = rhs.add_input("p");
+        rhs.add_output("y", rhs.make_xor(rhs.make_and(p, r), q));  // different fn
+    }
+    const auto mm = check_equivalence(lhs, rhs);
+    ASSERT_TRUE(mm.has_value());
+    ASSERT_EQ(mm->input_bits.size(), 3U);
+    ASSERT_EQ(mm->input_names.size(), 3U);
+    EXPECT_EQ(mm->input_names, (std::vector<std::string>{"p", "q", "r"}));
+
+    // Replay the named assignment through each netlist's own port order.
+    const auto replay = [&](const Netlist& nl) {
+        std::vector<std::uint64_t> in(nl.inputs().size(), 0);
+        for (std::size_t i = 0; i < mm->input_names.size(); ++i) {
+            const int idx = nl.input_index(mm->input_names[i]);
+            EXPECT_GE(idx, 0);
+            in[static_cast<std::size_t>(idx)] =
+                mm->input_bits[i] ? ~std::uint64_t{0} : 0;
+        }
+        return (simulate(nl, in)[0] & 1U) != 0;
+    };
+    EXPECT_EQ(replay(lhs), mm->lhs_value);
+    EXPECT_EQ(replay(rhs), mm->rhs_value);
+    EXPECT_NE(mm->lhs_value, mm->rhs_value);
+
+    // And the rendering names every input, so a human cannot misread the
+    // assignment against either port order.
+    const auto text = mm->to_string();
+    EXPECT_NE(text.find("p="), std::string::npos);
+    EXPECT_NE(text.find("q="), std::string::npos);
+    EXPECT_NE(text.find("r="), std::string::npos);
 }
 
 TEST(Equivalence, MultiOutputMismatchNamesRightOutput) {

@@ -2,19 +2,19 @@
 // binary-curve point decompression (examples/ecc_b163.cpp).
 
 #include "field/field_catalog.h"
+#include "testutil.h"
 
 #include <gtest/gtest.h>
 
-#include <random>
 
 namespace gfr::field {
 namespace {
 
 TEST(Trace, IsGf2Valued) {
     const Field f = Field::type2(8, 2);
-    std::mt19937_64 rng{5};
+    testutil::Xorshift64Star rng{5};
     for (int trial = 0; trial < 50; ++trial) {
-        const auto a = f.random_element(rng);
+        const auto a = testutil::random_element(f, rng);
         // trace() itself throws if the value is not in {0,1}; just call it.
         static_cast<void>(f.trace(a));
     }
@@ -22,19 +22,19 @@ TEST(Trace, IsGf2Valued) {
 
 TEST(Trace, IsLinear) {
     const Field f = Field::type2(113, 4);
-    std::mt19937_64 rng{6};
+    testutil::Xorshift64Star rng{6};
     for (int trial = 0; trial < 30; ++trial) {
-        const auto a = f.random_element(rng);
-        const auto b = f.random_element(rng);
+        const auto a = testutil::random_element(f, rng);
+        const auto b = testutil::random_element(f, rng);
         EXPECT_EQ(f.trace(f.add(a, b)), f.trace(a) != f.trace(b));
     }
 }
 
 TEST(Trace, InvariantUnderFrobenius) {
     const Field f = Field::type2(64, 23);
-    std::mt19937_64 rng{7};
+    testutil::Xorshift64Star rng{7};
     for (int trial = 0; trial < 30; ++trial) {
-        const auto a = f.random_element(rng);
+        const auto a = testutil::random_element(f, rng);
         EXPECT_EQ(f.trace(a), f.trace(f.sqr(a)));
     }
 }
@@ -65,10 +65,10 @@ TEST(HalfTrace, RequiresOddDegree) {
 TEST(HalfTrace, SolvesArtinSchreier) {
     // For odd m and Tr(c) = 0, z = H(c) satisfies z^2 + z = c.
     const Field f = Field::type2(113, 34);
-    std::mt19937_64 rng{8};
+    testutil::Xorshift64Star rng{8};
     int solved = 0;
     for (int trial = 0; trial < 40; ++trial) {
-        const auto c = f.random_element(rng);
+        const auto c = testutil::random_element(f, rng);
         if (f.trace(c)) {
             continue;
         }
@@ -84,9 +84,9 @@ class QuadraticSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
 TEST_P(QuadraticSweep, SolveQuadraticRoundTrip) {
     const auto [m, n] = GetParam();
     const Field f = Field::type2(m, n);
-    std::mt19937_64 rng{static_cast<std::uint64_t>(m)};
+    testutil::Xorshift64Star rng{static_cast<std::uint64_t>(m)};
     for (int trial = 0; trial < 25; ++trial) {
-        const auto c = f.random_element(rng);
+        const auto c = testutil::random_element(f, rng);
         const auto z = f.solve_quadratic(c);
         if (f.trace(c)) {
             EXPECT_FALSE(z.has_value());  // Tr(c)=1: no solution exists

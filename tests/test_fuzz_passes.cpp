@@ -5,10 +5,10 @@
 
 #include "netlist/equivalence.h"
 #include "netlist/passes.h"
+#include "testutil.h"
 
 #include <gtest/gtest.h>
 
-#include <random>
 
 namespace gfr::netlist {
 namespace {
@@ -16,7 +16,7 @@ namespace {
 /// Random multi-output AND/XOR DAG: XOR-heavy (matching the domain), with
 /// shared fanout and occasional constants.
 Netlist random_netlist(std::uint64_t seed) {
-    std::mt19937_64 rng{seed};
+    testutil::Xorshift64Star rng{seed};
     Netlist nl;
     const int n_inputs = 4 + static_cast<int>(rng() % 10);
     std::vector<NodeId> pool;

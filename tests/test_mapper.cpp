@@ -5,10 +5,10 @@
 #include "field/field_catalog.h"
 #include "multipliers/generator.h"
 #include "netlist/simulate.h"
+#include "testutil.h"
 
 #include <gtest/gtest.h>
 
-#include <random>
 
 namespace gfr::fpga {
 namespace {
@@ -18,7 +18,7 @@ void expect_same_function(const netlist::Netlist& nl, const LutNetwork& net,
                           int sweeps = 32) {
     ASSERT_EQ(net.input_names.size(), nl.inputs().size());
     ASSERT_EQ(net.outputs.size(), nl.outputs().size());
-    std::mt19937_64 rng{4242};
+    testutil::Xorshift64Star rng{4242};
     std::vector<std::uint64_t> in(nl.inputs().size(), 0);
     for (int s = 0; s < sweeps; ++s) {
         for (auto& w : in) {

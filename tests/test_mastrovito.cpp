@@ -5,10 +5,10 @@
 #include "gf2/pentanomial.h"
 #include "mastrovito/mastrovito_matrix.h"
 #include "mastrovito/reduction_matrix.h"
+#include "testutil.h"
 
 #include <gtest/gtest.h>
 
-#include <random>
 
 namespace gfr::mastrovito {
 namespace {
@@ -67,15 +67,15 @@ TEST(ReductionMatrix, OnesCountGf28) {
 }
 
 TEST(MastrovitoMatrix, ProductMatchesFieldMul) {
-    std::mt19937_64 rng{321};
+    testutil::Xorshift64Star rng{321};
     for (const auto& spec : {field::FieldSpec{8, 2, ""}, field::FieldSpec{64, 23, ""},
                              field::FieldSpec{113, 34, ""}}) {
         const field::Field fld = spec.make();
         const ReductionMatrix q{fld.modulus()};
         const MastrovitoMatrix mat{q};
         for (int trial = 0; trial < 5; ++trial) {
-            const auto a = fld.random_element(rng);
-            const auto b = fld.random_element(rng);
+            const auto a = testutil::random_element(fld, rng);
+            const auto b = testutil::random_element(fld, rng);
             const auto expected = fld.mul(a, b);
             // c_k = XOR_j b_j * ( XOR of a-indices in entry(k, j) ).
             for (int k = 0; k < fld.degree(); ++k) {

@@ -4,10 +4,10 @@
 #include "field/field_catalog.h"
 #include "multipliers/special.h"
 #include "netlist/simulate.h"
+#include "testutil.h"
 
 #include <gtest/gtest.h>
 
-#include <random>
 
 namespace gfr::mult {
 namespace {
@@ -54,9 +54,9 @@ class SquarerSweep : public ::testing::TestWithParam<field::FieldSpec> {};
 TEST_P(SquarerSweep, RandomAgreement) {
     const Field fld = GetParam().make();
     const auto nl = build_squarer(fld);
-    std::mt19937_64 rng{99};
+    testutil::Xorshift64Star rng{99};
     for (int trial = 0; trial < 20; ++trial) {
-        const auto a = fld.random_element(rng);
+        const auto a = testutil::random_element(fld, rng);
         EXPECT_EQ(eval_unary(nl, a, fld.degree()), fld.sqr(a));
     }
 }
@@ -79,9 +79,9 @@ TEST(Squarer, PentanomialSquaringIsCheap) {
 
 TEST(ConstantMultiplier, ExhaustiveGf256) {
     const Field fld = field::gf256_paper_field();
-    std::mt19937_64 rng{7};
+    testutil::Xorshift64Star rng{7};
     for (int trial = 0; trial < 4; ++trial) {
-        const auto b = fld.random_element(rng);
+        const auto b = testutil::random_element(fld, rng);
         const auto nl = build_constant_multiplier(fld, b);
         EXPECT_EQ(nl.stats().n_and, 0);
         for (std::uint64_t v = 0; v < 256; v += 5) {
@@ -114,11 +114,11 @@ TEST(ConstantMultiplier, RejectsNonElement) {
 
 TEST(ConstantMultiplier, LargeFieldRandom) {
     const Field fld = field::Field::type2(113, 4);
-    std::mt19937_64 rng{13};
-    const auto b = fld.random_element(rng);
+    testutil::Xorshift64Star rng{13};
+    const auto b = testutil::random_element(fld, rng);
     const auto nl = build_constant_multiplier(fld, b);
     for (int trial = 0; trial < 10; ++trial) {
-        const auto a = fld.random_element(rng);
+        const auto a = testutil::random_element(fld, rng);
         EXPECT_EQ(eval_unary(nl, a, 113), fld.mul(a, b));
     }
 }
@@ -127,7 +127,7 @@ TEST(Reducer, MatchesPolynomialMod) {
     const Field fld = field::gf256_paper_field();
     const auto nl = build_reducer(fld);
     ASSERT_EQ(nl.inputs().size(), 15U);  // d0..d14
-    std::mt19937_64 rng{31};
+    testutil::Xorshift64Star rng{31};
     for (int trial = 0; trial < 50; ++trial) {
         Poly d;
         for (int i = 0; i <= 14; ++i) {
@@ -154,10 +154,10 @@ TEST(Reducer, ComposesWithSchoolbookProduct) {
     // reduce(schoolbook(a, b)) == field.mul(a, b) — the classic two-step.
     const Field fld = field::Field::type2(64, 23);
     const auto nl = build_reducer(fld);
-    std::mt19937_64 rng{41};
+    testutil::Xorshift64Star rng{41};
     for (int trial = 0; trial < 10; ++trial) {
-        const auto a = fld.random_element(rng);
-        const auto b = fld.random_element(rng);
+        const auto a = testutil::random_element(fld, rng);
+        const auto b = testutil::random_element(fld, rng);
         const Poly d = a * b;  // unreduced, degree <= 126
         EXPECT_EQ(eval_unary(nl, d, 127), fld.mul(a, b));
     }

@@ -1,0 +1,251 @@
+// Fault-injection (mutation) tier: the verifier's verifier.
+//
+// verify_multiplier and check_equivalence claim to catch any wrong
+// multiplier.  Here that claim is itself tested: for every generator family
+// we inject single faults into the netlist — flip one gate kind, rewire one
+// fanin, swap two output drivers — and require BOTH verifiers to catch 100%
+// of the mutants that are functionally different from the original.
+//
+// "Functionally different" is decided by ground truth that shares nothing
+// with either verifier's decision logic: raw word-parallel simulation of
+// the two netlists side by side (exhaustive on the small field, dense
+// random on the medium one).  A mutation can land on logic that the
+// netlist's structural hashing or downstream XOR parity re-absorbs into the
+// original function (e.g. rewiring a fanin onto an equal subexpression);
+// such mutants are no fault at all and are skipped — but the test also
+// asserts they are rare, so the suite keeps its teeth.
+
+#include "multipliers/generator.h"
+#include "multipliers/verify.h"
+#include "netlist/equivalence.h"
+#include "netlist/simulate.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gfr::mult {
+namespace {
+
+using netlist::GateKind;
+using netlist::Netlist;
+using netlist::NodeId;
+using testutil::Xorshift64Star;
+
+/// Ground truth, independent of both verifiers: simulate src and mut on the
+/// same input words and compare raw output words.  Exhaustive when the
+/// input space allows it, dense random otherwise (single-gate faults in
+/// AND/XOR logic flip large assignment fractions, so 256 * 64 random lanes
+/// leave no realistic escape).
+bool functionally_differs(const Netlist& a, const Netlist& b) {
+    const int n = static_cast<int>(a.inputs().size());
+    netlist::Simulator sim_a{a};
+    netlist::Simulator sim_b{b};
+    std::vector<std::uint64_t> in(static_cast<std::size_t>(n));
+    std::vector<std::uint64_t> out_a;
+    std::vector<std::uint64_t> out_b;
+
+    const auto differs_now = [&]() {
+        sim_a.run_into(in, out_a);
+        sim_b.run_into(in, out_b);
+        return out_a != out_b;
+    };
+
+    if (n <= 16) {
+        const std::uint64_t blocks = (n <= 6) ? 1 : (std::uint64_t{1} << (n - 6));
+        for (std::uint64_t block = 0; block < blocks; ++block) {
+            for (int i = 0; i < n; ++i) {
+                in[static_cast<std::size_t>(i)] = netlist::exhaustive_pattern(i, block);
+            }
+            if (differs_now()) {
+                return true;
+            }
+        }
+        return false;
+    }
+    Xorshift64Star rng{0x6E747275ULL};  // fixed: ground truth must be stable
+    for (int sweep = 0; sweep < 256; ++sweep) {
+        for (auto& w : in) {
+            w = rng();
+        }
+        if (differs_now()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Reachable And2/Xor2 gate ids, ascending.
+std::vector<NodeId> reachable_gates(const Netlist& nl) {
+    const auto reachable = nl.reachable_from_outputs();
+    std::vector<NodeId> gates;
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+        const auto kind = nl.node(id).kind;
+        if (reachable[id] && (kind == GateKind::And2 || kind == GateKind::Xor2)) {
+            gates.push_back(id);
+        }
+    }
+    return gates;
+}
+
+/// Evenly-spaced sample of up to `count` entries.
+std::vector<NodeId> sample(const std::vector<NodeId>& pool, std::size_t count) {
+    std::vector<NodeId> out;
+    if (pool.empty()) {
+        return out;
+    }
+    const std::size_t stride = std::max<std::size_t>(1, pool.size() / count);
+    for (std::size_t i = 0; i < pool.size() && out.size() < count; i += stride) {
+        out.push_back(pool[i]);
+    }
+    return out;
+}
+
+struct MutationStats {
+    int generated = 0;
+    int faults = 0;              // mutants the ground truth distinguishes
+    int equivalent_skipped = 0;  // mutations absorbed back into the function
+    int missed_by_verify = 0;
+    int missed_by_equivalence = 0;
+    std::vector<std::string> misses;
+};
+
+/// Runs one mutant through ground truth and both verifiers.
+void exercise_mutant(const Netlist& original, const Netlist& mutant,
+                     const field::Field& field, const std::string& label,
+                     MutationStats& stats) {
+    ++stats.generated;
+    if (!functionally_differs(original, mutant)) {
+        ++stats.equivalent_skipped;
+        return;
+    }
+    ++stats.faults;
+    VerifyOptions vopts;
+    vopts.random_sweeps = 256;  // match ground-truth density on big fields
+    if (!verify_multiplier(mutant, field, vopts).has_value()) {
+        ++stats.missed_by_verify;
+        stats.misses.push_back("verify_multiplier missed " + label);
+    }
+    netlist::EquivalenceOptions eopts;
+    eopts.random_sweeps = 256;
+    if (!netlist::check_equivalence(original, mutant, eopts).has_value()) {
+        ++stats.missed_by_equivalence;
+        stats.misses.push_back("check_equivalence missed " + label);
+    }
+}
+
+void run_mutation_campaign(const field::Field& field, Method method,
+                           MutationStats& stats) {
+    const auto original = build_multiplier(method, field);
+    const auto gates = sample(reachable_gates(original), 8);
+    const std::string key{method_info(method).key};
+    const int m = field.degree();
+
+    // 1. Gate-kind flips: And2 <-> Xor2 on sampled reachable gates.
+    for (const NodeId target : gates) {
+        const auto mutant = testutil::clone_netlist(
+            original, [target](NodeId id, GateKind& kind, NodeId&, NodeId&) {
+                if (id == target) {
+                    kind = (kind == GateKind::And2) ? GateKind::Xor2 : GateKind::And2;
+                }
+            });
+        exercise_mutant(original, mutant, field,
+                        key + ": flip gate " + std::to_string(target), stats);
+    }
+
+    // 2. Fanin rewires: first fanin of a sampled gate redirected to a
+    //    different primary input (input ids precede all gates, so the clone
+    //    stays topologically valid).
+    int salt = 0;
+    for (const NodeId target : gates) {
+        const NodeId old_a = original.node(target).a;
+        const NodeId old_b = original.node(target).b;
+        NodeId replacement = netlist::kInvalidNode;
+        for (int i = 0; i < 2 * m; ++i) {
+            const NodeId candidate =
+                original.inputs()[static_cast<std::size_t>((i + salt) % (2 * m))].node;
+            if (candidate != old_a && candidate != old_b) {
+                replacement = candidate;
+                break;
+            }
+        }
+        ++salt;
+        ASSERT_NE(replacement, netlist::kInvalidNode);
+        const auto mutant = testutil::clone_netlist(
+            original, [target, replacement](NodeId id, GateKind&, NodeId& a, NodeId&) {
+                if (id == target) {
+                    a = replacement;
+                }
+            });
+        exercise_mutant(original, mutant, field,
+                        key + ": rewire fanin of " + std::to_string(target), stats);
+    }
+
+    // 3. Output swaps: exchanging the drivers of c_i and c_j is exactly a
+    //    transcription error in the output map.
+    const std::size_t n_out = original.outputs().size();
+    const std::pair<std::size_t, std::size_t> swaps[] = {{0, n_out / 2},
+                                                         {1, n_out - 1}};
+    for (const auto& [i, j] : swaps) {
+        if (i == j || j >= n_out) {
+            continue;
+        }
+        const auto mutant = testutil::clone_netlist(
+            original, nullptr,
+            [i = i, j = j](std::size_t index, std::span<const NodeId> mapped,
+                           Netlist&) -> NodeId {
+                if (index == i) {
+                    return mapped[j];
+                }
+                if (index == j) {
+                    return mapped[i];
+                }
+                return mapped[index];
+            });
+        exercise_mutant(original, mutant, field,
+                        key + ": swap outputs " + std::to_string(i) + "," +
+                            std::to_string(j),
+                        stats);
+    }
+}
+
+void expect_full_kill(const field::Field& field, MutationStats& stats) {
+    for (const auto& info : all_methods()) {
+        run_mutation_campaign(field, info.method, stats);
+    }
+    EXPECT_EQ(stats.missed_by_verify, 0);
+    EXPECT_EQ(stats.missed_by_equivalence, 0);
+    for (const auto& miss : stats.misses) {
+        ADD_FAILURE() << miss;
+    }
+    // The suite must keep its teeth: nearly every injected mutation has to
+    // be a real fault (absorbed mutations are the rare exception).
+    EXPECT_GT(stats.faults, 0);
+    EXPECT_GE(stats.faults * 10, stats.generated * 9)
+        << stats.equivalent_skipped << " of " << stats.generated
+        << " mutants were absorbed — mutation operators lost their teeth";
+}
+
+TEST(VerifyMutation, SmallFieldKillsAllSingleFaultMutants) {
+    // GF(2^8), the paper's worked field: exhaustive ground truth, every
+    // generator family, all three mutation operators.
+    MutationStats stats;
+    expect_full_kill(field::gf256_paper_field(), stats);
+    // Every family contributes 8 flips + 8 rewires + 2 swaps.
+    EXPECT_EQ(stats.generated,
+              static_cast<int>(all_methods().size()) * (8 + 8 + 2));
+}
+
+TEST(VerifyMutation, MediumFieldKillsAllSingleFaultMutants) {
+    // GF(2^64): the random-regime verifiers must catch the same fault
+    // classes the exhaustive regime does.
+    MutationStats stats;
+    expect_full_kill(field::Field::type2(64, 23), stats);
+}
+
+}  // namespace
+}  // namespace gfr::mult

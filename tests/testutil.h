@@ -24,11 +24,15 @@
 #include "field/gf2m.h"
 #include "gf2/gf2_poly.h"
 #include "gf2/pentanomial.h"
+#include "netlist/netlist.h"
+#include "verify/campaign.h"
 
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <new>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -78,22 +82,15 @@ private:
 /// xorshift64* — tiny, fast, trivially copyable, identical on every platform
 /// and standard library.  Good enough statistics for property tests, and its
 /// value-semantics replay is what the concurrency tests lean on.
-class Xorshift64Star {
+///
+/// Deliberately THE SAME generator the verification campaign uses for its
+/// sweep bodies (verify::SweepRng) — a thin wrapper, not a copy, so a
+/// counterexample seed logged by either replays in both by construction.
+class Xorshift64Star : public verify::SweepRng {
 public:
-    explicit Xorshift64Star(std::uint64_t seed) noexcept
-        : state_{seed != 0 ? seed : 0x9E3779B97F4A7C15ULL} {}
+    using verify::SweepRng::SweepRng;
 
-    std::uint64_t next() noexcept {
-        state_ ^= state_ >> 12;
-        state_ ^= state_ << 25;
-        state_ ^= state_ >> 27;
-        return state_ * 0x2545F4914F6CDD1DULL;
-    }
-
-    std::uint64_t operator()() noexcept { return next(); }
-
-private:
-    std::uint64_t state_;
+    std::uint64_t next() noexcept { return (*this)(); }
 };
 
 // --- Random generators -------------------------------------------------------
@@ -179,6 +176,75 @@ inline gf2::Poly large_modulus(int m) {
         throw std::runtime_error{"no low-weight modulus for m=" + std::to_string(m)};
     }
     return *mod;
+}
+
+// --- Netlist cloning (verification-tier tests) -------------------------------
+
+/// May rewrite one logic gate during clone_netlist: kind and fanins are the
+/// *source* netlist's values; rewritten fanins must reference source nodes
+/// created before `id` (the clone maps them bottom-up).
+using GateHook = std::function<void(netlist::NodeId id, netlist::GateKind& kind,
+                                    netlist::NodeId& a, netlist::NodeId& b)>;
+
+/// May redirect outputs during clone_netlist: receives the output index,
+/// the mapped drivers of ALL outputs (same order as src.outputs()), and the
+/// destination netlist (for building extra gates); returns the node to
+/// register under this index's original name.  Returning mapped[other]
+/// swaps output drivers — the classic transcription fault.
+using OutputHook = std::function<netlist::NodeId(
+    std::size_t index, std::span<const netlist::NodeId> mapped, netlist::Netlist& dst)>;
+
+/// Structural gate-for-gate copy of `src`, with optional fault-injection
+/// hooks — the substrate of the mutation tests (the verifier's verifier) and
+/// of corrupted-netlist fixtures.  Structural hashing in the destination may
+/// merge or simplify rewritten gates; the copy stays functionally faithful
+/// to the rewrites.
+inline netlist::Netlist clone_netlist(const netlist::Netlist& src,
+                                      const GateHook& gate_hook = nullptr,
+                                      const OutputHook& output_hook = nullptr) {
+    netlist::Netlist dst;
+    std::vector<netlist::NodeId> map(src.node_count(), netlist::kInvalidNode);
+    std::vector<std::string> input_name(src.node_count());
+    for (const auto& port : src.inputs()) {
+        input_name[port.node] = port.name;
+    }
+    for (netlist::NodeId id = 0; id < src.node_count(); ++id) {
+        const auto& node = src.node(id);
+        switch (node.kind) {
+            case netlist::GateKind::Input:
+                map[id] = dst.add_input(input_name[id]);
+                break;
+            case netlist::GateKind::Const0:
+                map[id] = dst.const0();
+                break;
+            case netlist::GateKind::And2:
+            case netlist::GateKind::Xor2: {
+                auto kind = node.kind;
+                auto a = node.a;
+                auto b = node.b;
+                if (gate_hook) {
+                    gate_hook(id, kind, a, b);
+                }
+                map[id] = (kind == netlist::GateKind::And2)
+                              ? dst.make_and(map[a], map[b])
+                              : dst.make_xor(map[a], map[b]);
+                break;
+            }
+        }
+    }
+    std::vector<netlist::NodeId> mapped_outputs;
+    mapped_outputs.reserve(src.outputs().size());
+    for (const auto& port : src.outputs()) {
+        mapped_outputs.push_back(map[port.node]);
+    }
+    for (std::size_t o = 0; o < src.outputs().size(); ++o) {
+        netlist::NodeId node = mapped_outputs[o];
+        if (output_hook) {
+            node = output_hook(o, mapped_outputs, dst);
+        }
+        dst.add_output(src.outputs()[o].name, node);
+    }
+    return dst;
 }
 
 }  // namespace gfr::testutil
