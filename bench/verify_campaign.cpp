@@ -1,30 +1,37 @@
 // Verification campaign driver: the paper-style sweep plus the throughput
-// numbers behind BENCH_3.json.
+// numbers behind BENCH_4.json.
 //
 // Part 1 — Table V campaign: every generator family x every Table V field,
-// each verified through the parallel campaign engine (exhaustive where the
-// operand space allows, random sweeps beyond), printed as a pass/fail +
-// throughput table in the spirit of the paper's Table V.
+// each verified through the parallel campaign engine over the compiled
+// execution layer (exhaustive where the operand space allows, random sweeps
+// beyond), printed as a pass/fail + throughput table in the spirit of the
+// paper's Table V.  argv[2] overrides the worker-thread count (the CI gate
+// runs this with 2); any FAIL exits nonzero.
 //
-// Part 2 — throughput ladder: the exhaustive GF(2^8) space (all 2^16
-// products of the paper's worked field) verified with
+// Part 2 — exhaustive GF(2^8) ladder: all 2^16 products of the paper's
+// worked field verified with
 //   (a) the PR-2 path: single-threaded sweep loop, per-lane transpose,
-//       engine mul_region, per-bit compare — reimplemented here verbatim as
-//       the frozen baseline, and
-//   (b) the campaign engine at 1, 4 and hardware_concurrency threads
-//       (bitsliced lane reference + sharded sweeps).
-// The acceptance bar for PR 3 is campaign@4 >= 3x the PR-2 baseline with
-// bit-identical verdicts; the measured numbers land in BENCH_3.json
-// (path overridable as argv[1]).
+//       engine mul_region, per-bit compare — frozen verbatim, and
+//   (b) the campaign engine (compiled tape + bitsliced lane reference) at
+//       1, 4 and hardware_concurrency threads.
+//
+// Part 3 — random-regime GF(2^163) ladder, the PR-4 acceptance metric: the
+// PR-3 path (interpretive Simulator + 64 per-lane engine products per
+// sweep, frozen verbatim below) against the compiled tape + multi-word
+// lane-major oracle, both at 1 thread.  The bar is >= 2x products/s
+// single-thread with bit-identical verdicts.
 
+#include "exec/program.h"
 #include "field/field_catalog.h"
 #include "multipliers/generator.h"
 #include "multipliers/verify.h"
 #include "netlist/simulate.h"
+#include "verify/campaign.h"
 
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,16 +45,47 @@ double seconds_since(Clock::time_point t0) {
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// The PR-2 exhaustive verification path, frozen: one thread, transposing
-/// every sweep's 64 lanes into u64 operands, batching the reference
-/// products through FieldOps::mul_region, then comparing bit by bit.  Kept
-/// byte-for-byte equivalent to the pre-campaign implementation so BENCH_N
-/// speedups stay anchored to the same baseline over time.
+/// The pre-PR-4 Simulator::run_into, verbatim with its reused value buffer:
+/// the node-by-node interpretation both frozen baselines below are anchored
+/// to (using today's compiled Simulator would silently speed them up).
+void interpret_netlist(const netlist::Netlist& nl,
+                       std::span<const std::uint64_t> in_words,
+                       std::vector<std::uint64_t>& values,
+                       std::vector<std::uint64_t>& out_words) {
+    values.assign(nl.node_count(), 0);
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+        values[nl.inputs()[i].node] = in_words[i];
+    }
+    for (netlist::NodeId id = 0; id < nl.node_count(); ++id) {
+        const netlist::Node& n = nl.node(id);
+        switch (n.kind) {
+            case netlist::GateKind::Input:
+            case netlist::GateKind::Const0:
+                break;
+            case netlist::GateKind::And2:
+                values[id] = values[n.a] & values[n.b];
+                break;
+            case netlist::GateKind::Xor2:
+                values[id] = values[n.a] ^ values[n.b];
+                break;
+        }
+    }
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+        out_words[o] = values[nl.outputs()[o].node];
+    }
+}
+
+/// The PR-2 exhaustive verification path, frozen: one thread, interpretive
+/// simulation, transposing every sweep's 64 lanes into u64 operands,
+/// batching the reference products through FieldOps::mul_region, then
+/// comparing bit by bit.  Kept byte-for-byte equivalent to the pre-campaign
+/// implementation so BENCH_N speedups stay anchored to the same baseline
+/// over time.
 bool pr2_exhaustive_verify(const netlist::Netlist& nl, const field::Field& field) {
     const int m = field.degree();
-    netlist::Simulator sim{nl};
+    std::vector<std::uint64_t> values;  // interpreter state, reused per sweep
     std::vector<std::uint64_t> in_words(static_cast<std::size_t>(2 * m), 0);
-    std::vector<std::uint64_t> out_words;
+    std::vector<std::uint64_t> out_words(static_cast<std::size_t>(m), 0);
     std::array<std::uint64_t, 64> a_lanes{};
     std::array<std::uint64_t, 64> b_lanes{};
     std::array<std::uint64_t, 64> expected{};
@@ -57,7 +95,7 @@ bool pr2_exhaustive_verify(const netlist::Netlist& nl, const field::Field& field
         for (int i = 0; i < 2 * m; ++i) {
             in_words[static_cast<std::size_t>(i)] = netlist::exhaustive_pattern(i, block);
         }
-        sim.run_into(in_words, out_words);
+        interpret_netlist(nl, in_words, values, out_words);
         for (int lane = 0; lane < 64; ++lane) {
             std::uint64_t a = 0;
             std::uint64_t b = 0;
@@ -79,6 +117,67 @@ bool pr2_exhaustive_verify(const netlist::Netlist& nl, const field::Field& field
                     (out_words[static_cast<std::size_t>(k)] >> lane) & 1U;
                 const bool want_bit = (want >> k) & 1U;
                 if (got_bit != want_bit) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+/// The PR-3 random-regime multi-word verification path, frozen: one thread;
+/// per sweep, a node-by-node interpretive simulation (the pre-PR-4
+/// Simulator semantics, inlined verbatim with its reused value buffer) and
+/// then, per lane, two bit-transposed operand extractions, one engine
+/// product and a bit-gathered compare.  This is the baseline the PR-4
+/// compiled tape + multi-word lane oracle is measured against.
+bool pr3_random_verify(const netlist::Netlist& nl, const field::Field& field,
+                       std::uint64_t seed, int sweeps) {
+    const int m = field.degree();
+    const std::size_t wn = static_cast<std::size_t>((m + 63) / 64);
+    std::vector<std::uint64_t> values;  // interpreter state, reused per sweep
+    std::vector<std::uint64_t> in_words(static_cast<std::size_t>(2 * m), 0);
+    std::vector<std::uint64_t> out_words(static_cast<std::size_t>(m), 0);
+    std::vector<std::uint64_t> bits;
+    std::vector<std::uint64_t> got_bits;
+    gf2::Poly a_elem;
+    gf2::Poly b_elem;
+    gf2::Poly product;
+    field::FieldOps::Scratch scratch;
+
+    const auto element_from_lane = [&](int offset, int lane, gf2::Poly& out) {
+        bits.assign(wn, 0);
+        for (int i = 0; i < m; ++i) {
+            if ((in_words[static_cast<std::size_t>(offset + i)] >> lane) & 1U) {
+                bits[static_cast<std::size_t>(i / 64)] |= std::uint64_t{1} << (i % 64);
+            }
+        }
+        out.assign_words(bits);
+    };
+
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+        verify::SweepRng rng{verify::Campaign::derive_sweep_seed(
+            seed, static_cast<std::uint64_t>(sweep))};
+        for (auto& word : in_words) {
+            word = rng();
+        }
+        interpret_netlist(nl, in_words, values, out_words);
+        // Per-lane engine compare, PR-3 check_sweep multi-word verbatim.
+        for (int lane = 0; lane < 64; ++lane) {
+            element_from_lane(0, lane, a_elem);
+            element_from_lane(m, lane, b_elem);
+            field.ops().mul(a_elem, b_elem, product, scratch);
+            got_bits.assign(wn, 0);
+            for (int k = 0; k < m; ++k) {
+                if ((out_words[static_cast<std::size_t>(k)] >> lane) & 1U) {
+                    got_bits[static_cast<std::size_t>(k / 64)] |= std::uint64_t{1}
+                                                                  << (k % 64);
+                }
+            }
+            const auto pw = product.words();
+            for (std::size_t word = 0; word < wn; ++word) {
+                const std::uint64_t want_w = word < pw.size() ? pw[word] : 0;
+                if ((got_bits[word] ^ want_w) != 0) {
                     return false;
                 }
             }
@@ -123,24 +222,59 @@ struct SweepRow {
     bool pass = false;
 };
 
+void print_ladder(const char* title, const std::vector<ThroughputPoint>& ladder,
+                  int repeats) {
+    const double base = ladder.front().seconds;
+    std::printf("\n%s (best of %d runs)\n", title, repeats);
+    std::printf("%-22s %8s %12s %16s %9s\n", "path", "threads", "seconds",
+                "products/s", "speedup");
+    for (const auto& p : ladder) {
+        std::printf("%-22s %8d %12.6f %16.0f %8.2fx  %s\n", p.label.c_str(), p.threads,
+                    p.seconds, p.products_per_sec, base / p.seconds,
+                    p.ok ? "" : "(VERIFY FAILED)");
+    }
+}
+
+void json_ladder(std::FILE* json, const char* key, double products,
+                 const std::vector<ThroughputPoint>& ladder, bool last) {
+    const double base = ladder.front().seconds;
+    std::fprintf(json, "  \"%s\": {\n", key);
+    std::fprintf(json, "    \"products\": %.0f,\n    \"paths\": [\n", products);
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        const auto& p = ladder[i];
+        std::fprintf(json,
+                     "      {\"path\": \"%s\", \"threads\": %d, \"seconds\": %.6f, "
+                     "\"products_per_sec\": %.0f, \"speedup_vs_baseline\": %.3f, "
+                     "\"verdict_ok\": %s}%s\n",
+                     p.label.c_str(), p.threads, p.seconds, p.products_per_sec,
+                     base / p.seconds, p.ok ? "true" : "false",
+                     i + 1 < ladder.size() ? "," : "");
+    }
+    std::fprintf(json, "    ]\n  }%s\n", last ? "" : ",");
+}
+
 }  // namespace
 }  // namespace gfr
 
 int main(int argc, char** argv) {
     using namespace gfr;
-    const std::string json_path = (argc > 1) ? argv[1] : "BENCH_3.json";
+    const std::string json_path = (argc > 1) ? argv[1] : "BENCH_4.json";
+    const int thread_override = (argc > 2) ? std::atoi(argv[2]) : 0;
     const int hw = static_cast<int>(std::max(1U, std::thread::hardware_concurrency()));
 
     // --- Part 1: generator family x Table V field campaign ------------------
     std::vector<SweepRow> rows;
-    std::printf("Table V verification campaign (campaign engine, auto threads)\n");
+    std::printf("Table V verification campaign (compiled tapes, %s threads)\n",
+                thread_override > 0 ? std::to_string(thread_override).c_str()
+                                    : "auto");
     std::printf("%-14s %-12s %-11s %12s %10s %14s  %s\n", "method", "field", "regime",
                 "products", "seconds", "products/s", "verdict");
     for (const auto& info : mult::all_methods()) {
         for (const auto& spec : field::table5_fields()) {
             const field::Field fld = spec.make();
             const auto nl = mult::build_multiplier(info.method, fld);
-            mult::VerifyOptions opts;  // auto threads, default regime thresholds
+            mult::VerifyOptions opts;
+            opts.threads = thread_override;
             const bool exhaustive = 2 * fld.degree() <= opts.max_exhaustive_inputs;
             const double products =
                 exhaustive ? static_cast<double>(std::uint64_t{1} << (2 * fld.degree()))
@@ -170,10 +304,10 @@ int main(int argc, char** argv) {
     const double products8 = 65536.0;
     constexpr int kRepeats = 9;
 
-    std::vector<ThroughputPoint> ladder;
-    ladder.push_back(measure("pr2_single_thread", 1, products8,
-                             [&] { return pr2_exhaustive_verify(nl8, gf256); },
-                             kRepeats));
+    std::vector<ThroughputPoint> ladder8;
+    ladder8.push_back(measure("pr2_single_thread", 1, products8,
+                              [&] { return pr2_exhaustive_verify(nl8, gf256); },
+                              kRepeats));
     std::vector<int> thread_points = {1, 4};
     if (hw != 1 && hw != 4) {
         thread_points.push_back(hw);
@@ -181,22 +315,45 @@ int main(int argc, char** argv) {
     for (const int threads : thread_points) {
         mult::VerifyOptions opts;
         opts.threads = threads;
-        ladder.push_back(measure(
+        ladder8.push_back(measure(
             "campaign_t" + std::to_string(threads), threads, products8,
             [&] { return !mult::verify_multiplier(nl8, gf256, opts).has_value(); },
             kRepeats));
     }
+    print_ladder("Exhaustive GF(2^8) space: 65536 products", ladder8, kRepeats);
 
-    const double base = ladder.front().seconds;
-    std::printf("\nExhaustive GF(2^8) space: 65536 products, best of %d runs\n",
-                kRepeats);
-    std::printf("%-22s %8s %12s %16s %9s\n", "path", "threads", "seconds",
-                "products/s", "speedup");
-    for (const auto& p : ladder) {
-        std::printf("%-22s %8d %12.6f %16.0f %8.2fx  %s\n", p.label.c_str(), p.threads,
-                    p.seconds, p.products_per_sec, base / p.seconds,
-                    p.ok ? "" : "(VERIFY FAILED)");
+    // --- Part 3: random-regime GF(2^163), the PR-4 acceptance ladder --------
+    const field::Field gf163 = field::Field::type2(163, 68);
+    const auto nl163 = mult::build_multiplier(mult::Method::Date2018Flat, gf163);
+    const exec::Program prog163 = exec::Program::compile(nl163);
+    const auto stats163 = prog163.stats();
+    constexpr int kSweeps163 = 256;
+    const double products163 = 64.0 * kSweeps163;
+    constexpr std::uint64_t kSeed163 = 0xD1CEULL;
+    constexpr int kRepeats163 = 5;
+
+    std::vector<ThroughputPoint> ladder163;
+    ladder163.push_back(measure(
+        "pr3_interpreter_t1", 1, products163,
+        [&] { return pr3_random_verify(nl163, gf163, kSeed163, kSweeps163); },
+        kRepeats163));
+    {
+        mult::VerifyOptions opts;
+        opts.threads = 1;
+        opts.random_sweeps = kSweeps163;
+        opts.seed = kSeed163;
+        ladder163.push_back(measure(
+            "compiled_tape_t1", 1, products163,
+            [&] { return !mult::verify_multiplier(nl163, gf163, opts).has_value(); },
+            kRepeats163));
     }
+    print_ladder("Random-regime GF(2^163): 16384 products", ladder163, kRepeats163);
+    std::printf(
+        "m=163 tape: %zu source nodes -> %zu instructions "
+        "(%zu fused ANDs), working set %u slots\n",
+        stats163.source_nodes, stats163.instructions, stats163.fused_ands,
+        stats163.slots);
+    const double speedup163 = ladder163[0].seconds / ladder163[1].seconds;
 
     // --- JSON ----------------------------------------------------------------
     std::FILE* json = std::fopen(json_path.c_str(), "w");
@@ -204,21 +361,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
         return 1;
     }
-    std::fprintf(json, "{\n  \"schema\": \"gfr-bench-v3\",\n");
+    std::fprintf(json, "{\n  \"schema\": \"gfr-bench-v4\",\n");
     std::fprintf(json, "  \"hardware_concurrency\": %d,\n", hw);
-    std::fprintf(json, "  \"verify_exhaustive_m8\": {\n");
-    std::fprintf(json, "    \"products\": 65536,\n    \"paths\": [\n");
-    for (std::size_t i = 0; i < ladder.size(); ++i) {
-        const auto& p = ladder[i];
-        std::fprintf(json,
-                     "      {\"path\": \"%s\", \"threads\": %d, \"seconds\": %.6f, "
-                     "\"products_per_sec\": %.0f, \"speedup_vs_pr2\": %.3f, "
-                     "\"verdict_ok\": %s}%s\n",
-                     p.label.c_str(), p.threads, p.seconds, p.products_per_sec,
-                     base / p.seconds, p.ok ? "true" : "false",
-                     i + 1 < ladder.size() ? "," : "");
-    }
-    std::fprintf(json, "    ]\n  },\n");
+    json_ladder(json, "verify_exhaustive_m8", products8, ladder8, false);
+    json_ladder(json, "verify_random_m163", products163, ladder163, false);
+    std::fprintf(json,
+                 "  \"exec_tape_m163\": {\"source_nodes\": %zu, \"instructions\": "
+                 "%zu, \"fused_ands\": %zu, \"slots\": %u, "
+                 "\"compiled_speedup_vs_pr3_t1\": %.3f},\n",
+                 stats163.source_nodes, stats163.instructions, stats163.fused_ands,
+                 stats163.slots, speedup163);
     std::fprintf(json, "  \"table5_campaign\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& r = rows[i];
@@ -239,9 +391,11 @@ int main(int argc, char** argv) {
             return 1;
         }
     }
-    for (const auto& p : ladder) {
-        if (!p.ok) {
-            return 1;
+    for (const auto* ladder : {&ladder8, &ladder163}) {
+        for (const auto& p : *ladder) {
+            if (!p.ok) {
+                return 1;
+            }
         }
     }
     return 0;

@@ -2,7 +2,12 @@
 // networks for several type II fields, hot-swapped at runtime the way a
 // partially-reconfigurable FPGA region would be re-programmed.  One driver
 // multiplies operands in whichever field is currently loaded.
+//
+// Each configuration's LUT network is compiled once at load time into an
+// exec::Program tape (the "bitstream" of this software model); the active
+// multiply executes the compiled tape, not a per-LUT interpretation.
 
+#include "exec/program.h"
 #include "field/field_catalog.h"
 #include "fpga/flow.h"
 #include "multipliers/generator.h"
@@ -16,10 +21,12 @@ namespace {
 
 using namespace gfr;
 
-/// One "bitstream": the mapped multiplier plus its field for verification.
+/// One "bitstream": the mapped multiplier, its compiled tape, and its field
+/// for verification.
 struct Configuration {
     field::Field field;
     fpga::LutNetwork network;
+    exec::Program program;  ///< compiled at load, executed per multiply
     int luts = 0;
     double ns = 0;
 };
@@ -35,9 +42,12 @@ public:
 
     [[nodiscard]] const Configuration& active() const { return configs_.at(active_); }
 
-    /// Multiply through the active LUT network (one lane).
+    /// Multiply through the active configuration's compiled tape (one
+    /// lane).  The caller owns the execution scratch — the same discipline
+    /// as Program::run itself — so the bank stays shareable across threads.
     [[nodiscard]] field::Field::Element mul(const field::Field::Element& a,
-                                            const field::Field::Element& b) const {
+                                            const field::Field::Element& b,
+                                            exec::Program::Scratch& scratch) const {
         const auto& cfg = active();
         const int m = cfg.field.degree();
         std::vector<std::uint64_t> in(static_cast<std::size_t>(2 * m), 0);
@@ -45,7 +55,8 @@ public:
             in[static_cast<std::size_t>(i)] = a.coeff(i) ? 1 : 0;
             in[static_cast<std::size_t>(m + i)] = b.coeff(i) ? 1 : 0;
         }
-        const auto out = cfg.network.simulate(in);
+        std::vector<std::uint64_t> out(static_cast<std::size_t>(m), 0);
+        cfg.program.run(in, out, scratch);
         field::Field::Element c;
         for (int k = 0; k < m; ++k) {
             if (out[static_cast<std::size_t>(k)] & 1U) {
@@ -73,15 +84,19 @@ int main() {
         fpga::FlowOptions opts;
         opts.synthesis_freedom = true;
         auto flow = fpga::run_flow(nl, opts);
-        std::printf("built configuration %-14s: %5d LUTs, %.2f ns\n",
-                    spec.label().c_str(), flow.luts, flow.delay_ns);
+        auto program = exec::Program::compile(flow.network);
+        std::printf(
+            "built configuration %-14s: %5d LUTs, %.2f ns  (tape: %zu insns, %u slots)\n",
+            spec.label().c_str(), flow.luts, flow.delay_ns,
+            program.instruction_count(), program.slot_count());
         bank.load(spec.label(),
-                  Configuration{std::move(fld), std::move(flow.network), flow.luts,
-                                flow.delay_ns});
+                  Configuration{std::move(fld), std::move(flow.network),
+                                std::move(program), flow.luts, flow.delay_ns});
     }
 
     // Swap configurations at runtime and multiply in each field.
     std::mt19937_64 rng{1234};
+    exec::Program::Scratch scratch;  // this driver's execution scratch
     bool all_ok = true;
     for (const std::string name : {"(8,2)", "(64,23)", "(113,4) SECG"}) {
         bank.activate(name);
@@ -91,7 +106,7 @@ int main() {
         for (int t = 0; t < kTrials; ++t) {
             const auto a = fld.random_element(rng);
             const auto b = fld.random_element(rng);
-            if (bank.mul(a, b) == fld.mul(a, b)) {
+            if (bank.mul(a, b, scratch) == fld.mul(a, b)) {
                 ++pass;
             }
         }

@@ -1,0 +1,591 @@
+#include "exec/program.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace gfr::exec {
+
+namespace {
+
+constexpr std::uint32_t kNoValue = std::numeric_limits<std::uint32_t>::max();
+constexpr std::int64_t kNeverUsed = -1;
+constexpr std::int64_t kFreed = -2;
+
+/// One scheduled definition, still in value-id space (slots come later).
+struct ValueDef {
+    Op op = Op::Xor2;
+    std::uint32_t value = 0;  ///< value id this instruction defines
+    std::uint32_t aux = 0;    ///< Op::AndXorN: pair count
+    std::uint64_t truth = 0;  ///< Op::Lut only
+    std::vector<std::uint32_t> args;
+};
+
+/// Compile-time intermediate shared by both front ends: a post-order
+/// schedule over a dense value-id space, plus the interface bindings.
+struct Builder {
+    std::size_t n_values = 0;
+    std::vector<ValueDef> sched;
+    /// (input index, value id) for every primary input, in interface order.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> inputs;
+    std::vector<std::uint32_t> outputs;  ///< value id per output port
+    std::uint32_t zero_value = kNoValue;
+    int n_inputs_total = 0;
+    int n_outputs_total = 0;
+};
+
+/// Iterative depth-first post-order from the outputs: values are scheduled
+/// immediately before their first consumer's subtree completes, which keeps
+/// live ranges short.  `deps` maps a value id to its operand value ids
+/// (empty for sources), `emit` is called once per value in schedule order.
+template <typename DepsFn, typename EmitFn>
+void schedule_post_order(std::size_t n_values, std::span<const std::uint32_t> roots,
+                         const DepsFn& deps, const EmitFn& emit) {
+    std::vector<std::uint8_t> state(n_values, 0);  // 0 new, 1 open, 2 done
+    struct Frame {
+        std::uint32_t value;
+        std::size_t next_dep;
+    };
+    std::vector<Frame> stack;
+    for (const std::uint32_t root : roots) {
+        if (state[root] == 2) {
+            continue;
+        }
+        stack.push_back({root, 0});
+        state[root] = 1;
+        while (!stack.empty()) {
+            Frame& f = stack.back();
+            const std::span<const std::uint32_t> d = deps(f.value);
+            bool descended = false;
+            while (f.next_dep < d.size()) {
+                const std::uint32_t child = d[f.next_dep++];
+                if (state[child] == 0) {
+                    state[child] = 1;
+                    stack.push_back({child, 0});
+                    descended = true;
+                    break;
+                }
+            }
+            if (descended) {
+                continue;
+            }
+            state[f.value] = 2;
+            emit(f.value);
+            stack.pop_back();
+        }
+    }
+}
+
+/// Truth table of the k-input parity function (low 2^k bits).
+std::uint64_t parity_truth(int k) {
+    std::uint64_t t = 0;
+    for (unsigned i = 0; i < (1U << k); ++i) {
+        if (std::popcount(i) & 1U) {
+            t |= std::uint64_t{1} << i;
+        }
+    }
+    return t;
+}
+
+}  // namespace
+
+namespace detail {
+
+/// Liveness analysis + slot allocation + tape emission over a finished
+/// Builder.  Factored out of the front ends so Netlist and LutNetwork
+/// compilation share one register allocator.
+struct Linker {
+    static Program link(Builder&& b, std::size_t source_nodes) {
+        Program p;
+        p.n_inputs_ = b.n_inputs_total;
+        p.n_outputs_ = b.n_outputs_total;
+        p.source_nodes_ = source_nodes;
+
+        const std::int64_t n_insns = static_cast<std::int64_t>(b.sched.size());
+
+        // Liveness: last instruction index reading each value; values that
+        // feed an output port stay live past the end of the tape.
+        std::vector<std::int64_t> last_use(b.n_values, kNeverUsed);
+        for (std::int64_t t = 0; t < n_insns; ++t) {
+            for (const std::uint32_t a : b.sched[static_cast<std::size_t>(t)].args) {
+                last_use[a] = t;
+            }
+        }
+        for (const std::uint32_t v : b.outputs) {
+            last_use[v] = n_insns;
+        }
+        if (b.zero_value != kNoValue && last_use[b.zero_value] != kNeverUsed) {
+            p.uses_zero_slot_ = true;
+            last_use[b.zero_value] = n_insns;  // the zero slot is never recycled
+        }
+
+        // Slot allocation: a stack of free slots; a value's slot returns to
+        // the pool the moment its last consumer has executed, so the
+        // high-water mark is exactly the schedule's maximum live width.
+        std::vector<std::uint32_t> slot_of(b.n_values, kNoValue);
+        std::vector<std::uint32_t> free_slots;
+        std::uint32_t next_slot = p.uses_zero_slot_ ? 1 : 0;
+        const auto alloc = [&]() -> std::uint32_t {
+            if (!free_slots.empty()) {
+                const std::uint32_t s = free_slots.back();
+                free_slots.pop_back();
+                return s;
+            }
+            return next_slot++;
+        };
+        if (p.uses_zero_slot_) {
+            slot_of[b.zero_value] = 0;
+        }
+        for (const auto& [input_index, value] : b.inputs) {
+            if (last_use[value] == kNeverUsed) {
+                continue;  // dead input: never loaded
+            }
+            const std::uint32_t s = alloc();
+            slot_of[value] = s;
+            p.input_loads_.emplace_back(input_index, s);
+        }
+
+        p.insns_.reserve(b.sched.size());
+        for (std::int64_t t = 0; t < n_insns; ++t) {
+            ValueDef& def = b.sched[static_cast<std::size_t>(t)];
+            // Free the slots of args this instruction consumes for the last
+            // time; the executor reads every operand before writing dst, so
+            // dst may legally reuse one of them in the same step.
+            for (const std::uint32_t a : def.args) {
+                if (last_use[a] == t) {
+                    free_slots.push_back(slot_of[a]);
+                    last_use[a] = kFreed;  // duplicate operands free only once
+                }
+            }
+            Program::Insn insn;
+            insn.op = def.op;
+            insn.dst = alloc();
+            insn.arg_begin = static_cast<std::uint32_t>(p.args_.size());
+            insn.arg_count = static_cast<std::uint32_t>(def.args.size());
+            if (def.op == Op::Lut) {
+                insn.aux = static_cast<std::uint32_t>(p.truths_.size());
+                p.truths_.push_back(def.truth);
+            } else {
+                insn.aux = def.aux;
+            }
+            for (const std::uint32_t a : def.args) {
+                p.args_.push_back(slot_of[a]);
+            }
+            slot_of[def.value] = insn.dst;
+            p.insns_.push_back(insn);
+        }
+
+        p.output_slots_.reserve(b.outputs.size());
+        for (const std::uint32_t v : b.outputs) {
+            p.output_slots_.push_back(slot_of[v]);
+        }
+        p.slot_count_ = std::max<std::uint32_t>(next_slot, 1);
+        return p;
+    }
+};
+
+}  // namespace detail
+
+// --- Netlist front end -------------------------------------------------------
+
+Program Program::compile(const netlist::Netlist& nl) {
+    using netlist::GateKind;
+    using netlist::NodeId;
+    const std::size_t n = nl.node_count();
+
+    // Consumer census over the reachable subgraph, split by consumer kind:
+    // an Xor2 with exactly one consumer, itself an Xor2 gate, is an interior
+    // tree node and fuses into its root's accumulate instruction.
+    const auto reachable = nl.reachable_from_outputs();
+    std::vector<std::uint32_t> xor_uses(n, 0);
+    std::vector<std::uint32_t> other_uses(n, 0);
+    for (NodeId id = 0; id < n; ++id) {
+        if (!reachable[id]) {
+            continue;
+        }
+        const netlist::Node& node = nl.node(id);
+        if (node.kind == GateKind::And2 || node.kind == GateKind::Xor2) {
+            auto& uses = (node.kind == GateKind::Xor2) ? xor_uses : other_uses;
+            ++uses[node.a];
+            ++uses[node.b];
+        }
+    }
+    for (const auto& port : nl.outputs()) {
+        ++other_uses[port.node];
+    }
+    std::vector<bool> interior(n, false);
+    for (NodeId id = 0; id < n; ++id) {
+        interior[id] = reachable[id] && nl.node(id).kind == GateKind::Xor2 &&
+                       xor_uses[id] == 1 && other_uses[id] == 0;
+    }
+
+    // Operand lists per schedulable gate.  XOR roots expand their fused leaf
+    // set by walking interior nodes; ANDs keep their two fanins.  Interior
+    // nodes have exactly one consumer, so each lands in exactly one root's
+    // list and expansion is linear in the XOR count.  Duplicate leaves (one
+    // value reached through two interior branches) are kept: XOR-ing a word
+    // twice contributes zero, exactly as the gate tree computes.
+    //
+    // AND inlining: a leaf that is an And2 with exactly one consumer (this
+    // tree) never materialises — the root instruction becomes AndXorN and
+    // carries the AND's two fanins as an operand pair, turning a whole
+    // partial-product column into one instruction.  pair_count[id] holds the
+    // number of leading pairs in operands[id] (pairs first, singles after).
+    std::vector<std::vector<std::uint32_t>> operands(n);
+    std::vector<std::uint32_t> pair_count(n, 0);
+    std::vector<std::uint32_t> walk;
+    std::vector<std::uint32_t> singles;
+    for (NodeId id = 0; id < n; ++id) {
+        if (!reachable[id] || interior[id]) {
+            continue;
+        }
+        const netlist::Node& node = nl.node(id);
+        if (node.kind == GateKind::And2) {
+            operands[id] = {node.a, node.b};
+            continue;
+        }
+        if (node.kind != GateKind::Xor2) {
+            continue;
+        }
+        walk.clear();
+        singles.clear();
+        walk.push_back(node.b);
+        walk.push_back(node.a);
+        auto& out = operands[id];
+        while (!walk.empty()) {
+            const NodeId v = walk.back();
+            walk.pop_back();
+            if (interior[v]) {
+                const netlist::Node& nv = nl.node(v);
+                walk.push_back(nv.b);
+                walk.push_back(nv.a);
+                continue;
+            }
+            const netlist::Node& leaf = nl.node(v);
+            if (leaf.kind == GateKind::And2 && xor_uses[v] + other_uses[v] == 1) {
+                out.push_back(leaf.a);  // inlined pair
+                out.push_back(leaf.b);
+                ++pair_count[id];
+            } else {
+                singles.push_back(v);
+            }
+        }
+        out.insert(out.end(), singles.begin(), singles.end());
+    }
+
+    Builder b;
+    b.n_values = n;
+    b.n_inputs_total = static_cast<int>(nl.inputs().size());
+    b.n_outputs_total = static_cast<int>(nl.outputs().size());
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+        b.inputs.emplace_back(static_cast<std::uint32_t>(i), nl.inputs()[i].node);
+    }
+    std::vector<std::uint32_t> roots;
+    roots.reserve(nl.outputs().size());
+    for (const auto& port : nl.outputs()) {
+        b.outputs.push_back(port.node);
+        roots.push_back(port.node);
+    }
+
+    const auto deps = [&](std::uint32_t v) -> std::span<const std::uint32_t> {
+        return operands[v];
+    };
+    const auto emit = [&](std::uint32_t v) {
+        const netlist::Node& node = nl.node(v);
+        switch (node.kind) {
+            case GateKind::Input:
+                return;
+            case GateKind::Const0:
+                b.zero_value = v;
+                return;
+            case GateKind::And2: {
+                ValueDef def;
+                def.op = Op::And2;
+                def.value = v;
+                def.args = std::move(operands[v]);
+                b.sched.push_back(std::move(def));
+                return;
+            }
+            case GateKind::Xor2: {
+                ValueDef def;
+                def.value = v;
+                if (pair_count[v] > 0) {
+                    def.op = Op::AndXorN;
+                    def.aux = pair_count[v];
+                } else {
+                    def.op = operands[v].size() == 2 ? Op::Xor2 : Op::XorN;
+                }
+                def.args = std::move(operands[v]);
+                b.sched.push_back(std::move(def));
+                return;
+            }
+        }
+    };
+    schedule_post_order(n, roots, deps, emit);
+    return detail::Linker::link(std::move(b), n);
+}
+
+// --- LutNetwork front end ----------------------------------------------------
+
+Program Program::compile(const fpga::LutNetwork& net) {
+    const std::size_t n_in = net.input_names.size();
+    const std::size_t n_luts = net.luts.size();
+    // Value ids: inputs, then LUTs, then one pseudo-value for const 0.
+    const std::uint32_t zero_value = static_cast<std::uint32_t>(n_in + n_luts);
+    const auto value_of_ref = [&](std::int32_t ref) -> std::uint32_t {
+        return ref < 0 ? zero_value : static_cast<std::uint32_t>(ref);
+    };
+
+    // Per-LUT operand lists in value-id space, plus the lowered op: pure
+    // parity cones become fused XOR instructions, 2-input AND stays binary,
+    // everything else evaluates its truth table bitsliced.
+    std::vector<ValueDef> defs(n_luts);
+    for (std::size_t i = 0; i < n_luts; ++i) {
+        const auto& lut = net.luts[i];
+        const int k = static_cast<int>(lut.fanins.size());
+        if (k > 6) {
+            throw std::invalid_argument{"exec::Program: LUT with more than 6 fanins"};
+        }
+        ValueDef& def = defs[i];
+        def.value = static_cast<std::uint32_t>(n_in + i);
+        def.args.reserve(lut.fanins.size());
+        for (const auto ref : lut.fanins) {
+            def.args.push_back(value_of_ref(ref));
+        }
+        const std::uint64_t mask =
+            (k == 6) ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << (std::uint64_t{1} << k)) - 1);
+        const std::uint64_t truth = lut.truth & mask;
+        if (k >= 2 && truth == parity_truth(k)) {
+            def.op = (k == 2) ? Op::Xor2 : Op::XorN;
+        } else if (k == 2 && truth == 0x8) {
+            def.op = Op::And2;
+        } else {
+            def.op = Op::Lut;
+            def.truth = truth;
+        }
+    }
+
+    Builder b;
+    b.n_values = n_in + n_luts + 1;
+    b.n_inputs_total = static_cast<int>(n_in);
+    b.n_outputs_total = static_cast<int>(net.outputs.size());
+    b.zero_value = zero_value;
+    for (std::size_t i = 0; i < n_in; ++i) {
+        b.inputs.emplace_back(static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(i));
+    }
+    std::vector<std::uint32_t> roots;
+    roots.reserve(net.outputs.size());
+    for (const auto& [name, ref] : net.outputs) {
+        b.outputs.push_back(value_of_ref(ref));
+        roots.push_back(value_of_ref(ref));
+    }
+    const auto deps = [&](std::uint32_t v) -> std::span<const std::uint32_t> {
+        if (v < n_in || v == zero_value) {
+            return {};
+        }
+        return defs[v - n_in].args;
+    };
+    const auto emit = [&](std::uint32_t v) {
+        if (v < n_in || v == zero_value) {
+            return;
+        }
+        b.sched.push_back(std::move(defs[v - n_in]));
+    };
+    schedule_post_order(b.n_values, roots, deps, emit);
+    return detail::Linker::link(std::move(b), n_in + n_luts);
+}
+
+// --- Execution ---------------------------------------------------------------
+
+template <int B>
+void Program::run_impl(const std::uint64_t* in, std::uint64_t* out,
+                       std::uint64_t* slots) const {
+    const int n_in = n_inputs_;
+    const int n_out = n_outputs_;
+    if (uses_zero_slot_) {
+        for (int w = 0; w < B; ++w) {
+            slots[w] = 0;
+        }
+    }
+    for (const auto& [input_index, slot] : input_loads_) {
+        std::uint64_t* dst = slots + static_cast<std::size_t>(slot) * B;
+        for (int w = 0; w < B; ++w) {
+            dst[w] = in[static_cast<std::size_t>(w) * n_in + input_index];
+        }
+    }
+
+    const std::uint32_t* args = args_.data();
+    for (const Insn& insn : insns_) {
+        const std::uint32_t* a = args + insn.arg_begin;
+        std::uint64_t* dst = slots + static_cast<std::size_t>(insn.dst) * B;
+        switch (insn.op) {
+            case Op::And2: {
+                const std::uint64_t* x = slots + static_cast<std::size_t>(a[0]) * B;
+                const std::uint64_t* y = slots + static_cast<std::size_t>(a[1]) * B;
+                for (int w = 0; w < B; ++w) {
+                    dst[w] = x[w] & y[w];
+                }
+                break;
+            }
+            case Op::Xor2: {
+                const std::uint64_t* x = slots + static_cast<std::size_t>(a[0]) * B;
+                const std::uint64_t* y = slots + static_cast<std::size_t>(a[1]) * B;
+                for (int w = 0; w < B; ++w) {
+                    dst[w] = x[w] ^ y[w];
+                }
+                break;
+            }
+            case Op::XorN: {
+                std::uint64_t acc[B];
+                const std::uint64_t* x = slots + static_cast<std::size_t>(a[0]) * B;
+                for (int w = 0; w < B; ++w) {
+                    acc[w] = x[w];
+                }
+                for (std::uint32_t i = 1; i < insn.arg_count; ++i) {
+                    const std::uint64_t* y =
+                        slots + static_cast<std::size_t>(a[i]) * B;
+                    for (int w = 0; w < B; ++w) {
+                        acc[w] ^= y[w];
+                    }
+                }
+                for (int w = 0; w < B; ++w) {
+                    dst[w] = acc[w];
+                }
+                break;
+            }
+            case Op::AndXorN: {
+                std::uint64_t acc[B];
+                for (int w = 0; w < B; ++w) {
+                    acc[w] = 0;
+                }
+                const std::uint32_t pairs = insn.aux;
+                for (std::uint32_t i = 0; i < pairs; ++i) {
+                    const std::uint64_t* x =
+                        slots + static_cast<std::size_t>(a[2 * i]) * B;
+                    const std::uint64_t* y =
+                        slots + static_cast<std::size_t>(a[2 * i + 1]) * B;
+                    for (int w = 0; w < B; ++w) {
+                        acc[w] ^= x[w] & y[w];
+                    }
+                }
+                for (std::uint32_t i = 2 * pairs; i < insn.arg_count; ++i) {
+                    const std::uint64_t* y =
+                        slots + static_cast<std::size_t>(a[i]) * B;
+                    for (int w = 0; w < B; ++w) {
+                        acc[w] ^= y[w];
+                    }
+                }
+                for (int w = 0; w < B; ++w) {
+                    dst[w] = acc[w];
+                }
+                break;
+            }
+            case Op::Lut: {
+                const std::uint64_t truth = truths_[insn.aux];
+                const int k = static_cast<int>(insn.arg_count);
+                if (k == 0) {
+                    const std::uint64_t v = (truth & 1U) ? ~std::uint64_t{0} : 0;
+                    for (int w = 0; w < B; ++w) {
+                        dst[w] = v;
+                    }
+                    break;
+                }
+                // Shannon mux fold, bitsliced: fold fanin 0 straight out of
+                // the truth-table constants, then mux one fanin per level.
+                // No per-lane work anywhere.
+                std::uint64_t buf[32 * B];
+                {
+                    const std::uint64_t* x =
+                        slots + static_cast<std::size_t>(a[0]) * B;
+                    const int half = 1 << (k - 1);
+                    for (int t = 0; t < half; ++t) {
+                        const bool b0 = (truth >> (2 * t)) & 1U;
+                        const bool b1 = (truth >> (2 * t + 1)) & 1U;
+                        std::uint64_t* e = buf + static_cast<std::size_t>(t) * B;
+                        for (int w = 0; w < B; ++w) {
+                            e[w] = b0 ? (b1 ? ~std::uint64_t{0} : ~x[w])
+                                      : (b1 ? x[w] : 0);
+                        }
+                    }
+                }
+                int entries = 1 << (k - 1);
+                for (int j = 1; j < k; ++j) {
+                    const std::uint64_t* x =
+                        slots + static_cast<std::size_t>(a[j]) * B;
+                    entries >>= 1;
+                    for (int t = 0; t < entries; ++t) {
+                        const std::uint64_t* lo =
+                            buf + static_cast<std::size_t>(2 * t) * B;
+                        const std::uint64_t* hi =
+                            buf + static_cast<std::size_t>(2 * t + 1) * B;
+                        std::uint64_t* e = buf + static_cast<std::size_t>(t) * B;
+                        for (int w = 0; w < B; ++w) {
+                            e[w] = (lo[w] & ~x[w]) | (hi[w] & x[w]);
+                        }
+                    }
+                }
+                for (int w = 0; w < B; ++w) {
+                    dst[w] = buf[w];
+                }
+                break;
+            }
+        }
+    }
+
+    for (int o = 0; o < n_out; ++o) {
+        const std::uint64_t* src =
+            slots + static_cast<std::size_t>(output_slots_[o]) * B;
+        for (int w = 0; w < B; ++w) {
+            out[static_cast<std::size_t>(w) * n_out + o] = src[w];
+        }
+    }
+}
+
+void Program::run(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
+                  Scratch& scratch, int blocks) const {
+    if (blocks < 1 || blocks > kMaxBlocks) {
+        throw std::invalid_argument{"exec::Program::run: blocks must be in [1, 4]"};
+    }
+    if (in.size() != static_cast<std::size_t>(n_inputs_) * blocks) {
+        throw std::invalid_argument{"exec::Program::run: wrong number of input words"};
+    }
+    if (out.size() != static_cast<std::size_t>(n_outputs_) * blocks) {
+        throw std::invalid_argument{"exec::Program::run: wrong number of output words"};
+    }
+    scratch.slots.resize(static_cast<std::size_t>(slot_count_) * blocks);
+    std::uint64_t* slots = scratch.slots.data();
+    switch (blocks) {
+        case 1: run_impl<1>(in.data(), out.data(), slots); break;
+        case 2: run_impl<2>(in.data(), out.data(), slots); break;
+        case 3: run_impl<3>(in.data(), out.data(), slots); break;
+        case 4: run_impl<4>(in.data(), out.data(), slots); break;
+        default: break;  // unreachable: validated above
+    }
+}
+
+ProgramStats Program::stats() const {
+    ProgramStats s;
+    s.instructions = insns_.size();
+    s.total_args = args_.size();
+    s.source_nodes = source_nodes_;
+    s.slots = slot_count_;
+    for (const Insn& insn : insns_) {
+        switch (insn.op) {
+            case Op::And2: ++s.n_and2; break;
+            case Op::Xor2: ++s.n_xor2; break;
+            case Op::XorN: ++s.n_xorn; break;
+            case Op::AndXorN:
+                ++s.n_andxor;
+                s.fused_ands += insn.aux;
+                break;
+            case Op::Lut: ++s.n_lut; break;
+        }
+    }
+    return s;
+}
+
+}  // namespace gfr::exec

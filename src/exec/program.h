@@ -1,0 +1,180 @@
+#ifndef GFR_EXEC_PROGRAM_H
+#define GFR_EXEC_PROGRAM_H
+
+// Compiled netlist execution: one liveness-scheduled instruction tape behind
+// every evaluation path in the repo.
+//
+// The interpretive simulators (netlist::Simulator pre-PR-4, the per-lane
+// LutNetwork walk) re-decode the graph node-by-node over the *entire* node
+// vector on every sweep: a working set of node_count words, a dispatch per
+// gate, and a full-buffer clear per call.  Program::compile lowers an
+// AND/XOR Netlist (or a mapped LutNetwork) once into a flat tape:
+//
+//   - DCE by construction: compilation schedules only logic reachable from
+//     the outputs (dead gates never reach the tape);
+//   - topological scheduling by depth-first post-order from the outputs, so
+//     values are defined close to their uses — the precondition for tight
+//     liveness;
+//   - fused multi-input XOR: an XOR tree whose interior nodes have fanout 1
+//     collapses into a single XOR-accumulate instruction over its leaves
+//     (one dispatch instead of leaves-1), the dominant op shape in
+//     Mastrovito-style multipliers;
+//   - liveness-based slot allocation: a value's storage slot is recycled the
+//     moment its last consumer has executed, so the execution working set is
+//     the *maximum live width* of the schedule, not node_count — sweeps over
+//     an m=163 multiplier run in a few KB instead of ~0.5 MB;
+//   - bitsliced execution over 1..kMaxBlocks blocks of 64 lanes per pass
+//     (up to 256 test vectors per sweep step): every instruction processes
+//     `blocks` words per slot, amortising tape decode across lanes.
+//
+// A Program is immutable after compile and shares nothing mutable across
+// calls: run() draws all storage from a caller-owned Scratch, following the
+// FieldOps explicit-scratch discipline, so one Program may serve any number
+// of campaign workers concurrently.
+
+#include "fpga/lut_network.h"
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gfr::exec {
+
+namespace detail {
+struct Linker;  // compile-time helper (program.cpp) that assembles a Program
+}
+
+/// Tape opcodes.  And2/Xor2 are the binary fast cases; XorN is the fused
+/// XOR-accumulate over arg_count leaves; AndXorN additionally inlines
+/// single-use AND leaves as operand pairs (aux = pair count), so a whole
+/// partial-product column runs as one instruction; Lut evaluates a K<=6
+/// truth table bitsliced (Shannon mux fold, no per-lane work).
+enum class Op : std::uint8_t { And2, Xor2, XorN, AndXorN, Lut };
+
+/// Aggregate shape of a compiled tape (for tests, benches and reports).
+struct ProgramStats {
+    std::size_t instructions = 0;
+    std::size_t n_and2 = 0;
+    std::size_t n_xor2 = 0;
+    std::size_t n_xorn = 0;      ///< fused XOR-accumulate instructions
+    std::size_t n_andxor = 0;    ///< fused AND-XOR-accumulate instructions
+    std::size_t fused_ands = 0;  ///< AND gates inlined into AndXorN pairs
+    std::size_t n_lut = 0;
+    std::size_t total_args = 0;  ///< sum of arg_count over the tape
+    std::size_t source_nodes = 0;  ///< nodes/luts in the source graph
+    std::uint32_t slots = 0;     ///< max live width (execution working set)
+};
+
+class Program {
+public:
+    /// Blocks of 64 lanes a single pass may carry.
+    static constexpr int kMaxBlocks = 4;
+
+    /// One tape instruction.  args_[arg_begin .. arg_begin+arg_count) are
+    /// the operand slots; aux indexes truths_ for Op::Lut.
+    struct Insn {
+        Op op = Op::Xor2;
+        std::uint32_t dst = 0;
+        std::uint32_t arg_begin = 0;
+        std::uint32_t arg_count = 0;
+        std::uint32_t aux = 0;
+    };
+
+    /// Compile the logic reachable from nl's outputs.  The tape evaluates
+    /// exactly nl's input/output interface (inputs() / outputs() order).
+    static Program compile(const netlist::Netlist& nl);
+
+    /// Compile a mapped LUT network.  LUTs whose truth table is a pure AND /
+    /// XOR / parity of their fanins lower to And2/Xor2/XorN; the rest become
+    /// bitsliced Op::Lut evaluations.
+    static Program compile(const fpga::LutNetwork& net);
+
+    /// Caller-owned working memory for run(): slot_count() * blocks words.
+    /// Reused allocation-free across calls once sized.
+    struct Scratch {
+        std::vector<std::uint64_t> slots;
+    };
+
+    /// Execute the tape over `blocks` blocks of 64 lanes (block-major
+    /// layout: input i of block b at in[b * input_count() + i], output o of
+    /// block b at out[b * output_count() + o]).  Requires
+    /// in.size() == input_count() * blocks and out.size() ==
+    /// output_count() * blocks; throws std::invalid_argument otherwise.
+    void run(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
+             Scratch& scratch, int blocks = 1) const;
+
+    [[nodiscard]] int input_count() const noexcept { return n_inputs_; }
+    [[nodiscard]] int output_count() const noexcept { return n_outputs_; }
+
+    /// Slots run() touches per block — the max live width of the schedule.
+    [[nodiscard]] std::uint32_t slot_count() const noexcept { return slot_count_; }
+
+    [[nodiscard]] std::size_t instruction_count() const noexcept {
+        return insns_.size();
+    }
+
+    [[nodiscard]] ProgramStats stats() const;
+
+private:
+    friend struct detail::Linker;
+
+    template <int B>
+    void run_impl(const std::uint64_t* in, std::uint64_t* out,
+                  std::uint64_t* slots) const;
+
+    int n_inputs_ = 0;
+    int n_outputs_ = 0;
+    std::uint32_t slot_count_ = 0;
+    bool uses_zero_slot_ = false;  ///< slot 0 pinned to constant 0
+    std::size_t source_nodes_ = 0;
+    std::vector<Insn> insns_;
+    std::vector<std::uint32_t> args_;
+    std::vector<std::uint64_t> truths_;
+    /// (input index, slot) for every input the tape actually reads.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> input_loads_;
+    std::vector<std::uint32_t> output_slots_;
+};
+
+/// Batching of a linear space of 64-lane blocks into sweeps of up to
+/// Program::kMaxBlocks blocks per tape pass.  Shared by the campaign
+/// regimes in netlist::check_equivalence and mult::verify_multiplier so
+/// their sweep indexing can never diverge: exhaustive regimes batch
+/// (blocks are scanned in ascending order inside a sweep, preserving the
+/// globally-first counterexample), random regimes keep one block per sweep
+/// because sweep contents are pinned to (seed, sweep index) and a logged
+/// counterexample seed must replay forever.
+struct BlockGrouping {
+    std::uint64_t total_blocks = 0;
+    int group = 1;  ///< blocks per full sweep
+    std::uint64_t total_sweeps = 0;
+
+    /// batched=true groups up to kMaxBlocks blocks per sweep; false keeps
+    /// the 1:1 sweep-to-block layout.
+    static BlockGrouping over(std::uint64_t total_blocks, bool batched) noexcept {
+        BlockGrouping g;
+        g.total_blocks = total_blocks;
+        g.group = batched ? static_cast<int>(std::min<std::uint64_t>(
+                                Program::kMaxBlocks,
+                                total_blocks > 0 ? total_blocks : 1))
+                          : 1;
+        g.total_sweeps = (total_blocks + static_cast<std::uint64_t>(g.group) - 1) /
+                         static_cast<std::uint64_t>(g.group);
+        return g;
+    }
+
+    [[nodiscard]] std::uint64_t first_block(std::uint64_t sweep) const noexcept {
+        return sweep * static_cast<std::uint64_t>(group);
+    }
+
+    /// Blocks in this sweep (the last sweep may be partial).
+    [[nodiscard]] int blocks_in_sweep(std::uint64_t sweep) const noexcept {
+        return static_cast<int>(std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(group), total_blocks - first_block(sweep)));
+    }
+};
+
+}  // namespace gfr::exec
+
+#endif  // GFR_EXEC_PROGRAM_H

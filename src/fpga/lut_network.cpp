@@ -1,5 +1,7 @@
 #include "fpga/lut_network.h"
 
+#include "exec/program.h"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -52,28 +54,15 @@ std::vector<std::uint64_t> LutNetwork::simulate(
     if (input_words.size() != input_names.size()) {
         throw std::invalid_argument{"LutNetwork::simulate: wrong number of input words"};
     }
-    std::vector<std::uint64_t> value(input_names.size() + luts.size(), 0);
-    std::copy(input_words.begin(), input_words.end(), value.begin());
-    for (std::size_t i = 0; i < luts.size(); ++i) {
-        const auto& lut = luts[i];
-        std::uint64_t out = 0;
-        for (int lane = 0; lane < 64; ++lane) {
-            unsigned idx = 0;
-            for (std::size_t j = 0; j < lut.fanins.size(); ++j) {
-                const auto ref = lut.fanins[j];
-                const std::uint64_t bit =
-                    (ref < 0) ? 0 : (value[static_cast<std::size_t>(ref)] >> lane) & 1U;
-                idx |= static_cast<unsigned>(bit) << j;
-            }
-            out |= ((lut.truth >> idx) & 1U) << lane;
-        }
-        value[input_names.size() + i] = out;
-    }
-    std::vector<std::uint64_t> out;
-    out.reserve(outputs.size());
-    for (const auto& [name, ref] : outputs) {
-        out.push_back(ref < 0 ? 0 : value[static_cast<std::size_t>(ref)]);
-    }
+    // Compile-and-run: the tape evaluates every LUT bitsliced (parity cones
+    // as fused XORs, general cones as Shannon mux folds) instead of the old
+    // per-lane truth-table walk.  Compilation is linear in the LUT count and
+    // amortises within a single call; sweep loops that want to pay it once
+    // hold an exec::Program themselves (see examples/reconfig_demo.cpp).
+    const exec::Program prog = exec::Program::compile(*this);
+    exec::Program::Scratch scratch;
+    std::vector<std::uint64_t> out(outputs.size(), 0);
+    prog.run(input_words, out, scratch);
     return out;
 }
 

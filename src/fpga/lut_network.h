@@ -45,7 +45,9 @@ struct LutNetwork {
 
     /// Word-parallel simulation: input_words[i] carries 64 lanes of input i;
     /// returns one word per output.  Used to prove mapping preserved the
-    /// original netlist function.
+    /// original netlist function.  Compiles the network to an exec::Program
+    /// tape per call; hold an exec::Program (compile(*this)) to amortise
+    /// compilation across a sweep loop.
     [[nodiscard]] std::vector<std::uint64_t> simulate(
         std::span<const std::uint64_t> input_words) const;
 };

@@ -1,10 +1,12 @@
 #include "multipliers/verify.h"
 
+#include "exec/program.h"
 #include "multipliers/product_layer.h"
 #include "netlist/simulate.h"
 #include "verify/campaign.h"
 #include "verify/lane_reference.h"
 
+#include <algorithm>
 #include <bit>
 #include <memory>
 #include <random>
@@ -46,45 +48,49 @@ Poly element_from_lane(std::span<const std::uint64_t> words, int offset, int m,
     return out;
 }
 
-/// Everything one campaign worker owns: the simulator and its output buffer,
-/// the sweep's input words, the lane-reference scratch (m <= 64), and the
-/// element storage plus engine scratch for the multi-word regime.  The
-/// Netlist, Field and LaneReference stay shared and immutable; workers never
+/// Everything one campaign worker owns: execution scratch for the shared
+/// compiled tape, the sweep's input/output words (sized for up to `blocks`
+/// blocks of 64 lanes), the lane-reference scratch, and the element storage
+/// plus engine scratch for the per-lane fallback regime.  The Program,
+/// Field and LaneReference stay shared and immutable; workers never
 /// contend, and sweeps are allocation-free in steady state.
 struct SweepWorker {
-    SweepWorker(const netlist::Netlist& nl, int m)
-        : sim{nl}, in_words(static_cast<std::size_t>(2 * m), 0) {}
+    SweepWorker(int m, int blocks)
+        : in_words(static_cast<std::size_t>(2 * m) * blocks, 0),
+          out_words(static_cast<std::size_t>(m) * blocks, 0) {}
 
-    netlist::Simulator sim;
+    exec::Program::Scratch exec_scratch;
     std::vector<std::uint64_t> in_words;
     std::vector<std::uint64_t> out_words;
     std::vector<std::uint64_t> want_words;      // lane-major reference products
     verify::LaneReference::Scratch lane_scratch;
-    std::vector<std::uint64_t> lane_bits;       // multi-word lane extraction
-    std::vector<std::uint64_t> got_bits;        // multi-word netlist gather
+    std::vector<std::uint64_t> lane_bits;       // per-lane element extraction
+    std::vector<std::uint64_t> got_bits;        // per-lane netlist gather
     Poly a_elem;
     Poly b_elem;
     Poly product;
     field::FieldOps::Scratch ops_scratch;  // engine working buffers
 };
 
-/// Check the 64 lanes currently loaded in w.in_words.  laneref is non-null
-/// exactly when the field is single-word.  The failure reported is the
-/// lane-major first one (lowest lane, then lowest coefficient), matching a
-/// bit-serial scan of the 64 assignments.
-std::optional<VerifyFailure> check_sweep(SweepWorker& w, const Field& field,
-                                         const verify::LaneReference* laneref) {
+/// Check one 64-lane block already simulated into out/in spans.  laneref is
+/// non-null when the lane-major oracle covers this field.  The failure
+/// reported is the lane-major first one (lowest lane, then lowest
+/// coefficient), matching a bit-serial scan of the 64 assignments.
+std::optional<VerifyFailure> check_block(SweepWorker& w, const Field& field,
+                                         const verify::LaneReference* laneref,
+                                         std::span<const std::uint64_t> in,
+                                         std::span<const std::uint64_t> out) {
     const int m = field.degree();
-    w.sim.run_into(w.in_words, w.out_words);
-    const auto& out_words = w.out_words;
 
     if (laneref != nullptr) {
         // Bitsliced reference: all 64 products in m^2 word ops, already
-        // lane-major — the success path is m XOR-compares.
-        laneref->products(w.in_words, w.want_words, w.lane_scratch);
+        // lane-major — the success path is m XOR-compares, for any word
+        // count (the oracle is lane-major, so multi-word fields compare
+        // exactly the same way).
+        laneref->products(in, w.want_words, w.lane_scratch);
         std::uint64_t diff_any = 0;
         for (int k = 0; k < m; ++k) {
-            diff_any |= out_words[static_cast<std::size_t>(k)] ^
+            diff_any |= out[static_cast<std::size_t>(k)] ^
                         w.want_words[static_cast<std::size_t>(k)];
         }
         if (diff_any == 0) {
@@ -92,29 +98,29 @@ std::optional<VerifyFailure> check_sweep(SweepWorker& w, const Field& field,
         }
         const int lane = std::countr_zero(diff_any);
         for (int k = 0; k < m; ++k) {
-            const bool got_bit = (out_words[static_cast<std::size_t>(k)] >> lane) & 1U;
+            const bool got_bit = (out[static_cast<std::size_t>(k)] >> lane) & 1U;
             const bool want_bit =
                 (w.want_words[static_cast<std::size_t>(k)] >> lane) & 1U;
             if (got_bit != want_bit) {
-                return VerifyFailure{element_from_lane(w.in_words, 0, m, lane),
-                                     element_from_lane(w.in_words, m, m, lane), k,
+                return VerifyFailure{element_from_lane(in, 0, m, lane),
+                                     element_from_lane(in, m, m, lane), k,
                                      got_bit, want_bit};
             }
         }
         return std::nullopt;  // unreachable: diff_any had a set bit
     }
 
-    // Multi-word regime: per lane, one batched engine product
-    // (FieldOps::mul through the worker's scratch) and a word-level compare
-    // of the gathered netlist output against the product words.
+    // Engine fallback (m beyond the lane oracle): per lane, one batched
+    // engine product (FieldOps::mul through the worker's scratch) and a
+    // word-level compare of the gathered netlist output.
     const std::size_t wn = static_cast<std::size_t>((m + 63) / 64);
     for (int lane = 0; lane < 64; ++lane) {
-        element_from_lane_into(w.in_words, 0, m, lane, w.lane_bits, w.a_elem);
-        element_from_lane_into(w.in_words, m, m, lane, w.lane_bits, w.b_elem);
+        element_from_lane_into(in, 0, m, lane, w.lane_bits, w.a_elem);
+        element_from_lane_into(in, m, m, lane, w.lane_bits, w.b_elem);
         field.ops().mul(w.a_elem, w.b_elem, w.product, w.ops_scratch);
         w.got_bits.assign(wn, 0);
         for (int k = 0; k < m; ++k) {
-            if ((out_words[static_cast<std::size_t>(k)] >> lane) & 1U) {
+            if ((out[static_cast<std::size_t>(k)] >> lane) & 1U) {
                 w.got_bits[static_cast<std::size_t>(k / 64)] |= std::uint64_t{1}
                                                                 << (k % 64);
             }
@@ -129,6 +135,29 @@ std::optional<VerifyFailure> check_sweep(SweepWorker& w, const Field& field,
             const int k = static_cast<int>(word) * 64 + std::countr_zero(diff);
             const bool got_bit = (w.got_bits[word] >> (k % 64)) & 1U;
             return VerifyFailure{w.a_elem, w.b_elem, k, got_bit, !got_bit};
+        }
+    }
+    return std::nullopt;
+}
+
+/// Execute the tape over the `blocks` blocks loaded in w.in_words and check
+/// them in ascending order (so batching never changes which failure is
+/// first).
+std::optional<VerifyFailure> check_sweep(SweepWorker& w, const exec::Program& prog,
+                                         const Field& field,
+                                         const verify::LaneReference* laneref,
+                                         int blocks) {
+    const std::size_t n_in = static_cast<std::size_t>(2 * field.degree());
+    const std::size_t n_out = static_cast<std::size_t>(field.degree());
+    prog.run(std::span{w.in_words}.first(n_in * blocks),
+             std::span{w.out_words}.first(n_out * blocks), w.exec_scratch, blocks);
+    for (int b = 0; b < blocks; ++b) {
+        auto failure = check_block(
+            w, field, laneref,
+            std::span{w.in_words}.subspan(b * n_in, n_in),
+            std::span{w.out_words}.subspan(b * n_out, n_out));
+        if (failure.has_value()) {
+            return failure;
         }
     }
     return std::nullopt;
@@ -153,6 +182,9 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
         }
     }
 
+    // The netlist compiles once; every worker executes the shared tape.
+    const exec::Program prog = exec::Program::compile(nl);
+
     // The sweeps compare the netlist against the fast engine; anchor the
     // engine itself to the independent reference arithmetic first, so a
     // reduction bug for this particular modulus cannot silently become the
@@ -169,11 +201,13 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
         }
     }
 
-    // Single-word fields use the bitsliced lane reference as the sweep
-    // oracle; anchor it against the engine on one sweep of random lanes
-    // before trusting it with the campaign.
+    // Fields up to the lane-oracle threshold use the bitsliced lane
+    // reference as the sweep oracle; anchor it against the engine on one
+    // sweep of random lanes before trusting it with the campaign.  The
+    // anchor extracts each lane as a Poly, so it covers the multi-word
+    // regime identically.
     std::unique_ptr<verify::LaneReference> laneref;
-    if (field.ops().single_word()) {
+    if (m <= options.lane_oracle_max_degree) {
         laneref = std::make_unique<verify::LaneReference>(field);
         verify::SweepRng rng{verify::Campaign::derive_sweep_seed(options.seed,
                                                                 verify::kNoFailure)};
@@ -185,32 +219,35 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
         verify::LaneReference::Scratch scratch;
         laneref->products(in, want, scratch);
         for (int lane = 0; lane < 64; ++lane) {
-            std::uint64_t a = 0;
-            std::uint64_t b = 0;
-            std::uint64_t c = 0;
+            const Poly a = element_from_lane(in, 0, m, lane);
+            const Poly b = element_from_lane(in, m, m, lane);
+            const Poly c = field.mul(a, b);
             for (int k = 0; k < m; ++k) {
-                a |= ((in[static_cast<std::size_t>(k)] >> lane) & std::uint64_t{1}) << k;
-                b |= ((in[static_cast<std::size_t>(m + k)] >> lane) & std::uint64_t{1})
-                     << k;
-                c |= ((want[static_cast<std::size_t>(k)] >> lane) & std::uint64_t{1})
-                     << k;
-            }
-            if (field.ops().mul(a, b) != c) {
-                throw std::logic_error{
-                    "verify_multiplier: lane reference disagrees with the engine"};
+                const bool want_bit =
+                    (want[static_cast<std::size_t>(k)] >> lane) & 1U;
+                if (want_bit != c.coeff(k)) {
+                    throw std::logic_error{
+                        "verify_multiplier: lane reference disagrees with the engine"};
+                }
             }
         }
     }
 
     const bool exhaustive = 2 * m <= options.max_exhaustive_inputs;
-    const std::uint64_t total_sweeps =
+
+    // Exhaustive sweeps batch enumeration blocks into bitsliced passes (256
+    // products per full pass); random sweeps stay one block per sweep (see
+    // exec::BlockGrouping for the replay rationale).
+    const std::uint64_t total_blocks =
         exhaustive ? ((2 * m <= 6) ? 1 : (std::uint64_t{1} << (2 * m - 6)))
                    : static_cast<std::uint64_t>(options.random_sweeps);
+    const exec::BlockGrouping grouping =
+        exec::BlockGrouping::over(total_blocks, exhaustive);
+    const std::uint64_t total_sweeps = grouping.total_sweeps;
 
-    // Random sweeps cost a netlist simulation plus 64 reference products
-    // (multi-word: 64 engine muls) — worth sharding even at the default 64
-    // sweeps.  Exhaustive sweeps are microsecond-cheap; keep the default
-    // floor so tiny spaces run inline.
+    // Random sweeps cost a tape execution plus 64 reference products —
+    // worth sharding even at the default 64 sweeps.  Exhaustive sweeps are
+    // microsecond-cheap; keep the default floor so tiny spaces run inline.
     verify::Campaign campaign{{.threads = options.threads,
                                .min_sweeps_per_worker = exhaustive ? 64U : 4U}};
     const int workers = campaign.worker_count(total_sweeps);
@@ -219,21 +256,27 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
                                              verify::kNoFailure);
 
     const auto factory = [&](int worker_id) -> verify::Campaign::SweepFn {
-        auto worker = std::make_shared<SweepWorker>(nl, m);
+        auto worker = std::make_shared<SweepWorker>(m, grouping.group);
         return [&, worker_id, worker](std::uint64_t sweep) -> bool {
+            int blocks = 1;
             if (exhaustive) {
-                for (int i = 0; i < 2 * m; ++i) {
-                    worker->in_words[static_cast<std::size_t>(i)] =
-                        netlist::exhaustive_pattern(i, sweep);
+                const std::uint64_t first_block = grouping.first_block(sweep);
+                blocks = grouping.blocks_in_sweep(sweep);
+                for (int b = 0; b < blocks; ++b) {
+                    for (int i = 0; i < 2 * m; ++i) {
+                        worker->in_words[static_cast<std::size_t>(b * 2 * m + i)] =
+                            netlist::exhaustive_pattern(
+                                i, first_block + static_cast<std::uint64_t>(b));
+                    }
                 }
             } else {
                 verify::SweepRng rng{
                     verify::Campaign::derive_sweep_seed(options.seed, sweep)};
-                for (auto& word : worker->in_words) {
-                    word = rng();
+                for (int i = 0; i < 2 * m; ++i) {
+                    worker->in_words[static_cast<std::size_t>(i)] = rng();
                 }
             }
-            auto failure = check_sweep(*worker, field, laneref.get());
+            auto failure = check_sweep(*worker, prog, field, laneref.get(), blocks);
             if (failure.has_value()) {
                 payload[static_cast<std::size_t>(worker_id)] = std::move(failure);
                 payload_sweep[static_cast<std::size_t>(worker_id)] = sweep;

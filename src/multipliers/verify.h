@@ -9,9 +9,14 @@
 // 2^(2m) operand pairs (word-parallel, 64 per sweep); otherwise it runs
 // random sweeps, each verifying 64 random products bit-exactly.
 //
+// The netlist compiles once into an exec::Program tape (DCE'd, fused,
+// liveness-scheduled); every sweep executes the tape instead of
+// interpreting the node vector, and exhaustive regimes batch up to four
+// enumeration blocks (256 test vectors) into one bitsliced pass.
+//
 // The sweep space is driven through verify::Campaign: it is sharded across
-// worker threads (each owning its simulator buffers and engine scratch over
-// the one shared immutable Field), random sweeps draw their PRNG seed from
+// worker threads (each owning its execution scratch over the one shared
+// immutable Program and Field), random sweeps draw their PRNG seed from
 // (options.seed, sweep index) so their contents never depend on scheduling,
 // and the reported failure is the globally first one — the verdict and the
 // counterexample are bit-identical at any thread count.
@@ -30,6 +35,15 @@ struct VerifyOptions {
     int random_sweeps = 64;          ///< 64 random products per sweep
     std::uint64_t seed = 0xD1CEULL;
     int threads = 0;  ///< campaign workers; <= 0 = hardware concurrency
+    /// Sweep oracle selection: fields with m <= this use the bitsliced
+    /// lane-major verify::LaneReference (m^2 word ops for all 64 reference
+    /// products, no per-lane transposes); larger fields fall back to 64
+    /// per-lane engine products.  Measured (BENCH_4, single core): the lane
+    /// oracle leads 26x at m=163 and still 8x at m=571 — the fallback's
+    /// per-lane bit transposes dominate its engine muls at every practical
+    /// degree — so the default covers the whole differential tier.  0
+    /// forces the engine fallback (differential tests exercise both).
+    int lane_oracle_max_degree = 1024;
 };
 
 /// A failing product: the operands and the first differing coefficient.

@@ -1,5 +1,6 @@
 #include "netlist/equivalence.h"
 
+#include "exec/program.h"
 #include "netlist/simulate.h"
 #include "verify/campaign.h"
 
@@ -57,48 +58,62 @@ std::vector<int> match_ports(const std::vector<Port>& lhs, const std::vector<Por
     return map;
 }
 
-/// One campaign worker's state: a pair of simulators, their output buffers
-/// and the sweep's input words.  Each worker owns its context outright
-/// (nothing is shared through the netlists, which stay const), the same
+/// One campaign worker's state: execution scratch for the two shared
+/// compiled tapes plus the sweep's input/output buffers (sized for up to
+/// `blocks` blocks of 64 lanes).  The Programs themselves are immutable and
+/// shared by every worker — only the scratch is private, the same
 /// explicit-scratch discipline the field engine follows.
 struct SweepContext {
-    SweepContext(const Netlist& lhs, const Netlist& rhs, int n)
-        : lhs_sim{lhs},
-          rhs_sim{rhs},
-          lhs_in(static_cast<std::size_t>(n), 0),
-          rhs_in(static_cast<std::size_t>(n), 0) {}
+    SweepContext(int n, int n_out, int blocks)
+        : lhs_in(static_cast<std::size_t>(n) * blocks, 0),
+          rhs_in(static_cast<std::size_t>(n) * blocks, 0),
+          lhs_out(static_cast<std::size_t>(n_out) * blocks, 0),
+          rhs_out(static_cast<std::size_t>(n_out) * blocks, 0) {}
 
-    Simulator lhs_sim;
-    Simulator rhs_sim;
+    exec::Program::Scratch lhs_scratch;
+    exec::Program::Scratch rhs_scratch;
     std::vector<std::uint64_t> lhs_in;
     std::vector<std::uint64_t> rhs_in;
     std::vector<std::uint64_t> lhs_out;
     std::vector<std::uint64_t> rhs_out;
 };
 
-std::optional<Mismatch> compare_sweep(SweepContext& ctx, const Netlist& lhs,
-                                      const std::vector<int>& out_map) {
-    ctx.lhs_sim.run_into(ctx.lhs_in, ctx.lhs_out);
-    ctx.rhs_sim.run_into(ctx.rhs_in, ctx.rhs_out);
-    const auto& lhs_out = ctx.lhs_out;
-    const auto& rhs_out = ctx.rhs_out;
-    for (std::size_t o = 0; o < lhs_out.size(); ++o) {
-        const std::uint64_t diff = lhs_out[o] ^ rhs_out[static_cast<std::size_t>(out_map[o])];
-        if (diff == 0) {
-            continue;
+/// Runs both tapes over `blocks` blocks loaded in ctx and scans the blocks
+/// in ascending order, so the reported mismatch is the first one a
+/// block-at-a-time scan would find — grouping blocks into one pass never
+/// changes the counterexample.
+std::optional<Mismatch> compare_sweep(SweepContext& ctx, const exec::Program& lhs_prog,
+                                      const exec::Program& rhs_prog, const Netlist& lhs,
+                                      const std::vector<int>& out_map, int blocks) {
+    const std::size_t n = static_cast<std::size_t>(lhs_prog.input_count());
+    const std::size_t n_out = static_cast<std::size_t>(lhs_prog.output_count());
+    lhs_prog.run(std::span{ctx.lhs_in}.first(n * blocks),
+                 std::span{ctx.lhs_out}.first(n_out * blocks), ctx.lhs_scratch, blocks);
+    rhs_prog.run(std::span{ctx.rhs_in}.first(n * blocks),
+                 std::span{ctx.rhs_out}.first(n_out * blocks), ctx.rhs_scratch, blocks);
+    for (int b = 0; b < blocks; ++b) {
+        const std::uint64_t* lhs_out = ctx.lhs_out.data() + b * n_out;
+        const std::uint64_t* rhs_out = ctx.rhs_out.data() + b * n_out;
+        const std::uint64_t* lhs_in = ctx.lhs_in.data() + b * n;
+        for (std::size_t o = 0; o < n_out; ++o) {
+            const std::uint64_t diff =
+                lhs_out[o] ^ rhs_out[static_cast<std::size_t>(out_map[o])];
+            if (diff == 0) {
+                continue;
+            }
+            const int lane = std::countr_zero(diff);
+            Mismatch mm;
+            mm.output_name = lhs.outputs()[o].name;
+            mm.lhs_value = (lhs_out[o] >> lane) & 1U;
+            mm.rhs_value = (rhs_out[static_cast<std::size_t>(out_map[o])] >> lane) & 1U;
+            mm.input_bits.resize(n);
+            mm.input_names.resize(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                mm.input_bits[i] = static_cast<std::uint8_t>((lhs_in[i] >> lane) & 1U);
+                mm.input_names[i] = lhs.inputs()[i].name;
+            }
+            return mm;
         }
-        const int lane = std::countr_zero(diff);
-        Mismatch mm;
-        mm.output_name = lhs.outputs()[o].name;
-        mm.lhs_value = (lhs_out[o] >> lane) & 1U;
-        mm.rhs_value = (rhs_out[static_cast<std::size_t>(out_map[o])] >> lane) & 1U;
-        mm.input_bits.resize(ctx.lhs_in.size());
-        mm.input_names.resize(ctx.lhs_in.size());
-        for (std::size_t i = 0; i < ctx.lhs_in.size(); ++i) {
-            mm.input_bits[i] = static_cast<std::uint8_t>((ctx.lhs_in[i] >> lane) & 1U);
-            mm.input_names[i] = lhs.inputs()[i].name;
-        }
-        return mm;
     }
     return std::nullopt;
 }
@@ -112,9 +127,20 @@ std::optional<Mismatch> check_equivalence(const Netlist& lhs, const Netlist& rhs
 
     const int n = static_cast<int>(lhs.inputs().size());
     const bool exhaustive = n <= options.max_exhaustive_inputs;
-    const std::uint64_t total_sweeps =
+
+    // Both netlists compile once into liveness-scheduled tapes; the campaign
+    // workers share the immutable Programs and own only execution scratch.
+    const exec::Program lhs_prog = exec::Program::compile(lhs);
+    const exec::Program rhs_prog = exec::Program::compile(rhs);
+
+    // Exhaustive sweeps batch enumeration blocks into bitsliced passes;
+    // random sweeps stay one block per sweep (see exec::BlockGrouping).
+    const std::uint64_t total_blocks =
         exhaustive ? ((n <= 6) ? 1 : (std::uint64_t{1} << (n - 6)))
                    : static_cast<std::uint64_t>(options.random_sweeps);
+    const exec::BlockGrouping grouping =
+        exec::BlockGrouping::over(total_blocks, exhaustive);
+    const std::uint64_t total_sweeps = grouping.total_sweeps;
 
     // Same floor policy as verify_multiplier: random sweeps (two
     // simulations over dense vectors) shard even at small sweep counts,
@@ -127,24 +153,31 @@ std::optional<Mismatch> check_equivalence(const Netlist& lhs, const Netlist& rhs
                                              verify::kNoFailure);
 
     const auto factory = [&](int worker_id) -> verify::Campaign::SweepFn {
-        auto ctx = std::make_shared<SweepContext>(lhs, rhs, n);
+        auto ctx = std::make_shared<SweepContext>(n, static_cast<int>(lhs.outputs().size()),
+                                                  grouping.group);
         return [&, worker_id, ctx](std::uint64_t sweep) -> bool {
+            int blocks = 1;
             if (exhaustive) {
-                for (int i = 0; i < n; ++i) {
-                    ctx->lhs_in[static_cast<std::size_t>(i)] = exhaustive_pattern(i, sweep);
-                    ctx->rhs_in[static_cast<std::size_t>(in_map[i])] =
-                        ctx->lhs_in[static_cast<std::size_t>(i)];
+                const std::uint64_t first_block = grouping.first_block(sweep);
+                blocks = grouping.blocks_in_sweep(sweep);
+                for (int b = 0; b < blocks; ++b) {
+                    for (int i = 0; i < n; ++i) {
+                        const std::uint64_t w = exhaustive_pattern(
+                            i, first_block + static_cast<std::uint64_t>(b));
+                        ctx->lhs_in[static_cast<std::size_t>(b * n + i)] = w;
+                        ctx->rhs_in[static_cast<std::size_t>(b * n + in_map[i])] = w;
+                    }
                 }
             } else {
                 verify::SweepRng rng{
                     verify::Campaign::derive_sweep_seed(options.seed, sweep)};
                 for (int i = 0; i < n; ++i) {
-                    ctx->lhs_in[static_cast<std::size_t>(i)] = rng();
-                    ctx->rhs_in[static_cast<std::size_t>(in_map[i])] =
-                        ctx->lhs_in[static_cast<std::size_t>(i)];
+                    const std::uint64_t w = rng();
+                    ctx->lhs_in[static_cast<std::size_t>(i)] = w;
+                    ctx->rhs_in[static_cast<std::size_t>(in_map[i])] = w;
                 }
             }
-            auto mm = compare_sweep(*ctx, lhs, out_map);
+            auto mm = compare_sweep(*ctx, lhs_prog, rhs_prog, lhs, out_map, blocks);
             if (mm.has_value()) {
                 payload[static_cast<std::size_t>(worker_id)] = std::move(mm);
                 payload_sweep[static_cast<std::size_t>(worker_id)] = sweep;

@@ -10,10 +10,13 @@
 // filter for XOR/AND logic of this shape: any single wrong product term
 // flips ~half of all lanes.
 //
-// The sweep space runs through verify::Campaign: shards across worker
-// threads (each owning its pair of simulators), per-sweep seed derivation
-// in the random regime, and globally-first-mismatch reporting, so verdict
-// and counterexample are identical at any thread count.
+// Both netlists compile once into exec::Program tapes; every sweep executes
+// the compiled tapes, and exhaustive regimes batch up to four enumeration
+// blocks (256 assignments) into one bitsliced pass.  The sweep space runs
+// through verify::Campaign: shards across worker threads (each owning only
+// execution scratch over the shared immutable tapes), per-sweep seed
+// derivation in the random regime, and globally-first-mismatch reporting,
+// so verdict and counterexample are identical at any thread count.
 
 #include "netlist/netlist.h"
 

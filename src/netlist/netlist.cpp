@@ -25,6 +25,7 @@ NodeId Netlist::add_input(std::string name) {
     }
     const NodeId id = static_cast<NodeId>(nodes_.size());
     nodes_.push_back(Node{GateKind::Input, kInvalidNode, kInvalidNode});
+    input_index_by_name_.emplace(name, static_cast<int>(inputs_.size()));
     inputs_.push_back(Port{std::move(name), id});
     return id;
 }
@@ -121,12 +122,8 @@ void Netlist::add_output(std::string name, NodeId node) {
 }
 
 int Netlist::input_index(const std::string& name) const {
-    for (std::size_t i = 0; i < inputs_.size(); ++i) {
-        if (inputs_[i].name == name) {
-            return static_cast<int>(i);
-        }
-    }
-    return -1;
+    const auto it = input_index_by_name_.find(name);
+    return it != input_index_by_name_.end() ? it->second : -1;
 }
 
 std::vector<bool> Netlist::reachable_from_outputs() const {

@@ -96,7 +96,10 @@ public:
     [[nodiscard]] const std::vector<Port>& inputs() const noexcept { return inputs_; }
     [[nodiscard]] const std::vector<Port>& outputs() const noexcept { return outputs_; }
 
-    /// Index of a named input among inputs(), or -1.
+    /// Index of a named input among inputs(), or -1.  O(1): served by a
+    /// name->index map maintained by add_input (port matching in
+    /// equivalence/BDD checks and add_input's own uniqueness check call this
+    /// per port, which was quadratic on m=571 builds with the linear scan).
     [[nodiscard]] int input_index(const std::string& name) const;
 
     /// Flags for nodes reachable from any output (transitive fanin).
@@ -116,6 +119,7 @@ private:
     std::vector<Port> inputs_;
     std::vector<Port> outputs_;
     std::unordered_map<std::uint64_t, NodeId> structural_hash_;
+    std::unordered_map<std::string, int> input_index_by_name_;
     NodeId const0_ = kInvalidNode;
 };
 

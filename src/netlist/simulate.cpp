@@ -10,15 +10,38 @@ std::vector<std::uint64_t> Simulator::run(std::span<const std::uint64_t> input_w
     return out;
 }
 
+const exec::Program& Simulator::program() {
+    if (!program_.has_value()) {
+        program_ = exec::Program::compile(*nl_);
+    }
+    return *program_;
+}
+
 void Simulator::run_into(std::span<const std::uint64_t> input_words,
                          std::vector<std::uint64_t>& out_words) {
-    const auto& nl = *nl_;
-    if (input_words.size() != nl.inputs().size()) {
+    if (input_words.size() != nl_->inputs().size()) {
         throw std::invalid_argument{"Simulator::run: wrong number of input words"};
     }
-    values_.assign(nl.node_count(), 0);
+    const exec::Program& prog = program();
+    out_words.resize(nl_->outputs().size());
+    prog.run(input_words, out_words, scratch_);
+}
+
+std::vector<std::uint64_t> simulate(const Netlist& nl,
+                                    std::span<const std::uint64_t> input_words) {
+    Simulator sim{nl};
+    return sim.run(input_words);
+}
+
+std::vector<std::uint64_t> simulate_interpreted(
+    const Netlist& nl, std::span<const std::uint64_t> input_words) {
+    if (input_words.size() != nl.inputs().size()) {
+        throw std::invalid_argument{
+            "simulate_interpreted: wrong number of input words"};
+    }
+    std::vector<std::uint64_t> values(nl.node_count(), 0);
     for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
-        values_[nl.inputs()[i].node] = input_words[i];
+        values[nl.inputs()[i].node] = input_words[i];
     }
     // Node ids are topologically ordered by construction.
     for (NodeId id = 0; id < nl.node_count(); ++id) {
@@ -28,23 +51,18 @@ void Simulator::run_into(std::span<const std::uint64_t> input_words,
             case GateKind::Const0:
                 break;
             case GateKind::And2:
-                values_[id] = values_[n.a] & values_[n.b];
+                values[id] = values[n.a] & values[n.b];
                 break;
             case GateKind::Xor2:
-                values_[id] = values_[n.a] ^ values_[n.b];
+                values[id] = values[n.a] ^ values[n.b];
                 break;
         }
     }
-    out_words.resize(nl.outputs().size());
+    std::vector<std::uint64_t> out(nl.outputs().size());
     for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
-        out_words[o] = values_[nl.outputs()[o].node];
+        out[o] = values[nl.outputs()[o].node];
     }
-}
-
-std::vector<std::uint64_t> simulate(const Netlist& nl,
-                                    std::span<const std::uint64_t> input_words) {
-    Simulator sim{nl};
-    return sim.run(input_words);
+    return out;
 }
 
 std::uint64_t exhaustive_pattern(int input_index, std::uint64_t block) {

@@ -2,20 +2,31 @@
 #define GFR_NETLIST_SIMULATE_H
 
 // Word-parallel netlist simulation: each std::uint64_t carries 64 independent
-// input assignments ("lanes"), so one topological sweep evaluates 64 test
-// vectors at once.  This is the workhorse behind equivalence checking and
-// the multiplier verification in src/multipliers/verify.h.
+// input assignments ("lanes"), so one sweep evaluates 64 test vectors at
+// once.  This is the workhorse behind equivalence checking and the
+// multiplier verification in src/multipliers/verify.h.
+//
+// Since PR 4 the Simulator is a thin wrapper over the compiled execution
+// layer (exec::Program): the first run() compiles the netlist into a DCE'd,
+// liveness-scheduled instruction tape (cached for the Simulator's lifetime)
+// and every sweep executes that tape instead of re-interpreting the node
+// vector.  The node-by-node reference interpreter survives as
+// simulate_interpreted() — structurally independent of the compiler, it is
+// the differential anchor the exec tests compare the tape against.
 
+#include "exec/program.h"
 #include "netlist/netlist.h"
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 namespace gfr::netlist {
 
-/// Reusable simulator; construction precomputes nothing heavy, but keeping
-/// one instance alive reuses the value buffer across calls.
+/// Reusable simulator.  Construction precomputes nothing; the first run
+/// compiles the netlist once (compile-per-instance, so a mutated clone never
+/// inherits a stale tape) and later runs reuse tape and scratch.
 class Simulator {
 public:
     explicit Simulator(const Netlist& nl) : nl_{&nl} {}
@@ -31,14 +42,26 @@ public:
     void run_into(std::span<const std::uint64_t> input_words,
                   std::vector<std::uint64_t>& out_words);
 
+    /// The compiled tape, compiling it on first use.  Callers that manage
+    /// their own scratch (campaign workers) execute this directly.
+    const exec::Program& program();
+
 private:
     const Netlist* nl_;
-    std::vector<std::uint64_t> values_;
+    std::optional<exec::Program> program_;
+    exec::Program::Scratch scratch_;
 };
 
 /// One-shot convenience wrapper around Simulator::run.
 std::vector<std::uint64_t> simulate(const Netlist& nl,
                                     std::span<const std::uint64_t> input_words);
+
+/// Reference interpreter: evaluates the node vector gate by gate, exactly
+/// the pre-compile simulation semantics.  Slow path, shared by differential
+/// tests (compiled tape vs interpreter) and frozen benchmark baselines; it
+/// deliberately shares no code with exec::Program.
+std::vector<std::uint64_t> simulate_interpreted(
+    const Netlist& nl, std::span<const std::uint64_t> input_words);
 
 /// Input pattern words for exhaustive simulation.  Block `block` of the
 /// enumeration assigns lanes 0..63 the assignments with index

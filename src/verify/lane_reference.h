@@ -14,8 +14,14 @@
 //
 // — computing all 64 reference products in m^2 word operations with no
 // per-lane work at all.  The output is already lane-major, so comparing
-// against a simulated netlist is m word XORs.  This is the sweep oracle for
-// m <= 64; the multi-word regime keeps the engine's per-lane Field::mul.
+// against a simulated netlist is m word XORs.  Nothing here depends on the
+// field fitting one machine word (one *word per bit*, not per element), so
+// it serves as the sweep oracle across the multi-word regime too: the
+// per-lane engine fallback pays 2m bit-extractions per lane to transpose
+// operands out and m more to gather the netlist output back, which
+// dominates its engine muls at every practical degree (measured 26x slower
+// at m=163, 8x at m=571; VerifyOptions::lane_oracle_max_degree picks the
+// oracle).
 //
 // The arithmetic here shares nothing with FieldOps (no clmul, no window
 // tables, no fold clusters) — it is an independent implementation derived

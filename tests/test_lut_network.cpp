@@ -1,11 +1,80 @@
 // LutNetwork container: levels, fanout, simulation semantics, Verilog.
+// simulate() runs through the compiled execution layer since PR 4, so the
+// old per-lane truth-table walk is kept here as the independent reference
+// for randomized differentials (shared harness: tests/testutil.h).
 
 #include "fpga/lut_network.h"
+#include "testutil.h"
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace gfr::fpga {
 namespace {
+
+using testutil::Xorshift64Star;
+
+/// The pre-PR-4 interpretation semantics, verbatim: per LUT, per lane,
+/// assemble the minterm index and read the truth bit.  Structurally
+/// independent of exec::Program's Shannon folds and fused-XOR lowering.
+std::vector<std::uint64_t> simulate_per_lane(const LutNetwork& net,
+                                             std::span<const std::uint64_t> in) {
+    std::vector<std::uint64_t> value(net.input_names.size() + net.luts.size(), 0);
+    std::copy(in.begin(), in.end(), value.begin());
+    for (std::size_t i = 0; i < net.luts.size(); ++i) {
+        const auto& lut = net.luts[i];
+        std::uint64_t out = 0;
+        for (int lane = 0; lane < 64; ++lane) {
+            unsigned idx = 0;
+            for (std::size_t j = 0; j < lut.fanins.size(); ++j) {
+                const auto ref = lut.fanins[j];
+                const std::uint64_t bit =
+                    (ref < 0) ? 0 : (value[static_cast<std::size_t>(ref)] >> lane) & 1U;
+                idx |= static_cast<unsigned>(bit) << j;
+            }
+            out |= ((lut.truth >> idx) & 1U) << lane;
+        }
+        value[net.input_names.size() + i] = out;
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(net.outputs.size());
+    for (const auto& [name, ref] : net.outputs) {
+        out.push_back(ref < 0 ? 0 : value[static_cast<std::size_t>(ref)]);
+    }
+    return out;
+}
+
+/// Random topologically-ordered LUT network with arbitrary truth tables
+/// (parity, AND and fully general cones all occur).
+LutNetwork random_lut_network(Xorshift64Star& rng, int n_inputs, int n_luts,
+                              int n_outputs) {
+    LutNetwork net;
+    for (int i = 0; i < n_inputs; ++i) {
+        net.input_names.push_back("i" + std::to_string(i));
+    }
+    for (int l = 0; l < n_luts; ++l) {
+        LutNetwork::Lut lut;
+        const int k = 1 + static_cast<int>(rng.next() % 6);
+        const std::int32_t max_ref = n_inputs + l;
+        for (int j = 0; j < k; ++j) {
+            // Occasionally wire a const-0 fanin.
+            lut.fanins.push_back((rng.next() % 16 == 0)
+                                     ? LutNetwork::kConst0Ref
+                                     : static_cast<std::int32_t>(rng.next() % max_ref));
+        }
+        lut.truth = rng.next() & ((k == 6) ? ~std::uint64_t{0}
+                                           : ((std::uint64_t{1} << (1U << k)) - 1));
+        net.luts.push_back(lut);
+    }
+    for (int o = 0; o < n_outputs; ++o) {
+        net.outputs.emplace_back(
+            "o" + std::to_string(o),
+            static_cast<std::int32_t>(rng.next() % (n_inputs + n_luts)));
+    }
+    return net;
+}
 
 /// y = (a ^ b), z = (a ^ b) & c as a hand-built two-LUT network.
 LutNetwork two_lut_network() {
@@ -71,6 +140,24 @@ TEST(LutNetwork, EmitVerilogLuts) {
     EXPECT_NE(text.find("assign z = lut1;"), std::string::npos);
     // Truth table 0x6 rendered as 64-bit hex.
     EXPECT_NE(text.find("64'h0000000000000006"), std::string::npos);
+}
+
+TEST(LutNetwork, CompiledSimulateMatchesPerLaneReferenceOnRandomNetworks) {
+    Xorshift64Star rng{0x1C7BEEFULL};
+    for (int round = 0; round < 12; ++round) {
+        const int n_inputs = 1 + static_cast<int>(rng.next() % 10);
+        const int n_luts = 1 + static_cast<int>(rng.next() % 60);
+        const int n_outputs = 1 + static_cast<int>(rng.next() % 6);
+        const auto net = random_lut_network(rng, n_inputs, n_luts, n_outputs);
+        std::vector<std::uint64_t> in(static_cast<std::size_t>(n_inputs));
+        for (int sweep = 0; sweep < 3; ++sweep) {
+            for (auto& w : in) {
+                w = rng.next();
+            }
+            ASSERT_EQ(net.simulate(in), simulate_per_lane(net, in))
+                << "round " << round << " sweep " << sweep;
+        }
+    }
 }
 
 TEST(LutNetwork, EmptyNetworkDepthZero) {

@@ -1,11 +1,19 @@
-// Netlist IR: construction, simplification rules, structural hashing, stats.
+// Netlist IR: construction, simplification rules, structural hashing, stats,
+// and the O(1) input-name index — property cases run on the shared harness
+// (tests/testutil.h).
 
 #include "netlist/netlist.h"
+#include "testutil.h"
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace gfr::netlist {
 namespace {
+
+using testutil::Xorshift64Star;
 
 TEST(Netlist, InputsAndOutputs) {
     Netlist nl;
@@ -23,6 +31,32 @@ TEST(Netlist, DuplicateInputNameThrows) {
     Netlist nl;
     nl.add_input("a");
     EXPECT_THROW(nl.add_input("a"), std::invalid_argument);
+}
+
+TEST(Netlist, InputIndexMapMatchesPortOrderAtMultiplierScale) {
+    // input_index is served by a hash map since PR 4 (the linear scan made
+    // add_input's uniqueness check quadratic on m=571 builds).  Build an
+    // m=571-sized interface in a PRNG-shuffled insertion order and check
+    // the map agrees with the ports vector for every name, plus misses and
+    // late duplicates.
+    Xorshift64Star rng{0x1DBDULL};
+    std::vector<std::string> names;
+    for (int i = 0; i < 571; ++i) {
+        names.push_back("a" + std::to_string(i));
+        names.push_back("b" + std::to_string(i));
+    }
+    for (std::size_t i = names.size(); i > 1; --i) {
+        std::swap(names[i - 1], names[rng.next() % i]);
+    }
+    Netlist nl;
+    for (const auto& name : names) {
+        nl.add_input(name);
+    }
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+        ASSERT_EQ(nl.input_index(nl.inputs()[i].name), static_cast<int>(i));
+    }
+    EXPECT_EQ(nl.input_index("c0"), -1);
+    EXPECT_THROW(nl.add_input(names.back()), std::invalid_argument);
 }
 
 TEST(Netlist, StructuralHashingDeduplicates) {

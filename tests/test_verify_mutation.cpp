@@ -9,7 +9,12 @@
 // "Functionally different" is decided by ground truth that shares nothing
 // with either verifier's decision logic: raw word-parallel simulation of
 // the two netlists side by side (exhaustive on the small field, dense
-// random on the medium one).  A mutation can land on logic that the
+// random on the medium one).  Since PR 4 that simulation runs through the
+// compiled execution layer with a fresh compile per mutant (each Simulator
+// compiles its own netlist instance, so a mutant never inherits the
+// original's tape and the compiler itself is exercised on every mutated
+// structure); the tape-vs-interpreter differential lives in
+// tests/test_exec_program.cpp.  A mutation can land on logic that the
 // netlist's structural hashing or downstream XOR parity re-absorbs into the
 // original function (e.g. rewiring a fanin onto an equal subexpression);
 // such mutants are no fault at all and are skipped — but the test also
@@ -245,6 +250,20 @@ TEST(VerifyMutation, MediumFieldKillsAllSingleFaultMutants) {
     // classes the exhaustive regime does.
     MutationStats stats;
     expect_full_kill(field::Field::type2(64, 23), stats);
+}
+
+TEST(VerifyMutation, MultiWordLaneOracleKillsAllSingleFaultMutants) {
+    // GF(2^113): the multi-word regime, where the compiled tape feeds the
+    // lane-major LaneReference oracle (the PR-4 extension past m = 64).
+    // One family keeps the runtime bounded; the operators are the same.
+    MutationStats stats;
+    run_mutation_campaign(field::Field::type2(113, 4), Method::Date2018Flat, stats);
+    EXPECT_EQ(stats.missed_by_verify, 0);
+    EXPECT_EQ(stats.missed_by_equivalence, 0);
+    for (const auto& miss : stats.misses) {
+        ADD_FAILURE() << miss;
+    }
+    EXPECT_GT(stats.faults, 0);
 }
 
 }  // namespace
