@@ -1,0 +1,33 @@
+#ifndef GFR_BULK_CPU_H
+#define GFR_BULK_CPU_H
+
+// Runtime CPU feature detection for the bulk region-kernel dispatch.
+//
+// Queried exactly once, when bulk::dispatch() first materialises the kernel
+// table; every later region call just reads function pointers.  Detection is
+// raw CPUID + XGETBV (not __builtin_cpu_supports) so the answer is identical
+// across compilers and old toolchains, and so AVX-class kernels are only
+// reported when the OS has actually enabled YMM state (XCR0) — a CPU flag
+// without OS save support would SIGILL on the first vmovdqu.
+//
+// On non-x86 targets every field is false and the dispatch keeps the
+// portable scalar kernels, which are always compiled.
+
+namespace gfr::bulk {
+
+/// ISA capabilities relevant to the region kernels, as the *running* CPU and
+/// OS report them (not as this binary was compiled).
+struct CpuFeatures {
+    bool ssse3 = false;       ///< PSHUFB (the 16-byte nibble-table shuffle)
+    bool avx2 = false;        ///< 32-byte integer ops, YMM state OS-enabled
+    bool pclmul = false;      ///< PCLMULQDQ (128-bit carry-less multiply)
+    bool vpclmulqdq = false;  ///< VPCLMULQDQ on YMM (implies avx2 usable here)
+};
+
+/// Probe the running CPU.  Cheap (two CPUID leaves + one XGETBV), but
+/// callers should prefer the cached copy in bulk::dispatch().
+CpuFeatures detect_cpu() noexcept;
+
+}  // namespace gfr::bulk
+
+#endif  // GFR_BULK_CPU_H

@@ -1,0 +1,111 @@
+// Kernel selection: the pure policy (make_dispatch) plus the process-wide
+// singleton that binds it to the detected CPU and the GFR_BULK_FORCE_SCALAR
+// environment knob.
+
+#include "bulk/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gfr::bulk {
+
+const char* kernel_name(KernelKind kind) noexcept {
+    switch (kind) {
+        case KernelKind::Scalar: return "scalar";
+        case KernelKind::Ssse3: return "ssse3";
+        case KernelKind::Avx2: return "avx2";
+        case KernelKind::Vpclmul: return "vpclmul";
+    }
+    return "?";
+}
+
+bool kernel_supported(KernelKind kind, const CpuFeatures& f) noexcept {
+    switch (kind) {
+        case KernelKind::Scalar: return true;
+        case KernelKind::Ssse3: return f.ssse3;
+        case KernelKind::Avx2: return f.avx2;
+        case KernelKind::Vpclmul:
+            // The wide kernel also issues AVX2 integer ops and the 128-bit
+            // PCLMULQDQ scalar helper, so require the full triple — not
+            // just the VPCLMULQDQ bit (detect_cpu couples them today, but
+            // this predicate is the policy the tests pin for *any*
+            // feature combination).
+            return f.vpclmulqdq && f.avx2 && f.pclmul;
+    }
+    return false;
+}
+
+std::vector<KernelKind> compiled_byte_kernels() {
+    std::vector<KernelKind> kinds{KernelKind::Scalar};
+    if (ssse3_byte_kernel() != nullptr) {
+        kinds.push_back(KernelKind::Ssse3);
+    }
+    if (avx2_byte_kernel() != nullptr) {
+        kinds.push_back(KernelKind::Avx2);
+    }
+    return kinds;
+}
+
+std::vector<KernelKind> compiled_word_kernels() {
+    std::vector<KernelKind> kinds{KernelKind::Scalar};
+    if (vpclmul_word_kernel() != nullptr) {
+        kinds.push_back(KernelKind::Vpclmul);
+    }
+    return kinds;
+}
+
+const ByteKernel* byte_kernel(KernelKind kind) noexcept {
+    switch (kind) {
+        case KernelKind::Scalar: return &kByteScalar;
+        case KernelKind::Ssse3: return ssse3_byte_kernel();
+        case KernelKind::Avx2: return avx2_byte_kernel();
+        case KernelKind::Vpclmul: return nullptr;
+    }
+    return nullptr;
+}
+
+const WordKernel* word_kernel(KernelKind kind) noexcept {
+    return kind == KernelKind::Vpclmul ? vpclmul_word_kernel() : nullptr;
+}
+
+Dispatch make_dispatch(const CpuFeatures& f, bool force_scalar) noexcept {
+    Dispatch d;
+    d.cpu = f;
+    d.forced_scalar = force_scalar;
+    d.byte = &kByteScalar;
+    d.word = nullptr;
+    if (force_scalar) {
+        return d;
+    }
+    // Best compiled kernel the running CPU supports, never beyond: each
+    // candidate requires both its TU (non-null registry) and the full
+    // feature predicate in kernel_supported — one source of truth.
+    if (const ByteKernel* k = avx2_byte_kernel();
+        k != nullptr && kernel_supported(KernelKind::Avx2, f)) {
+        d.byte = k;
+    } else if (const ByteKernel* k2 = ssse3_byte_kernel();
+               k2 != nullptr && kernel_supported(KernelKind::Ssse3, f)) {
+        d.byte = k2;
+    }
+    if (const WordKernel* k = vpclmul_word_kernel();
+        k != nullptr && kernel_supported(KernelKind::Vpclmul, f)) {
+        d.word = k;
+    }
+    return d;
+}
+
+namespace {
+
+bool force_scalar_from_env() noexcept {
+    const char* e = std::getenv("GFR_BULK_FORCE_SCALAR");
+    return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+}
+
+}  // namespace
+
+const Dispatch& dispatch() {
+    static const Dispatch d = make_dispatch(detect_cpu(), force_scalar_from_env());
+    return d;
+}
+
+}  // namespace gfr::bulk

@@ -1,0 +1,110 @@
+// AVX2 byte kernel: the SSSE3 split nibble-table shuffle widened to 32
+// bytes per step — the tables are broadcast into both 128-bit lanes, so
+// VPSHUFB performs 32 independent lookups per instruction.  The 16-byte
+// remainder runs one SSE pass, the final <16 bytes run scalar.
+//
+// Compiled with -mavx2 only in this translation unit; the dispatch calls in
+// here only after runtime CPUID (+XGETBV) reports AVX2.
+
+#include "bulk/kernels.h"
+
+#if defined(GFR_BULK_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace gfr::bulk {
+
+namespace {
+
+void byte_mul_avx2(const NibbleTables& t, const std::uint8_t* src,
+                   std::uint8_t* dst, std::size_t n) {
+    const __m256i lo = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo)));
+    const __m256i hi = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi)));
+    const __m256i nib = _mm256_set1_epi8(0x0F);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+        const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(v, nib));
+        const __m256i ph = _mm256_shuffle_epi8(
+            hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), nib));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                            _mm256_xor_si256(pl, ph));
+    }
+    if (i + 16 <= n) {
+        const __m128i lo128 = _mm256_castsi256_si128(lo);
+        const __m128i hi128 = _mm256_castsi256_si128(hi);
+        const __m128i nib128 = _mm_set1_epi8(0x0F);
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+        const __m128i pl = _mm_shuffle_epi8(lo128, _mm_and_si128(v, nib128));
+        const __m128i ph = _mm_shuffle_epi8(
+            hi128, _mm_and_si128(_mm_srli_epi64(v, 4), nib128));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                         _mm_xor_si128(pl, ph));
+        i += 16;
+    }
+    for (; i < n; ++i) {
+        const std::uint8_t s = src[i];
+        dst[i] = static_cast<std::uint8_t>(t.lo[s & 0xF] ^ t.hi[s >> 4]);
+    }
+}
+
+void byte_addmul_avx2(const NibbleTables& t, const std::uint8_t* src,
+                      std::uint8_t* dst, std::size_t n) {
+    const __m256i lo = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo)));
+    const __m256i hi = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi)));
+    const __m256i nib = _mm256_set1_epi8(0x0F);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+        const __m256i d =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+        const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(v, nib));
+        const __m256i ph = _mm256_shuffle_epi8(
+            hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), nib));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(dst + i),
+            _mm256_xor_si256(d, _mm256_xor_si256(pl, ph)));
+    }
+    if (i + 16 <= n) {
+        const __m128i lo128 = _mm256_castsi256_si128(lo);
+        const __m128i hi128 = _mm256_castsi256_si128(hi);
+        const __m128i nib128 = _mm_set1_epi8(0x0F);
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+        const __m128i d =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+        const __m128i pl = _mm_shuffle_epi8(lo128, _mm_and_si128(v, nib128));
+        const __m128i ph = _mm_shuffle_epi8(
+            hi128, _mm_and_si128(_mm_srli_epi64(v, 4), nib128));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                         _mm_xor_si128(d, _mm_xor_si128(pl, ph)));
+        i += 16;
+    }
+    for (; i < n; ++i) {
+        const std::uint8_t s = src[i];
+        dst[i] ^= static_cast<std::uint8_t>(t.lo[s & 0xF] ^ t.hi[s >> 4]);
+    }
+}
+
+const ByteKernel kByteAvx2{KernelKind::Avx2, &byte_mul_avx2, &byte_addmul_avx2};
+
+}  // namespace
+
+const ByteKernel* avx2_byte_kernel() noexcept { return &kByteAvx2; }
+
+}  // namespace gfr::bulk
+
+#else  // TU compiled without AVX2 (non-x86 or GFR_BULK_PORTABLE_ONLY)
+
+namespace gfr::bulk {
+const ByteKernel* avx2_byte_kernel() noexcept { return nullptr; }
+}  // namespace gfr::bulk
+
+#endif

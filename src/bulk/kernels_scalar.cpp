@@ -1,0 +1,61 @@
+// Portable scalar region kernels — always compiled, any target.  These are
+// the bit-identity reference every SIMD kernel is differentially tested
+// against, and the fallback the dispatch pins on CPUs (or builds) without
+// the vector ISAs.
+
+#include "bulk/kernels.h"
+
+namespace gfr::bulk {
+
+namespace {
+
+void byte_mul_scalar(const NibbleTables& t, const std::uint8_t* src,
+                     std::uint8_t* dst, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t s = src[i];
+        dst[i] = static_cast<std::uint8_t>(t.lo[s & 0xF] ^ t.hi[s >> 4]);
+    }
+}
+
+void byte_addmul_scalar(const NibbleTables& t, const std::uint8_t* src,
+                        std::uint8_t* dst, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t s = src[i];
+        dst[i] ^= static_cast<std::uint8_t>(t.lo[s & 0xF] ^ t.hi[s >> 4]);
+    }
+}
+
+}  // namespace
+
+const ByteKernel kByteScalar{KernelKind::Scalar, &byte_mul_scalar,
+                             &byte_addmul_scalar};
+
+void word_mul_windows(const std::uint64_t* table, int windows,
+                      const std::uint64_t* src, std::uint64_t* dst,
+                      std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t a = src[i];
+        std::uint64_t acc = 0;
+        const std::uint64_t* t = table;
+        for (int w = 0; w < windows; ++w, t += 16) {
+            acc ^= t[(a >> (4 * w)) & 0xF];
+        }
+        dst[i] = acc;
+    }
+}
+
+void word_addmul_windows(const std::uint64_t* table, int windows,
+                         const std::uint64_t* src, std::uint64_t* dst,
+                         std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t a = src[i];
+        std::uint64_t acc = 0;
+        const std::uint64_t* t = table;
+        for (int w = 0; w < windows; ++w, t += 16) {
+            acc ^= t[(a >> (4 * w)) & 0xF];
+        }
+        dst[i] ^= acc;
+    }
+}
+
+}  // namespace gfr::bulk

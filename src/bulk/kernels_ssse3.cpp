@@ -1,0 +1,78 @@
+// SSSE3 byte kernel: the split 4-bit shuffle-table technique (ParPar's
+// fast-GF-multiplication survey) — both nibble product tables live in XMM
+// registers and PSHUFB performs 16 table lookups at once, so one 16-byte
+// chunk costs two shuffles, a shift, two ANDs and a XOR.
+//
+// Compiled with -mssse3 only in this translation unit; the dispatch calls in
+// here only after runtime CPUID reports SSSE3.
+
+#include "bulk/kernels.h"
+
+#if defined(GFR_BULK_HAVE_SSSE3)
+
+#include <tmmintrin.h>
+
+namespace gfr::bulk {
+
+namespace {
+
+void byte_mul_ssse3(const NibbleTables& t, const std::uint8_t* src,
+                    std::uint8_t* dst, std::size_t n) {
+    const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+    const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+    const __m128i nib = _mm_set1_epi8(0x0F);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+        const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(v, nib));
+        const __m128i ph = _mm_shuffle_epi8(
+            hi, _mm_and_si128(_mm_srli_epi64(v, 4), nib));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                         _mm_xor_si128(pl, ph));
+    }
+    for (; i < n; ++i) {
+        const std::uint8_t s = src[i];
+        dst[i] = static_cast<std::uint8_t>(t.lo[s & 0xF] ^ t.hi[s >> 4]);
+    }
+}
+
+void byte_addmul_ssse3(const NibbleTables& t, const std::uint8_t* src,
+                       std::uint8_t* dst, std::size_t n) {
+    const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+    const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+    const __m128i nib = _mm_set1_epi8(0x0F);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+        const __m128i d =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+        const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(v, nib));
+        const __m128i ph = _mm_shuffle_epi8(
+            hi, _mm_and_si128(_mm_srli_epi64(v, 4), nib));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                         _mm_xor_si128(d, _mm_xor_si128(pl, ph)));
+    }
+    for (; i < n; ++i) {
+        const std::uint8_t s = src[i];
+        dst[i] ^= static_cast<std::uint8_t>(t.lo[s & 0xF] ^ t.hi[s >> 4]);
+    }
+}
+
+const ByteKernel kByteSsse3{KernelKind::Ssse3, &byte_mul_ssse3,
+                            &byte_addmul_ssse3};
+
+}  // namespace
+
+const ByteKernel* ssse3_byte_kernel() noexcept { return &kByteSsse3; }
+
+}  // namespace gfr::bulk
+
+#else  // TU compiled without SSSE3 (non-x86 or GFR_BULK_PORTABLE_ONLY)
+
+namespace gfr::bulk {
+const ByteKernel* ssse3_byte_kernel() noexcept { return nullptr; }
+}  // namespace gfr::bulk
+
+#endif

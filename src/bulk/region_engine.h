@@ -1,0 +1,182 @@
+#ifndef GFR_BULK_REGION_ENGINE_H
+#define GFR_BULK_REGION_ENGINE_H
+
+// bulk::RegionEngine — the streaming region API of the bulk subsystem.
+//
+// The unit of work here is a *buffer*, not an element: Reed-Solomon
+// encoders, erasure-coding interleavers and verification sweeps multiply
+// one constant across kilobytes of symbols, and the multiply-accumulate
+// form `dst ^= c * src` is the inner operation of systematic RS encoding.
+// RegionEngine wraps a field::FieldOps with exactly that traffic shape:
+//
+//   mul_region(prep, src, dst)     dst[i]  = c * src[i]
+//   addmul_region(prep, src, dst)  dst[i] ^= c * src[i]
+//   scale_region(prep, data)       data[i] = c * data[i]   (in place)
+//
+// over three element layouts:
+//
+//   - byte spans (fields with m <= 8): one symbol per byte — the dense
+//     layout bulk byte traffic actually uses;
+//   - u64 spans (any single-word field): one canonical element per word,
+//     the layout of every existing FieldOps/ConstMultiplier region API;
+//   - multi-word spans (m > 64): elem_words() consecutive words per
+//     symbol, span length a multiple of elem_words().
+//
+// Kernel selection happens ONCE, at engine construction, from the
+// process-wide bulk::dispatch() (runtime CPUID): AVX2/SSSE3 nibble-shuffle
+// kernels for the byte layout, the VPCLMULQDQ wide kernel for u64 spans,
+// and the portable scalar kernels (nibble tables / 4-bit window tables)
+// everywhere else — always compiled, bit-identical on canonical operands,
+// and the reference the differential tests hold every SIMD kernel to.  The
+// forcing constructor pins a specific kernel kind (throwing if that kind is
+// not compiled into the binary, not supported by the running CPU, or not
+// applicable to the field) — tests and benches use it; regular callers use
+// the auto-selecting constructor and can never land on an unsupported ISA.
+//
+// Per-constant state lives in a Prepared (nibble tables, window tables, or
+// just the reduction parameters, depending on field and kernel): build one
+// per generator coefficient, reuse it for the life of the stream.
+//
+// Contracts:
+//   - Operands must be canonical (degree < m); the table kernels do not
+//     reduce higher bits.
+//   - dst may equal src exactly (in-place); partial overlap is undefined.
+//   - The engine borrows the FieldOps (no copy): keep it alive for the
+//     engine's lifetime, as Field does for its ops().
+//   - Everything is immutable after construction; multi-word calls draw
+//     working buffers from a caller FieldOps::Scratch (or the thread-local
+//     default), so one engine serves concurrent threads — the FieldOps
+//     discipline.
+
+#include "bulk/kernels.h"
+#include "field/field_ops.h"
+#include "gf2/gf2_poly.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gfr::bulk {
+
+class RegionEngine {
+public:
+    /// Best compiled kernels the running CPU supports (bulk::dispatch()).
+    explicit RegionEngine(const field::FieldOps& ops);
+
+    /// Pin one kernel kind for both layouts where applicable (the other
+    /// layout falls back to scalar).  Throws std::invalid_argument when the
+    /// kind is not compiled, not supported by this CPU, or not applicable
+    /// to the field (byte kernels need m <= 8, word kernels m <= 64).
+    RegionEngine(const field::FieldOps& ops, KernelKind forced);
+
+    [[nodiscard]] const field::FieldOps& ops() const noexcept { return *ops_; }
+    [[nodiscard]] int degree() const noexcept { return m_; }
+
+    /// True when the byte layout applies (every symbol fits one byte).
+    [[nodiscard]] bool byte_capable() const noexcept { return m_ <= 8; }
+    [[nodiscard]] bool single_word() const noexcept { return m_ <= 64; }
+
+    /// Kernel serving byte-layout calls (meaningful when byte_capable()).
+    [[nodiscard]] KernelKind byte_kernel_kind() const noexcept {
+        return byte_kernel_->kind;
+    }
+    /// Kernel serving u64-layout calls (meaningful when single_word()):
+    /// Scalar means the window-table walk (or, for m <= 8, the scalar
+    /// nibble walk over the reinterpreted byte layout).
+    [[nodiscard]] KernelKind word_kernel_kind() const noexcept {
+        return word_kernel_ != nullptr ? word_kernel_->kind
+                                       : KernelKind::Scalar;
+    }
+
+    /// Per-constant prepared state.  Immutable; share freely across
+    /// threads.  Build via RegionEngine::prepare — the state is tailored to
+    /// that engine's field and kernel selection, and every region call
+    /// validates the match (a Prepared from another field, or from an
+    /// engine with a different kernel selection, throws instead of
+    /// producing wrong symbols).
+    class Prepared {
+    public:
+        [[nodiscard]] std::uint64_t constant() const noexcept { return c_; }
+
+    private:
+        friend class RegionEngine;
+        std::uint64_t c_ = 0;             ///< canonical constant, m <= 64
+        const field::FieldOps* ops_ = nullptr;  ///< preparing engine's field
+        int m_ = -1;                      ///< degree of the preparing engine
+        bool has_wide_ = false;           ///< wide_ filled (word kernel)
+        NibbleTables nibbles_{};          ///< m <= 8
+        WideParams wide_{};               ///< single-word carry-less kernel
+        std::vector<std::uint64_t> windows_;  ///< scalar m > 8 fallback
+        int n_windows_ = 0;
+        std::vector<std::uint64_t> cwords_;   ///< m > 64: elem_words() words
+    };
+
+    /// Prepare a constant given as bits (requires single_word()).
+    [[nodiscard]] Prepared prepare(std::uint64_t c) const;
+
+    /// Prepare a constant given as a polynomial (any field; reduced first).
+    [[nodiscard]] Prepared prepare(const gf2::Poly& c) const;
+
+    // --- Byte layout (m <= 8): one symbol per byte ---------------------------
+
+    void mul_region(const Prepared& p, std::span<const std::uint8_t> src,
+                    std::span<std::uint8_t> dst) const;
+    void addmul_region(const Prepared& p, std::span<const std::uint8_t> src,
+                       std::span<std::uint8_t> dst) const;
+    void scale_region(const Prepared& p, std::span<std::uint8_t> data) const;
+
+    // --- u64 layout (m <= 64): one canonical element per word ----------------
+
+    void mul_region(const Prepared& p, std::span<const std::uint64_t> src,
+                    std::span<std::uint64_t> dst) const;
+    void addmul_region(const Prepared& p, std::span<const std::uint64_t> src,
+                       std::span<std::uint64_t> dst) const;
+    void scale_region(const Prepared& p, std::span<std::uint64_t> data) const;
+
+    /// out[i] = a[i] * b[i] (element-wise, any u64 operands — the
+    /// FieldOps::mul_region semantics, served by the same dispatch).
+    void mul_region_elementwise(std::span<const std::uint64_t> a,
+                                std::span<const std::uint64_t> b,
+                                std::span<std::uint64_t> out) const;
+
+    // --- Multi-word layout (m > 64): elem_words() words per symbol -----------
+    // Span lengths must be equal multiples of ops().elem_words().  The
+    // carry-less word-level product/reduction kernels (PCLMUL-backed on
+    // those builds) run element by element with zero steady-state
+    // allocation; `scratch` must not be shared between threads.
+
+    void mul_region_mw(const Prepared& p, std::span<const std::uint64_t> src,
+                       std::span<std::uint64_t> dst,
+                       field::FieldOps::Scratch& scratch) const;
+    void mul_region_mw(const Prepared& p, std::span<const std::uint64_t> src,
+                       std::span<std::uint64_t> dst) const {
+        mul_region_mw(p, src, dst, field::FieldOps::thread_scratch());
+    }
+    void addmul_region_mw(const Prepared& p, std::span<const std::uint64_t> src,
+                          std::span<std::uint64_t> dst,
+                          field::FieldOps::Scratch& scratch) const;
+    void addmul_region_mw(const Prepared& p, std::span<const std::uint64_t> src,
+                          std::span<std::uint64_t> dst) const {
+        addmul_region_mw(p, src, dst, field::FieldOps::thread_scratch());
+    }
+
+private:
+    void init_kernels(KernelKind forced, bool have_forced);
+    void check_prepared(const Prepared& p, bool need_word) const;
+    void byte_call(bool add, const Prepared& p, const std::uint8_t* src,
+                   std::uint8_t* dst, std::size_t n) const;
+    void word_call(bool add, const Prepared& p, const std::uint64_t* src,
+                   std::uint64_t* dst, std::size_t n) const;
+    void mw_call(bool add, const Prepared& p, std::span<const std::uint64_t> src,
+                 std::span<std::uint64_t> dst,
+                 field::FieldOps::Scratch& scratch) const;
+
+    const field::FieldOps* ops_;
+    int m_ = 0;
+    const ByteKernel* byte_kernel_ = nullptr;  ///< non-null when m <= 8
+    const WordKernel* word_kernel_ = nullptr;  ///< null → scalar u64 path
+};
+
+}  // namespace gfr::bulk
+
+#endif  // GFR_BULK_REGION_ENGINE_H

@@ -148,6 +148,8 @@ struct Linker {
         }
 
         p.insns_.reserve(b.sched.size());
+        std::vector<std::uint32_t> slots;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
         for (std::int64_t t = 0; t < n_insns; ++t) {
             ValueDef& def = b.sched[static_cast<std::size_t>(t)];
             // Free the slots of args this instruction consumes for the last
@@ -170,9 +172,44 @@ struct Linker {
             } else {
                 insn.aux = def.aux;
             }
+            slots.clear();
             for (const std::uint32_t a : def.args) {
-                p.args_.push_back(slot_of[a]);
+                slots.push_back(slot_of[a]);
             }
+            // Operand lists execute in ascending slot order: AND/XOR
+            // accumulates are commutative, so sorting costs nothing
+            // semantically and turns the executor's operand walk into a
+            // mostly-forward scan of the slot file instead of random hops.
+            // AndXorN keeps its pair structure (pairs first, each sorted
+            // internally, then ordered by key; singles sorted after); Lut
+            // operands stay put — their order indexes the truth table.
+            switch (def.op) {
+                case Op::And2:
+                case Op::Xor2:
+                case Op::XorN:
+                    std::sort(slots.begin(), slots.end());
+                    break;
+                case Op::AndXorN: {
+                    const std::size_t np = def.aux;
+                    pairs.clear();
+                    for (std::size_t q = 0; q < np; ++q) {
+                        const std::uint32_t x = slots[2 * q];
+                        const std::uint32_t y = slots[2 * q + 1];
+                        pairs.emplace_back(std::min(x, y), std::max(x, y));
+                    }
+                    std::sort(pairs.begin(), pairs.end());
+                    for (std::size_t q = 0; q < np; ++q) {
+                        slots[2 * q] = pairs[q].first;
+                        slots[2 * q + 1] = pairs[q].second;
+                    }
+                    std::sort(slots.begin() + static_cast<std::ptrdiff_t>(2 * np),
+                              slots.end());
+                    break;
+                }
+                case Op::Lut:
+                    break;
+            }
+            p.args_.insert(p.args_.end(), slots.begin(), slots.end());
             slot_of[def.value] = insn.dst;
             p.insns_.push_back(insn);
         }

@@ -115,6 +115,17 @@ public:
         return insns_.size();
     }
 
+    /// The compiled tape and its operand-slot pool, read-only (tests and
+    /// tooling).  Operand lists of commutative instructions are sorted by
+    /// slot index at compile time (AndXorN: pairs first, ordered by key;
+    /// singles after, ascending); Lut operand order indexes the truth table.
+    [[nodiscard]] std::span<const Insn> instructions() const noexcept {
+        return insns_;
+    }
+    [[nodiscard]] std::span<const std::uint32_t> args() const noexcept {
+        return args_;
+    }
+
     [[nodiscard]] ProgramStats stats() const;
 
 private:

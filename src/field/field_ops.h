@@ -31,6 +31,7 @@
 // region-encode traffic with no external locking.  The single-word path and
 // ConstMultiplier::mul are pure.
 
+#include "bulk/kernels.h"
 #include "gf2/clmul.h"
 #include "gf2/gf2_poly.h"
 
@@ -142,15 +143,49 @@ public:
     [[nodiscard]] std::uint64_t inv_fermat(std::uint64_t a) const;
 
     /// Element-wise batch multiply: out[i] = a[i] * b[i].  Spans must have
-    /// equal length; out may alias a or b.
+    /// equal length; out may alias a or b (exactly — not partially).  Routed
+    /// through the bulk kernel dispatch: the VPCLMULQDQ wide kernel when the
+    /// running CPU has it, the scalar mul() loop otherwise — results are
+    /// bit-identical either way.
     void mul_region(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
                     std::span<std::uint64_t> out) const;
 
     /// In-place scale of a region by one constant.  Operands must be
-    /// canonical (degree < m): the window tables do not cover higher bits.
-    /// For repeated use of the same constant, hold a ConstMultiplier instead
-    /// (this builds one per call).
+    /// canonical (degree < m): neither the window tables nor the SIMD
+    /// region kernels cover higher bits.  Routed through the bulk dispatch
+    /// (nibble-shuffle kernel for m <= 8, VPCLMULQDQ wide kernel otherwise,
+    /// scalar window tables as the portable fallback).  For repeated use of
+    /// the same constant, hold a ConstMultiplier instead.
     void mul_region_const(std::uint64_t c, std::span<std::uint64_t> data) const;
+
+    /// Reduction structure handed to the bulk carry-less word kernels.
+    /// `c` is stored as given — canonicalise with reduce(0, c) first when it
+    /// may exceed degree m.  Requires single_word().
+    [[nodiscard]] bulk::WideParams wide_params(std::uint64_t c) const noexcept {
+        bulk::WideParams p;
+        p.c = c;
+        p.tails_mask = tails_mask_;
+        p.elem_mask = elem_mask_;
+        p.m = m_;
+        p.folds = fold_bound_;
+        return p;
+    }
+
+    /// Fold iterations that provably cancel the excess of any product of two
+    /// canonical elements (single-word fields; sparse moduli need 2-3).
+    [[nodiscard]] int fold_bound() const noexcept { return fold_bound_; }
+
+    /// Per-constant nibble product tables for the bulk byte kernels:
+    /// lo[v] = c*v, hi[v] = c*(v << 4) for every 4-bit v.  Requires
+    /// degree() <= 8; c is canonicalised first.  The one builder shared by
+    /// ConstMultiplier and bulk::RegionEngine, so their tables can never
+    /// diverge.
+    [[nodiscard]] bulk::NibbleTables nibble_tables(std::uint64_t c) const;
+
+    /// Per-constant 4-bit window tables for the scalar u64 region walk:
+    /// ceil(m/4) x 16 entries, table[w*16 + v] = c * (v << 4w) mod f.
+    /// Requires single_word(); c is canonicalised first.
+    [[nodiscard]] std::vector<std::uint64_t> window_tables(std::uint64_t c) const;
 
     // --- Multi-word path (any m); caller-owned scratch ---------------------
     //
@@ -226,11 +261,19 @@ private:
     std::uint64_t cluster_mask_ = 0;  ///< (f - y^m - 1) >> cluster_shift_
     int cluster_shift_ = 0;           ///< smallest nonzero tail exponent
     bool cluster_fold_ok_ = false;    ///< fast single-pass fold applicable
+    int fold_bound_ = 1;              ///< see fold_bound()
 };
 
 /// Precomputed constant multiplier for region traffic in single-word fields:
 /// table_[w][v] = c * (v << 4w) mod f for every 4-bit window w of the operand,
 /// so one multiply is ceil(m/4) table lookups XORed together.
+///
+/// Since PR 5 the region entry points route through the bulk kernel
+/// dispatch, resolved once at construction: fields with m <= 8 run the
+/// nibble-shuffle byte kernels directly on the u64 layout (each element's
+/// seven zero padding bytes multiply to zero), wider fields run the
+/// VPCLMULQDQ wide kernel, and the window-table walk remains the portable
+/// scalar path — all bit-identical on canonical operands.
 class ConstMultiplier {
 public:
     /// Requires ops.single_word().  Builds ceil(m/4) * 16 table entries.
@@ -252,7 +295,8 @@ public:
     /// data[i] = c * data[i] for the whole region, in place.
     void mul_region(std::span<std::uint64_t> data) const noexcept;
 
-    /// out[i] = c * in[i].  Spans must have equal length; may alias.
+    /// out[i] = c * in[i].  Spans must have equal length; out may alias in
+    /// exactly (in-place) — partial overlap is undefined.
     void mul_region(std::span<const std::uint64_t> in,
                     std::span<std::uint64_t> out) const;
 
@@ -260,6 +304,13 @@ private:
     std::uint64_t c_ = 0;
     int windows_ = 0;
     std::vector<std::uint64_t> table_;  ///< windows_ x 16 window products
+    // Bulk dispatch routing, resolved once at construction (null → scalar
+    // window walk).  byte_kernel_ only for m <= 8 on little-endian x86
+    // (which is the only place the SIMD byte kernels exist).
+    const bulk::ByteKernel* byte_kernel_ = nullptr;
+    const bulk::WordKernel* word_kernel_ = nullptr;
+    bulk::NibbleTables nibbles_{};
+    bulk::WideParams wide_{};
 };
 
 }  // namespace gfr::field

@@ -315,6 +315,84 @@ TEST(ExecProgram, XorChainFusesToOneInstruction) {
     EXPECT_EQ(stats2.fused_ands, 8U);
 }
 
+TEST(ExecProgram, OperandListsSortedBySlotIndex) {
+    // Compile-time operand scheduling: commutative instructions list their
+    // operand slots in ascending order (AndXorN: each pair low-high, pairs
+    // ordered by key, singles sorted after the pairs), so tape execution
+    // scans the slot file mostly forward.  Checked on a real Mastrovito
+    // tape, whose fused columns carry the long operand lists.
+    const field::Field f = field::Field::type2(64, 23);
+    const auto nl = mult::build_multiplier(mult::Method::Date2018Flat, f);
+    const Program prog = Program::compile(nl);
+    const auto args = prog.args();
+    std::size_t checked_xorn = 0;
+    std::size_t checked_pairs = 0;
+    for (const auto& insn : prog.instructions()) {
+        const auto* a = args.data() + insn.arg_begin;
+        switch (insn.op) {
+            case Op::And2:
+            case Op::Xor2:
+                ASSERT_LE(a[0], a[1]);
+                break;
+            case Op::XorN:
+                for (std::uint32_t i = 1; i < insn.arg_count; ++i) {
+                    ASSERT_LE(a[i - 1], a[i]) << "XorN operand order";
+                }
+                ++checked_xorn;
+                break;
+            case Op::AndXorN: {
+                const std::uint32_t np = insn.aux;
+                for (std::uint32_t q = 0; q < np; ++q) {
+                    ASSERT_LE(a[2 * q], a[2 * q + 1]) << "pair internal order";
+                    if (q > 0) {
+                        const auto prev = std::make_pair(a[2 * q - 2], a[2 * q - 1]);
+                        const auto cur = std::make_pair(a[2 * q], a[2 * q + 1]);
+                        ASSERT_LE(prev, cur) << "pair key order";
+                    }
+                    ++checked_pairs;
+                }
+                for (std::uint32_t i = 2 * np + 1; i < insn.arg_count; ++i) {
+                    ASSERT_LE(a[i - 1], a[i]) << "single operand order";
+                }
+                break;
+            }
+            case Op::Lut:
+                break;  // operand order indexes the truth table — never sorted
+        }
+    }
+    // The m=64 flat multiplier must actually exercise the sorted shapes.
+    EXPECT_GT(checked_xorn, 0U);
+    EXPECT_GT(checked_pairs, 1000U);
+}
+
+TEST(ExecProgram, CompileIsDeterministic) {
+    // Two compiles of the same netlist produce bit-identical tapes (insn
+    // stream and operand pool) — the determinism the verification campaign
+    // relies on when workers share one Program, pinned here so operand
+    // sorting (or any future scheduling change) can never introduce
+    // run-to-run variation.
+    const field::Field f = field::gf256_paper_field();
+    const auto nl = mult::build_multiplier(mult::Method::Date2018Flat, f);
+    const Program p1 = Program::compile(nl);
+    const Program p2 = Program::compile(nl);
+    ASSERT_EQ(p1.instruction_count(), p2.instruction_count());
+    const auto i1 = p1.instructions();
+    const auto i2 = p2.instructions();
+    for (std::size_t k = 0; k < i1.size(); ++k) {
+        ASSERT_EQ(i1[k].op, i2[k].op);
+        ASSERT_EQ(i1[k].dst, i2[k].dst);
+        ASSERT_EQ(i1[k].arg_begin, i2[k].arg_begin);
+        ASSERT_EQ(i1[k].arg_count, i2[k].arg_count);
+        ASSERT_EQ(i1[k].aux, i2[k].aux);
+    }
+    const auto a1 = p1.args();
+    const auto a2 = p2.args();
+    ASSERT_EQ(a1.size(), a2.size());
+    for (std::size_t k = 0; k < a1.size(); ++k) {
+        ASSERT_EQ(a1[k], a2[k]);
+    }
+}
+
 TEST(ExecProgram, LivenessKeepsWorkingSetFarBelowNodeCount) {
     // The whole point of slot allocation: the m=64 flat multiplier has
     // thousands of nodes but executes in a working set orders of magnitude
