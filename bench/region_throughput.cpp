@@ -1,4 +1,4 @@
-// Region-kernel throughput ladder behind BENCH_5.json — single core, per-op
+// Region-kernel throughput ladder behind BENCH_6.json — single core, per-op
 // wins only (the container the acceptance numbers are recorded on has one
 // core; thread scaling is a non-goal here).
 //
@@ -16,8 +16,9 @@
 //
 // Also recorded: pure region scale (mul, no accumulate) for GF(2^8) and
 // GF(2^64), the u64-layout ladder on GF(2^64) (VPCLMULQDQ wide kernel),
-// and the multi-word m=163 region path against the Poly-element loop that
-// was the only option before PR 5.
+// the multi-word m=163 region path against the Poly-element loop that
+// was the only option before PR 5, and the ABFT checked-encode overhead
+// (checksum lanes through the checked region ops, bar <= 15% at GF(2^8)).
 
 #include "bulk/kernels.h"
 #include "bulk/region_engine.h"
@@ -139,7 +140,7 @@ std::vector<bulk::KernelKind> runnable(const std::vector<bulk::KernelKind>& ks) 
 
 int main(int argc, char** argv) {
     using namespace gfr;
-    const char* out_path = argc > 1 ? argv[1] : "BENCH_5.json";
+    const char* out_path = argc > 1 ? argv[1] : "BENCH_6.json";
 
     std::printf("== bulk region kernel throughput (1 thread) ==\n");
 
@@ -244,6 +245,99 @@ int main(int argc, char** argv) {
         r.bit_identical = identical;
         scale8_paths.push_back(r);
     }
+
+    // ---- GF(2^8) ABFT checked-encode overhead -------------------------------
+    // One systematic-RS feed step over a kSymbols-wide stripe: feedback XOR
+    // plus 32 constant multiply-accumulates, measured plain and through the
+    // checked region ops that maintain one checksum symbol per stripe.  The
+    // checked path adds the O(n) ingest fold plus one O(1) scalar multiply
+    // per region op; the bar is <= 15% overhead on the dispatched kernel.
+    const bulk::RegionEngine eng8_auto{f8.ops()};
+    constexpr int kFeedTaps = 32;
+    std::vector<bulk::RegionEngine::Prepared> feed_prep;
+    feed_prep.reserve(kFeedTaps);
+    for (int j = 0; j < kFeedTaps; ++j) {
+        feed_prep.push_back(
+            eng8_auto.prepare(static_cast<std::uint64_t>((j * 7 + 3) | 1) & 0xFF));
+    }
+    const auto one8 = eng8_auto.prepare(std::uint64_t{1});
+    // Separate register banks per path: a plain pass over the checked bank
+    // would silently stale its checksum lane.
+    std::vector<std::vector<std::uint8_t>> plain_reg(
+        kFeedTaps, std::vector<std::uint8_t>(kSymbols, 0));
+    std::vector<std::vector<std::uint8_t>> checked_reg(
+        kFeedTaps, std::vector<std::uint8_t>(kSymbols, 0));
+    std::vector<std::uint64_t> feed_sum(kFeedTaps, 0);
+    std::vector<std::uint8_t> feed_fb(kSymbols);
+    const auto feed_plain = [&] {
+        std::copy(src8.begin(), src8.end(), feed_fb.begin());
+        eng8_auto.addmul_region(one8, plain_reg[kFeedTaps - 1], feed_fb);
+        eng8_auto.mul_region(feed_prep[0], feed_fb, plain_reg[0]);
+        for (int j = 1; j < kFeedTaps; ++j) {
+            eng8_auto.addmul_region(feed_prep[static_cast<std::size_t>(j)],
+                                    feed_fb,
+                                    plain_reg[static_cast<std::size_t>(j)]);
+        }
+        g_sink ^= plain_reg[0][kSymbols - 1];
+    };
+    const auto feed_checked = [&] {
+        std::copy(src8.begin(), src8.end(), feed_fb.begin());
+        std::uint64_t fb_sum =
+            eng8_auto.region_checksum(std::span<const std::uint8_t>{src8});
+        eng8_auto.addmul_region_checked(one8, checked_reg[kFeedTaps - 1],
+                                        feed_sum[kFeedTaps - 1], feed_fb,
+                                        fb_sum);
+        eng8_auto.mul_region_checked(feed_prep[0], feed_fb, fb_sum,
+                                     checked_reg[0], feed_sum[0]);
+        for (int j = 1; j < kFeedTaps; ++j) {
+            eng8_auto.addmul_region_checked(
+                feed_prep[static_cast<std::size_t>(j)], feed_fb, fb_sum,
+                checked_reg[static_cast<std::size_t>(j)],
+                feed_sum[static_cast<std::size_t>(j)]);
+        }
+        g_sink ^= checked_reg[0][kSymbols - 1];
+    };
+    // Best of three timing passes each way; a single pass on a shared box
+    // swings more than the checksum lane costs.
+    double plain_feed_secs = 1e30;
+    double checked_feed_secs = 1e30;
+    for (int r = 0; r < 3; ++r) {
+        plain_feed_secs = std::min(plain_feed_secs, time_it(feed_plain));
+        checked_feed_secs = std::min(checked_feed_secs, time_it(feed_checked));
+    }
+    // The checksum lane must still reconcile after every timed iteration;
+    // then, from reset banks, one plain and one checked feed must agree
+    // bit for bit.
+    bool checked_verify_ok = true;
+    for (int j = 0; j < kFeedTaps; ++j) {
+        checked_verify_ok =
+            checked_verify_ok &&
+            eng8_auto
+                .verify_region(std::span<const std::uint8_t>{
+                                   checked_reg[static_cast<std::size_t>(j)]},
+                               feed_sum[static_cast<std::size_t>(j)])
+                .ok();
+    }
+    for (auto& reg : plain_reg) {
+        std::fill(reg.begin(), reg.end(), 0);
+    }
+    for (auto& reg : checked_reg) {
+        std::fill(reg.begin(), reg.end(), 0);
+    }
+    std::fill(feed_sum.begin(), feed_sum.end(), 0);
+    feed_plain();
+    feed_checked();
+    const bool checked_identical = plain_reg == checked_reg;
+    const double checked_overhead_pct =
+        (checked_feed_secs / plain_feed_secs - 1.0) * 100.0;
+    const bool checked_bar_met = checked_overhead_pct <= 15.0;
+    std::printf(
+        "GF(2^8) checked encode: plain feed %.0f us, checked feed %.0f us "
+        "(%+.1f%% overhead, bar 15%%: %s, %s, verify %s)\n",
+        plain_feed_secs * 1e6, checked_feed_secs * 1e6, checked_overhead_pct,
+        checked_bar_met ? "MET" : "NOT MET",
+        checked_identical ? "bit-identical" : "MISMATCH",
+        checked_verify_ok ? "ok" : "FAILED");
 
     // ---- GF(2^64): the u64 carry-less ladder --------------------------------
     const field::Field f64 = field::Field::type2(64, 23);
@@ -368,7 +462,7 @@ int main(int argc, char** argv) {
         return 1;
     }
     std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"schema\": \"gfr-bench-v5\",\n");
+    std::fprintf(out, "  \"schema\": \"gfr-bench-v6\",\n");
     std::fprintf(out, "  \"threads\": 1,\n");
     std::fprintf(out, "  \"region_symbols\": %zu,\n", kSymbols);
     std::fprintf(out, "  \"gf256_region_encode\": {\n");
@@ -398,6 +492,21 @@ int main(int argc, char** argv) {
     emit_paths(out, scale8_paths);
     std::fprintf(out, "    ]\n");
     std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"gf256_checked_encode\": {\n");
+    std::fprintf(out, "    \"feed_taps\": %d,\n", kFeedTaps);
+    std::fprintf(out, "    \"kernel\": \"%s\",\n",
+                 bulk::kernel_name(eng8_auto.byte_kernel_kind()));
+    std::fprintf(out, "    \"plain_feed_secs\": %.6e,\n", plain_feed_secs);
+    std::fprintf(out, "    \"checked_feed_secs\": %.6e,\n", checked_feed_secs);
+    std::fprintf(out, "    \"overhead_pct\": %.2f,\n", checked_overhead_pct);
+    std::fprintf(out, "    \"overhead_bar_pct\": 15.0,\n");
+    std::fprintf(out, "    \"overhead_bar_met\": %s,\n",
+                 checked_bar_met ? "true" : "false");
+    std::fprintf(out, "    \"bit_identical\": %s,\n",
+                 checked_identical ? "true" : "false");
+    std::fprintf(out, "    \"verify_ok\": %s\n",
+                 checked_verify_ok ? "true" : "false");
+    std::fprintf(out, "  },\n");
     std::fprintf(out, "  \"gf2_64_region_encode\": {\n");
     std::fprintf(out,
                  "    \"baseline\": {\"path\": \"pr4_constmul_window_walk_u64\", "
@@ -423,7 +532,7 @@ int main(int argc, char** argv) {
     std::fclose(out);
     std::printf("wrote %s\n", out_path);
 
-    bool all_identical = mw_identical;
+    bool all_identical = mw_identical && checked_identical && checked_verify_ok;
     for (const auto* paths : {&enc8_paths, &scale8_paths, &enc64_paths}) {
         for (const auto& r : *paths) {
             all_identical = all_identical && r.bit_identical;

@@ -21,10 +21,18 @@
 //   - a sampled column survives inject-and-correct of a single symbol
 //     error, and the paper's gate-level multiplier netlist agrees with the
 //     engine on random products.
+//
+// On top of that sits the robustness tier: an ABFT-checked re-encode keeps
+// one checksum symbol per parity stripe through the checked region ops,
+// proves it bit-identical to the plain encode, then catches an injected
+// memory bit flip; and the dispatcher's kernel self-test/quarantine report
+// is printed (set GFR_GUARD_FAULT=all to watch the scalar fallback engage).
 
 #include "bulk/region_engine.h"
 #include "field/field_catalog.h"
 #include "field/field_ops.h"
+#include "guard/kernel_check.h"
+#include "guard/status.h"
 #include "multipliers/generator.h"
 #include "netlist/simulate.h"
 
@@ -87,10 +95,11 @@ std::vector<std::uint64_t> generator_poly(const field::Field& f,
 class StripeEncoder {
 public:
     StripeEncoder(const bulk::RegionEngine& eng, std::span<const std::uint64_t> g,
-                  std::size_t lanes)
-        : eng_{&eng}, lanes_{lanes}, fb_(lanes, 0),
+                  std::size_t lanes, bool checked = false)
+        : eng_{&eng}, lanes_{lanes}, checked_{checked}, fb_(lanes, 0),
           parity_(static_cast<std::size_t>(kParity),
-                  std::vector<std::uint8_t>(lanes, 0)) {
+                  std::vector<std::uint8_t>(lanes, 0)),
+          psum_(static_cast<std::size_t>(kParity), 0) {
         gmul_.reserve(static_cast<std::size_t>(kParity));
         for (int j = 0; j < kParity; ++j) {
             gmul_.push_back(eng.prepare(g[static_cast<std::size_t>(j)]));
@@ -105,27 +114,69 @@ public:
         }
         // feedback = stripe ^ parity_top (region XOR = addmul by 1)
         std::copy(stripe.begin(), stripe.end(), fb_.begin());
-        eng_->addmul_region(one_, parity_[static_cast<std::size_t>(kParity - 1)],
-                            fb_);
+        if (!checked_) {
+            eng_->addmul_region(one_,
+                                parity_[static_cast<std::size_t>(kParity - 1)],
+                                fb_);
+            std::rotate(parity_.rbegin(), parity_.rbegin() + 1, parity_.rend());
+            eng_->mul_region(gmul_[0], fb_, parity_[0]);
+            for (int j = 1; j < kParity; ++j) {
+                eng_->addmul_region(gmul_[static_cast<std::size_t>(j)], fb_,
+                                    parity_[static_cast<std::size_t>(j)]);
+            }
+            return;
+        }
+        // ABFT lane: every region op also carries its checksum symbol, so a
+        // silent corruption anywhere in the parity block is caught by
+        // verify() without re-reading the message.  The stripe checksum is
+        // the one O(lanes) ingest fold; everything else is O(1) per op.
+        std::uint64_t fb_sum = eng_->region_checksum(std::span<const std::uint8_t>{stripe});
+        eng_->addmul_region_checked(
+            one_, parity_[static_cast<std::size_t>(kParity - 1)],
+            psum_[static_cast<std::size_t>(kParity - 1)], fb_, fb_sum);
         // Shift the register up one stripe (pointer rotation, no copies),
         // then overwrite the vacated x^0 stripe and accumulate the rest.
         std::rotate(parity_.rbegin(), parity_.rbegin() + 1, parity_.rend());
-        eng_->mul_region(gmul_[0], fb_, parity_[0]);
+        std::rotate(psum_.rbegin(), psum_.rbegin() + 1, psum_.rend());
+        eng_->mul_region_checked(gmul_[0], fb_, fb_sum, parity_[0], psum_[0]);
         for (int j = 1; j < kParity; ++j) {
-            eng_->addmul_region(gmul_[static_cast<std::size_t>(j)], fb_,
-                                parity_[static_cast<std::size_t>(j)]);
+            eng_->addmul_region_checked(gmul_[static_cast<std::size_t>(j)], fb_,
+                                        fb_sum,
+                                        parity_[static_cast<std::size_t>(j)],
+                                        psum_[static_cast<std::size_t>(j)]);
         }
+    }
+
+    /// Recompute every parity stripe's fold and compare against the
+    /// maintained checksum lane.  Only meaningful in checked mode.
+    [[nodiscard]] guard::Status verify() const {
+        for (int j = 0; j < kParity; ++j) {
+            const guard::Status s = eng_->verify_region(
+                std::span<const std::uint8_t>{
+                    parity_[static_cast<std::size_t>(j)]},
+                psum_[static_cast<std::size_t>(j)]);
+            if (!s.ok()) {
+                return s;
+            }
+        }
+        return guard::Status::good();
     }
 
     [[nodiscard]] const std::vector<std::vector<std::uint8_t>>& parity() const {
         return parity_;
     }
 
+    [[nodiscard]] std::vector<std::vector<std::uint8_t>>& mutable_parity() {
+        return parity_;
+    }
+
 private:
     const bulk::RegionEngine* eng_;
     std::size_t lanes_;
+    bool checked_;
     std::vector<std::uint8_t> fb_;
     std::vector<std::vector<std::uint8_t>> parity_;
+    std::vector<std::uint64_t> psum_;
     std::vector<bulk::RegionEngine::Prepared> gmul_;
     bulk::RegionEngine::Prepared one_;
 };
@@ -313,6 +364,73 @@ int main() {
     }
     std::printf("correction: %s\n", corrected ? "codeword restored" : "FAILED");
 
+    // ABFT re-encode: same stream through the checked region ops, which
+    // maintain one checksum symbol per parity stripe.  The checked encode
+    // must be bit-identical to the plain one (the checksum lane is pure
+    // bookkeeping) and verify() must pass on the intact parity block.
+    const auto encode_pass = [&stripes](StripeEncoder& e) {
+        const auto t = std::chrono::steady_clock::now();
+        for (int i = 0; i < kK; ++i) {
+            e.feed(stripes[static_cast<std::size_t>(i)]);
+        }
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t)
+            .count();
+    };
+    // Best-of-3 fresh encodes each way: single-pass timings on a busy box
+    // swing more than the checksum lane costs.
+    StripeEncoder checked_enc{engine, g, kLanes, /*checked=*/true};
+    double plain_best = 1e9;
+    double checked_best = 1e9;
+    for (int r = 0; r < 3; ++r) {
+        StripeEncoder plain_r{engine, g, kLanes};
+        plain_best = std::min(plain_best, encode_pass(plain_r));
+        StripeEncoder fresh{engine, g, kLanes, /*checked=*/true};
+        StripeEncoder& ce = (r == 2) ? checked_enc : fresh;
+        checked_best = std::min(checked_best, encode_pass(ce));
+    }
+    bool checked_match = true;
+    for (int j = 0; j < kParity; ++j) {
+        if (checked_enc.parity()[static_cast<std::size_t>(j)] !=
+            enc.parity()[static_cast<std::size_t>(j)]) {
+            checked_match = false;
+        }
+    }
+    std::printf(
+        "ABFT-checked re-encode: %s in %.3f ms (%+.1f%% vs unchecked, "
+        "best of 3)\n",
+        checked_match ? "bit-identical" : "MISMATCH", checked_best * 1e3,
+        (checked_best / plain_best - 1.0) * 100.0);
+    const guard::Status clean_status = checked_enc.verify();
+    std::printf("checksum verify on intact parity block: %s\n",
+                clean_status.to_string().c_str());
+
+    // Silent-data-corruption drill: flip one bit deep inside a parity
+    // stripe, exactly what a DRAM upset or a buggy kernel would leave
+    // behind, and let the checksum lane call it out.
+    auto& victim = checked_enc.mutable_parity()[7];
+    victim[kLanes / 3] ^= 0x10;
+    const guard::Status flipped_status = checked_enc.verify();
+    std::printf("after injected bit flip in parity stripe 7: %s\n",
+                flipped_status.to_string().c_str());
+    victim[kLanes / 3] ^= 0x10;
+    const bool abft_ok = checked_match && clean_status.ok() &&
+                         !flipped_status.ok() &&
+                         flipped_status.fault == guard::Fault::RegionChecksum &&
+                         checked_enc.verify().ok();
+
+    // Every SIMD kernel the dispatcher selected passed its golden-vector
+    // self-test at first use; anything quarantined fell back down the
+    // ladder (scalar at worst) and is listed here.
+    const auto& quarantined = guard::quarantine_report();
+    if (quarantined.empty()) {
+        std::printf("kernel self-tests: all selected kernels passed\n");
+    } else {
+        for (const auto& q : quarantined) {
+            std::printf("kernel quarantined: %s\n", q.to_string().c_str());
+        }
+    }
+
     // Cross-check: the paper's gate-level multiplier computes the same
     // products the encoder's kernels do.
     NetlistMultiplier hw{f};
@@ -327,7 +445,7 @@ int main() {
     std::printf("gate-level multiplier cross-check: %s\n", hw_ok ? "PASS" : "FAIL");
 
     return (valid && scalar_match && column_match && corrected &&
-            found_pos == error_pos && hw_ok)
+            found_pos == error_pos && hw_ok && abft_ok)
                ? 0
                : 1;
 }

@@ -4,8 +4,9 @@
 
 #include "bulk/kernels.h"
 
+#include "guard/kernel_check.h"
+
 #include <cstdlib>
-#include <cstring>
 
 namespace gfr::bulk {
 
@@ -94,17 +95,42 @@ Dispatch make_dispatch(const CpuFeatures& f, bool force_scalar) noexcept {
     return d;
 }
 
+bool env_flag_enabled(const char* value) noexcept {
+    if (value == nullptr || *value == '\0') {
+        return false;
+    }
+    for (const char* off : {"0", "off", "false", "no"}) {
+        const char* v = value;
+        const char* w = off;
+        for (; *v != '\0' && *w != '\0'; ++v, ++w) {
+            const char c = (*v >= 'A' && *v <= 'Z')
+                               ? static_cast<char>(*v - 'A' + 'a')
+                               : *v;
+            if (c != *w) {
+                break;
+            }
+        }
+        if (*v == '\0' && *w == '\0') {
+            return false;
+        }
+    }
+    return true;
+}
+
 namespace {
 
 bool force_scalar_from_env() noexcept {
-    const char* e = std::getenv("GFR_BULK_FORCE_SCALAR");
-    return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+    // "GFR_BULK_FORCE_SCALAR=0" (or off/false/no, or empty) means unset —
+    // scripts can pass the knob through unconditionally.
+    return env_flag_enabled(std::getenv("GFR_BULK_FORCE_SCALAR"));
 }
 
 }  // namespace
 
 const Dispatch& dispatch() {
-    static const Dispatch d = make_dispatch(detect_cpu(), force_scalar_from_env());
+    static const Dispatch d = guard::screen_and_record(
+        make_dispatch(detect_cpu(), force_scalar_from_env()),
+        std::getenv("GFR_GUARD_FAULT"));
     return d;
 }
 

@@ -165,8 +165,17 @@ struct Dispatch {
 /// never-select-unsupported-ISA property against arbitrary feature sets.
 [[nodiscard]] Dispatch make_dispatch(const CpuFeatures& f, bool force_scalar) noexcept;
 
+/// Shared parsing for boolean environment knobs (GFR_BULK_FORCE_SCALAR and
+/// friends): enabled iff set, non-empty, and not one of "0", "off",
+/// "false", "no" (case-insensitive).  `value` is the getenv() result.
+[[nodiscard]] bool env_flag_enabled(const char* value) noexcept;
+
 /// The process-wide dispatch: CPU probed and GFR_BULK_FORCE_SCALAR read
-/// once, on first call.
+/// once, on first call.  Every non-scalar kernel the selection picks is
+/// self-tested against the scalar reference before it is returned
+/// (guard/kernel_check.h); a failing kernel is quarantined and the next
+/// rung of the ladder takes its place, so callers can never observe a
+/// kernel that failed its golden vectors.
 [[nodiscard]] const Dispatch& dispatch();
 
 }  // namespace gfr::bulk

@@ -1,7 +1,10 @@
 #include "bulk/region_engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace gfr::bulk {
 
@@ -255,6 +258,109 @@ void RegionEngine::mul_region_elementwise(std::span<const std::uint64_t> a,
     for (std::size_t i = 0; i < a.size(); ++i) {
         out[i] = ops_->mul(a[i], b[i]);
     }
+}
+
+// --- ABFT checksum lanes -----------------------------------------------------
+
+std::uint64_t RegionEngine::region_checksum(
+    std::span<const std::uint8_t> data) const noexcept {
+    // Byte XOR is position-independent, so fold eight lanes per iteration
+    // through a word accumulator and collapse its bytes at the end; the
+    // ingest fold then runs at memory speed instead of byte speed.
+    std::uint64_t acc = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= data.size(); i += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, data.data() + i, 8);
+        acc ^= w;
+    }
+    std::uint8_t sum = 0;
+    for (int s = 0; s < 64; s += 8) {
+        sum ^= static_cast<std::uint8_t>(acc >> s);
+    }
+    for (; i < data.size(); ++i) {
+        sum ^= data[i];
+    }
+    return sum;
+}
+
+std::uint64_t RegionEngine::region_checksum(
+    std::span<const std::uint64_t> data) const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : data) {
+        sum ^= v;
+    }
+    return sum;
+}
+
+void RegionEngine::mul_region_checked(const Prepared& p,
+                                      std::span<const std::uint8_t> src,
+                                      std::uint64_t src_sum,
+                                      std::span<std::uint8_t> dst,
+                                      std::uint64_t& dst_sum) const {
+    mul_region(p, src, dst);
+    dst_sum = ops_->mul(p.c_, src_sum);
+}
+
+void RegionEngine::mul_region_checked(const Prepared& p,
+                                      std::span<const std::uint64_t> src,
+                                      std::uint64_t src_sum,
+                                      std::span<std::uint64_t> dst,
+                                      std::uint64_t& dst_sum) const {
+    mul_region(p, src, dst);
+    dst_sum = ops_->mul(p.c_, src_sum);
+}
+
+void RegionEngine::addmul_region_checked(const Prepared& p,
+                                         std::span<const std::uint8_t> src,
+                                         std::uint64_t src_sum,
+                                         std::span<std::uint8_t> dst,
+                                         std::uint64_t& dst_sum) const {
+    addmul_region(p, src, dst);
+    dst_sum ^= ops_->mul(p.c_, src_sum);
+}
+
+void RegionEngine::addmul_region_checked(const Prepared& p,
+                                         std::span<const std::uint64_t> src,
+                                         std::uint64_t src_sum,
+                                         std::span<std::uint64_t> dst,
+                                         std::uint64_t& dst_sum) const {
+    addmul_region(p, src, dst);
+    dst_sum ^= ops_->mul(p.c_, src_sum);
+}
+
+namespace {
+
+std::string checksum_hex(std::uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+guard::Status checksum_verdict(std::uint64_t computed, std::uint64_t expected,
+                               std::size_t n, const char* layout) {
+    if (computed == expected) {
+        return guard::Status::good();
+    }
+    return guard::Status::fail(
+        guard::Fault::RegionChecksum,
+        std::string{"region checksum mismatch over "} + std::to_string(n) +
+            " " + layout + " symbols: computed " + checksum_hex(computed) +
+            ", maintained " + checksum_hex(expected));
+}
+
+}  // namespace
+
+guard::Status RegionEngine::verify_region(std::span<const std::uint8_t> data,
+                                          std::uint64_t expected_sum) const {
+    return checksum_verdict(region_checksum(data), expected_sum, data.size(),
+                            "byte");
+}
+
+guard::Status RegionEngine::verify_region(std::span<const std::uint64_t> data,
+                                          std::uint64_t expected_sum) const {
+    return checksum_verdict(region_checksum(data), expected_sum, data.size(),
+                            "u64");
 }
 
 // --- Multi-word layout -------------------------------------------------------

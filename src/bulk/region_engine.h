@@ -51,6 +51,7 @@
 #include "bulk/kernels.h"
 #include "field/field_ops.h"
 #include "gf2/gf2_poly.h"
+#include "guard/status.h"
 
 #include <cstdint>
 #include <span>
@@ -138,6 +139,57 @@ public:
     void mul_region_elementwise(std::span<const std::uint64_t> a,
                                 std::span<const std::uint64_t> b,
                                 std::span<std::uint64_t> out) const;
+
+    // --- ABFT checksum lanes (single-word layouts) ---------------------------
+    // Algorithm-based fault tolerance over the linearity of the region ops:
+    // with S(r) = the XOR-fold (field sum) of region r, multiplication
+    // commutes with the fold — S(c*src) = c*S(src) — so ONE independent
+    // scalar multiply per region call maintains a running checksum of an
+    // entire stream.  The _checked calls run the (possibly SIMD) kernel
+    // over the data and update the checksum through FieldOps::mul, a
+    // disjoint scalar code path; verify_region recomputes the fold and
+    // compares.  A mismatch is a detected data fault (memory bit flip, DMA
+    // corruption, kernel miscompute), not a programming error, so it comes
+    // back as a guard::Status instead of an exception.  Cost: O(1) per
+    // region call plus one O(n) fold per verification point — a few percent
+    // on streaming workloads, against re-running the stream for detection.
+
+    /// The ABFT checksum: XOR-fold (field sum) of a region.
+    [[nodiscard]] std::uint64_t region_checksum(
+        std::span<const std::uint8_t> data) const noexcept;
+    [[nodiscard]] std::uint64_t region_checksum(
+        std::span<const std::uint64_t> data) const noexcept;
+
+    /// dst[i] = c * src[i] and dst_sum = c * src_sum, the latter via the
+    /// independent scalar multiply.  `src_sum` must be the maintained
+    /// checksum of `src` for the lane to stay sound.
+    void mul_region_checked(const Prepared& p,
+                            std::span<const std::uint8_t> src,
+                            std::uint64_t src_sum, std::span<std::uint8_t> dst,
+                            std::uint64_t& dst_sum) const;
+    void mul_region_checked(const Prepared& p,
+                            std::span<const std::uint64_t> src,
+                            std::uint64_t src_sum, std::span<std::uint64_t> dst,
+                            std::uint64_t& dst_sum) const;
+
+    /// dst[i] ^= c * src[i] and dst_sum ^= c * src_sum.
+    void addmul_region_checked(const Prepared& p,
+                               std::span<const std::uint8_t> src,
+                               std::uint64_t src_sum,
+                               std::span<std::uint8_t> dst,
+                               std::uint64_t& dst_sum) const;
+    void addmul_region_checked(const Prepared& p,
+                               std::span<const std::uint64_t> src,
+                               std::uint64_t src_sum,
+                               std::span<std::uint64_t> dst,
+                               std::uint64_t& dst_sum) const;
+
+    /// Recompute the fold of `data` and compare against the maintained
+    /// checksum.  Ok, or a Fault::RegionChecksum Status with coordinates.
+    [[nodiscard]] guard::Status verify_region(std::span<const std::uint8_t> data,
+                                              std::uint64_t expected_sum) const;
+    [[nodiscard]] guard::Status verify_region(std::span<const std::uint64_t> data,
+                                              std::uint64_t expected_sum) const;
 
     // --- Multi-word layout (m > 64): elem_words() words per symbol -----------
     // Span lengths must be equal multiples of ops().elem_words().  The

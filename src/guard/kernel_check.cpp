@@ -1,0 +1,342 @@
+#include "guard/kernel_check.h"
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+namespace gfr::guard {
+
+namespace {
+
+/// splitmix64 — deterministic vector generation for the self-tests.  Local
+/// on purpose: the guard tier must not share PRNG code with the tiers it
+/// screens.
+struct SelfTestRng {
+    std::uint64_t state;
+    std::uint64_t operator()() noexcept {
+        std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+};
+
+bool token_matches(const char* begin, const char* end, const char* word) noexcept {
+    for (; begin != end && *word != '\0'; ++begin, ++word) {
+        const char c = (*begin >= 'A' && *begin <= 'Z')
+                           ? static_cast<char>(*begin - 'A' + 'a')
+                           : *begin;
+        if (c != *word) {
+            return false;
+        }
+    }
+    return begin == end && *word == '\0';
+}
+
+std::string hex(std::uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/// Lengths straddling every vector width (16/32 bytes, 4 u64 lanes), their
+/// tails, and the empty case.
+constexpr std::array<std::size_t, 14> kByteLengths = {
+    0, 1, 2, 3, 15, 16, 17, 31, 32, 33, 63, 64, 65, 257};
+constexpr std::array<std::size_t, 12> kWordLengths = {0, 1, 2,  3,  4,  5,
+                                                      7, 8, 9,  16, 33, 100};
+
+/// GF(2^64) with f = y^64 + y^4 + y^3 + y + 1 — the word self-test field.
+constexpr std::uint64_t kWordTails = 0x1B;
+
+/// Russian-peasant shift-XOR multiply mod f: bitwise, no CLMUL, no folds —
+/// structurally unrelated to the kernel under test.
+std::uint64_t peasant_mul(std::uint64_t a, std::uint64_t b) noexcept {
+    std::uint64_t r = 0;
+    while (b != 0) {
+        if (b & 1U) {
+            r ^= a;
+        }
+        b >>= 1;
+        const bool overflow = (a >> 63) != 0;
+        a <<= 1;
+        if (overflow) {
+            a ^= kWordTails;
+        }
+    }
+    return r;
+}
+
+}  // namespace
+
+std::string KernelCheck::to_string() const {
+    std::string s = "quarantined ";
+    s += bulk::kernel_name(kind);
+    s += forced ? " (forced by " : " (";
+    s += forced ? std::string{kGuardFaultEnv} + ")" : std::string{"self-test)"};
+    s += ": ";
+    s += detail;
+    return s;
+}
+
+bool fault_forced(const char* spec, bulk::KernelKind kind) noexcept {
+    if (spec == nullptr || *spec == '\0' || kind == bulk::KernelKind::Scalar) {
+        return false;
+    }
+    const char* p = spec;
+    while (*p != '\0') {
+        const char* start = p;
+        while (*p != '\0' && *p != ',') {
+            ++p;
+        }
+        const char* stop = p;
+        if (*p == ',') {
+            ++p;
+        }
+        if (token_matches(start, stop, "0") || token_matches(start, stop, "off") ||
+            token_matches(start, stop, "false") ||
+            token_matches(start, stop, "no")) {
+            continue;
+        }
+        if (token_matches(start, stop, "all") || token_matches(start, stop, "1") ||
+            token_matches(start, stop, "simd") ||
+            token_matches(start, stop, "on") ||
+            token_matches(start, stop, "true") ||
+            token_matches(start, stop, "yes") ||
+            token_matches(start, stop, bulk::kernel_name(kind))) {
+            return true;
+        }
+    }
+    return false;
+}
+
+Status selftest_byte_kernel(const bulk::ByteKernel& k, bool force_fault) {
+    const char* name = bulk::kernel_name(k.kind);
+    if (k.mul == nullptr || k.addmul == nullptr) {
+        return Status::fail(Fault::KernelSelfTest,
+                            std::string{name} + " byte kernel: null entry point");
+    }
+    SelfTestRng rng{0xB17EC0DEULL ^ static_cast<std::uint64_t>(k.kind)};
+    // Tables need not be field products: the kernels implement the pure
+    // two-lookup-XOR semantics for ANY tables, so random ones (with the
+    // structural zero at index 0 real tables carry) test exactly that.
+    bulk::NibbleTables t{};
+    for (int v = 1; v < 16; ++v) {
+        t.lo[v] = static_cast<std::uint8_t>(rng());
+        t.hi[v] = static_cast<std::uint8_t>(rng());
+    }
+    const auto ref = [&t](std::uint8_t s) {
+        return static_cast<std::uint8_t>(t.lo[s & 0xF] ^ t.hi[s >> 4]);
+    };
+    constexpr std::size_t kMax = 257;
+    // One leading pad byte so every length also runs at an odd address —
+    // the kernels promise alignment-free operation.
+    std::vector<std::uint8_t> src(kMax + 1), dst(kMax + 1), expect(kMax + 1);
+    bool faulted = !force_fault;
+    for (const std::size_t n : kByteLengths) {
+        for (const std::size_t off : {std::size_t{0}, std::size_t{1}}) {
+            for (std::size_t i = 0; i < n; ++i) {
+                src[off + i] = static_cast<std::uint8_t>(rng());
+                dst[off + i] = static_cast<std::uint8_t>(rng());
+            }
+            // mul
+            for (std::size_t i = 0; i < n; ++i) {
+                expect[i] = ref(src[off + i]);
+            }
+            k.mul(t, src.data() + off, dst.data() + off, n);
+            if (!faulted && n != 0) {
+                dst[off] ^= 1;  // forced fault: corrupt one output lane
+                faulted = true;
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                if (dst[off + i] != expect[i]) {
+                    return Status::fail(
+                        Fault::KernelSelfTest,
+                        std::string{name} + " byte mul mismatch at n=" +
+                            std::to_string(n) + " off=" + std::to_string(off) +
+                            " i=" + std::to_string(i) + ": got " +
+                            hex(dst[off + i]) + " want " + hex(expect[i]));
+                }
+            }
+            // addmul accumulates into prior dst contents
+            for (std::size_t i = 0; i < n; ++i) {
+                expect[i] = static_cast<std::uint8_t>(dst[off + i] ^
+                                                      ref(src[off + i]));
+            }
+            k.addmul(t, src.data() + off, dst.data() + off, n);
+            for (std::size_t i = 0; i < n; ++i) {
+                if (dst[off + i] != expect[i]) {
+                    return Status::fail(
+                        Fault::KernelSelfTest,
+                        std::string{name} + " byte addmul mismatch at n=" +
+                            std::to_string(n) + " off=" + std::to_string(off) +
+                            " i=" + std::to_string(i) + ": got " +
+                            hex(dst[off + i]) + " want " + hex(expect[i]));
+                }
+            }
+            // in-place mul (dst == src is inside the aliasing contract)
+            for (std::size_t i = 0; i < n; ++i) {
+                expect[i] = ref(src[off + i]);
+            }
+            k.mul(t, src.data() + off, src.data() + off, n);
+            for (std::size_t i = 0; i < n; ++i) {
+                if (src[off + i] != expect[i]) {
+                    return Status::fail(
+                        Fault::KernelSelfTest,
+                        std::string{name} + " byte in-place mul mismatch at n=" +
+                            std::to_string(n) + " off=" + std::to_string(off) +
+                            " i=" + std::to_string(i) + ": got " +
+                            hex(src[off + i]) + " want " + hex(expect[i]));
+                }
+            }
+        }
+    }
+    return Status::good();
+}
+
+Status selftest_word_kernel(const bulk::WordKernel& k, bool force_fault) {
+    const char* name = bulk::kernel_name(k.kind);
+    if (k.mul == nullptr || k.addmul == nullptr || k.mul_elementwise == nullptr) {
+        return Status::fail(Fault::KernelSelfTest,
+                            std::string{name} + " word kernel: null entry point");
+    }
+    SelfTestRng rng{0x51DEC4A5ULL ^ static_cast<std::uint64_t>(k.kind)};
+    // folds pinned at the eligibility bound: extra fold iterations are
+    // no-ops, and with elem_mask all-ones the residual scalar fallback
+    // (which shares a TU with the kernel) can never fire — every compared
+    // value comes off the vector path.
+    bulk::WideParams p{};
+    p.tails_mask = kWordTails;
+    p.elem_mask = ~std::uint64_t{0};
+    p.m = 64;
+    p.folds = bulk::kMaxWideFolds;
+    constexpr std::size_t kMax = 100;
+    std::vector<std::uint64_t> a(kMax), b(kMax), dst(kMax), expect(kMax);
+    bool faulted = !force_fault;
+    for (const std::size_t n : kWordLengths) {
+        p.c = rng();
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = rng();
+            b[i] = rng();
+            dst[i] = rng();
+        }
+        // const-mul
+        for (std::size_t i = 0; i < n; ++i) {
+            expect[i] = peasant_mul(p.c, a[i]);
+        }
+        k.mul(p, a.data(), dst.data(), n);
+        if (!faulted && n != 0) {
+            dst[0] ^= 1;
+            faulted = true;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (dst[i] != expect[i]) {
+                return Status::fail(
+                    Fault::KernelSelfTest,
+                    std::string{name} + " word mul mismatch at n=" +
+                        std::to_string(n) + " i=" + std::to_string(i) +
+                        ": got " + hex(dst[i]) + " want " + hex(expect[i]));
+            }
+        }
+        // addmul accumulates
+        for (std::size_t i = 0; i < n; ++i) {
+            expect[i] = dst[i] ^ peasant_mul(p.c, a[i]);
+        }
+        k.addmul(p, a.data(), dst.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (dst[i] != expect[i]) {
+                return Status::fail(
+                    Fault::KernelSelfTest,
+                    std::string{name} + " word addmul mismatch at n=" +
+                        std::to_string(n) + " i=" + std::to_string(i) +
+                        ": got " + hex(dst[i]) + " want " + hex(expect[i]));
+            }
+        }
+        // elementwise, including in-place (dst == a)
+        for (std::size_t i = 0; i < n; ++i) {
+            expect[i] = peasant_mul(a[i], b[i]);
+        }
+        k.mul_elementwise(p, a.data(), b.data(), dst.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (dst[i] != expect[i]) {
+                return Status::fail(
+                    Fault::KernelSelfTest,
+                    std::string{name} + " word elementwise mismatch at n=" +
+                        std::to_string(n) + " i=" + std::to_string(i) +
+                        ": got " + hex(dst[i]) + " want " + hex(expect[i]));
+            }
+        }
+        k.mul_elementwise(p, a.data(), b.data(), a.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (a[i] != expect[i]) {
+                return Status::fail(
+                    Fault::KernelSelfTest,
+                    std::string{name} + " word in-place elementwise mismatch at n=" +
+                        std::to_string(n) + " i=" + std::to_string(i) +
+                        ": got " + hex(a[i]) + " want " + hex(expect[i]));
+            }
+        }
+    }
+    return Status::good();
+}
+
+ScreenResult screen_dispatch(const bulk::Dispatch& base, const char* fault_spec) {
+    ScreenResult r;
+    r.dispatch = base;
+    // Byte ladder: screen the selected kernel; on failure fall to the next
+    // rung the CPU supports and screen that too.  Scalar terminates the
+    // ladder unscreened — it is the reference semantics.
+    const bulk::ByteKernel* byte = base.byte;
+    while (byte != nullptr && byte->kind != bulk::KernelKind::Scalar) {
+        const bool forced = fault_forced(fault_spec, byte->kind);
+        const Status s = selftest_byte_kernel(*byte, forced);
+        if (s.ok()) {
+            break;
+        }
+        r.quarantined.push_back(KernelCheck{byte->kind, forced, s.detail});
+        const bulk::ByteKernel* next = nullptr;
+        if (byte->kind == bulk::KernelKind::Avx2) {
+            if (const auto* k = bulk::ssse3_byte_kernel();
+                k != nullptr &&
+                bulk::kernel_supported(bulk::KernelKind::Ssse3, base.cpu)) {
+                next = k;
+            }
+        }
+        byte = (next != nullptr) ? next : &bulk::kByteScalar;
+    }
+    r.dispatch.byte = byte;
+    // Word ladder has one rung: vpclmul, whose fallback is the always-on
+    // window-table walk (word == nullptr).
+    if (base.word != nullptr) {
+        const bool forced = fault_forced(fault_spec, base.word->kind);
+        const Status s = selftest_word_kernel(*base.word, forced);
+        if (!s.ok()) {
+            r.quarantined.push_back(KernelCheck{base.word->kind, forced, s.detail});
+            r.dispatch.word = nullptr;
+        }
+    }
+    return r;
+}
+
+namespace {
+// Written once, inside bulk::dispatch()'s magic-static initializer (which
+// serializes concurrent first calls); read-only afterwards.
+std::vector<KernelCheck>& quarantine_store() {
+    static std::vector<KernelCheck> store;
+    return store;
+}
+}  // namespace
+
+bulk::Dispatch screen_and_record(const bulk::Dispatch& base,
+                                 const char* fault_spec) {
+    ScreenResult r = screen_dispatch(base, fault_spec);
+    quarantine_store() = std::move(r.quarantined);
+    return r.dispatch;
+}
+
+const std::vector<KernelCheck>& quarantine_report() {
+    (void)bulk::dispatch();  // force the one-time screening
+    return quarantine_store();
+}
+
+}  // namespace gfr::guard

@@ -1,0 +1,93 @@
+#ifndef GFR_GUARD_KERNEL_CHECK_H
+#define GFR_GUARD_KERNEL_CHECK_H
+
+// Golden-vector kernel self-tests and the quarantine ladder.
+//
+// Every non-scalar kernel the runtime dispatch selects is screened ONCE, at
+// first dispatch, against an implementation-independent reference:
+//
+//   - byte kernels against a direct two-nibble-table evaluation (the
+//     definition, written out here rather than calling kByteScalar, so the
+//     reference shares no code with any kernel under test), over
+//     deterministic pseudo-random tables and operands, lengths straddling
+//     every vector width / tail / alignment case, plus in-place calls;
+//   - the wide carry-less word kernel against a Russian-peasant shift-XOR
+//     multiplier over GF(2^64)/(y^64 + y^4 + y^3 + y + 1), with
+//     WideParams.folds pinned to kMaxWideFolds so the branch-free vector
+//     path (not the scalar residual fallback, which shares its translation
+//     unit with the kernel) produces every checked value.
+//
+// A kernel that fails is QUARANTINED: the dispatch is downgraded one rung
+// (avx2 -> ssse3 -> scalar for bytes; vpclmul -> window-table walk for
+// words) and the next rung is screened in turn.  The scalar kernels are the
+// reference semantics and are never screened.  Since every downstream path
+// (RegionEngine, FieldOps region routing) takes its kernels from
+// bulk::dispatch(), a quarantined kernel can never touch user data, and the
+// scalar fallback is bit-identical by the engine's differential tests.
+//
+// GFR_GUARD_FAULT deliberately fails self-tests (a bit flipped in the
+// kernel output before comparison) to exercise the quarantine path
+// end-to-end in CI: set it to a kernel name ("ssse3", "avx2", "vpclmul"),
+// a comma-separated list of names, or "all"/"simd"/"1" for every non-scalar
+// kernel.
+
+#include "bulk/kernels.h"
+#include "guard/status.h"
+
+#include <string>
+#include <vector>
+
+namespace gfr::guard {
+
+/// Environment variable holding the forced-fault spec (read once by
+/// bulk::dispatch(); screen_dispatch takes the value as a parameter so
+/// tests can drive it without mutating the environment).
+inline constexpr const char* kGuardFaultEnv = "GFR_GUARD_FAULT";
+
+/// One quarantine event: which kernel failed screening and why.
+struct KernelCheck {
+    bulk::KernelKind kind = bulk::KernelKind::Scalar;
+    bool forced = false;  ///< failure injected via the GFR_GUARD_FAULT spec
+    std::string detail;   ///< first mismatch, self-test coordinates included
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// True when `spec` (a GFR_GUARD_FAULT value; nullptr/empty/"0"/"off" mean
+/// no forcing) demands a forced self-test failure for `kind`.  Scalar is
+/// never forced — it is the reference, not a screened kernel.
+[[nodiscard]] bool fault_forced(const char* spec, bulk::KernelKind kind) noexcept;
+
+/// Screen one byte kernel against the direct nibble-table reference.
+/// `force_fault` flips one output bit before the first comparison.
+[[nodiscard]] Status selftest_byte_kernel(const bulk::ByteKernel& k,
+                                          bool force_fault = false);
+
+/// Screen one word kernel (mul / addmul / mul_elementwise) against the
+/// peasant-multiply reference.  `force_fault` as above.
+[[nodiscard]] Status selftest_word_kernel(const bulk::WordKernel& k,
+                                          bool force_fault = false);
+
+struct ScreenResult {
+    bulk::Dispatch dispatch;               ///< possibly downgraded selection
+    std::vector<KernelCheck> quarantined;  ///< failures, in screening order
+};
+
+/// Pure screening policy: self-test `base`'s non-scalar kernels, downgrade
+/// past any failure, screen the replacement rung too.  No global state —
+/// this is the function the unit tests drive with synthetic fault specs.
+[[nodiscard]] ScreenResult screen_dispatch(const bulk::Dispatch& base,
+                                           const char* fault_spec = nullptr);
+
+/// screen_dispatch + record the quarantine list for quarantine_report().
+/// Called exactly once, by bulk::dispatch()'s one-time initializer.
+[[nodiscard]] bulk::Dispatch screen_and_record(const bulk::Dispatch& base,
+                                               const char* fault_spec);
+
+/// Kernels quarantined by the process-wide dispatch screening (empty in a
+/// healthy process).  Forces bulk::dispatch() first, so the result is
+/// complete and race-free regardless of call order.
+[[nodiscard]] const std::vector<KernelCheck>& quarantine_report();
+
+}  // namespace gfr::guard
+
+#endif  // GFR_GUARD_KERNEL_CHECK_H

@@ -1,0 +1,361 @@
+#include "guard/parity_ced.h"
+
+#include "verify/campaign.h"
+
+#include <bit>
+#include <set>
+#include <stdexcept>
+
+namespace gfr::guard {
+
+using netlist::GateKind;
+using netlist::Netlist;
+using netlist::NodeId;
+
+std::string ced_error_output(int t) { return "ced_err" + std::to_string(t); }
+
+std::string CedInfo::to_string() const {
+    return "CED: " + std::to_string(groups) + " parity groups, " +
+           std::to_string(covered_sites.size()) + " covered sites (" +
+           std::to_string(benign_gates) + " benign, " +
+           std::to_string(conditional_gates) + " conditional), +" +
+           std::to_string(added_gates) + " checker gates";
+}
+
+namespace {
+
+/// One m-bit set over the output coefficients, as (m+63)/64 words.
+using BitVec = std::vector<std::uint64_t>;
+
+bool odd_overlap(const BitVec& a, const BitVec& b) {
+    int parity = 0;
+    for (std::size_t w = 0; w < a.size(); ++w) {
+        parity ^= std::popcount(a[w] & b[w]) & 1;
+    }
+    return parity != 0;
+}
+
+bool is_zero(const BitVec& v) {
+    for (const auto w : v) {
+        if (w != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool test_bit(const BitVec& v, int k) {
+    return (v[static_cast<std::size_t>(k / 64)] >> (k % 64)) & 1U;
+}
+
+/// Coefficient sets of x^s mod f for s = 0 .. 2m-2, each as an m-bit
+/// BitVec — the q-constants of the parity-prediction identity, computed by
+/// the iterated shift-and-fold the reduction itself performs.
+std::vector<BitVec> power_masks(const field::Field& field) {
+    const int m = field.degree();
+    const std::size_t words = static_cast<std::size_t>((m + 63) / 64);
+    const auto mod_words = field.modulus().words();
+    // f - y^m: the tail polynomial folded in whenever the shift crosses m.
+    BitVec tails(words, 0);
+    for (std::size_t w = 0; w < words && w < mod_words.size(); ++w) {
+        tails[w] = mod_words[w];
+    }
+    tails[static_cast<std::size_t>(m / 64) % words] &=
+        (m % 64 == 0) ? ~std::uint64_t{0}
+                      : ~(std::uint64_t{1} << (m % 64));
+
+    std::vector<BitVec> out;
+    out.reserve(static_cast<std::size_t>(2 * m - 1));
+    // One spare word so bit m is addressable even when m is a multiple of 64.
+    BitVec r(words + 1, 0);
+    r[0] = 1;
+    for (int s = 0; s < 2 * m - 1; ++s) {
+        out.emplace_back(r.begin(), r.begin() + static_cast<std::ptrdiff_t>(words));
+        // r <<= 1, then fold bit m back through the tails.
+        std::uint64_t carry = 0;
+        for (auto& w : r) {
+            const std::uint64_t next = w >> 63;
+            w = (w << 1) | carry;
+            carry = next;
+        }
+        const std::size_t mw = static_cast<std::size_t>(m / 64);
+        const int mb = m % 64;
+        if ((r[mw] >> mb) & 1U) {
+            r[mw] &= ~(std::uint64_t{1} << mb);
+            for (std::size_t w = 0; w < words; ++w) {
+                r[w] ^= tails[w];
+            }
+        }
+    }
+    return out;
+}
+
+/// Balanced XOR tree built entirely from fresh gates.  Duplicate leaves are
+/// legal (XOR(x,x) stays a live gate computing 0 — exactly the mod-2
+/// cancellation the parity semantics require).
+NodeId fresh_xor_tree(Netlist& nl, std::vector<NodeId> level) {
+    if (level.empty()) {
+        return nl.const0();
+    }
+    while (level.size() > 1) {
+        std::vector<NodeId> next;
+        next.reserve((level.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            next.push_back(nl.make_xor_fresh(level[i], level[i + 1]));
+        }
+        if (level.size() % 2 == 1) {
+            next.push_back(level.back());
+        }
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+}  // namespace
+
+CedInfo add_parity_ced(Netlist& nl, const field::Field& field,
+                       const CedOptions& options) {
+    const int m = field.degree();
+    if (static_cast<int>(nl.inputs().size()) != 2 * m ||
+        static_cast<int>(nl.outputs().size()) != m) {
+        throw std::invalid_argument{
+            "add_parity_ced: port count does not match field"};
+    }
+    for (int i = 0; i < m; ++i) {
+        if (nl.inputs()[static_cast<std::size_t>(i)].name !=
+                "a" + std::to_string(i) ||
+            nl.inputs()[static_cast<std::size_t>(m + i)].name !=
+                "b" + std::to_string(i) ||
+            nl.outputs()[static_cast<std::size_t>(i)].name !=
+                "c" + std::to_string(i)) {
+            throw std::invalid_argument{"add_parity_ced: unexpected port naming"};
+        }
+    }
+
+    const std::size_t n = nl.node_count();
+    const std::size_t words = static_cast<std::size_t>((m + 63) / 64);
+
+    // ---- Per-gate output error patterns (reverse-topological sweep) ------
+    // pattern[g] bit k = parity of XOR-only paths g -> c_k = whether output
+    // k actually flips when g's value flips; conditional[g] marks gates
+    // with a path through an AND input (input-dependent propagation, no
+    // static pattern).  Node order is topological, so one descending pass
+    // sees every consumer before its fanins.
+    const auto reachable = nl.reachable_from_outputs();
+    std::vector<std::uint64_t> pattern(n * words, 0);
+    std::vector<std::uint8_t> conditional(n, 0);
+    const auto pat = [&](NodeId id) {
+        return pattern.data() + static_cast<std::size_t>(id) * words;
+    };
+    for (int k = 0; k < m; ++k) {
+        const NodeId drv = nl.outputs()[static_cast<std::size_t>(k)].node;
+        pat(drv)[static_cast<std::size_t>(k) / 64] ^= std::uint64_t{1}
+                                                      << (k % 64);
+    }
+    for (NodeId id = static_cast<NodeId>(n); id-- > 0;) {
+        if (!reachable[id]) {
+            continue;
+        }
+        const auto& node = nl.node(id);
+        if (node.kind != GateKind::And2 && node.kind != GateKind::Xor2) {
+            continue;
+        }
+        const std::uint64_t* p = pat(id);
+        bool zero = true;
+        for (std::size_t w = 0; w < words; ++w) {
+            zero = zero && p[w] == 0;
+        }
+        if (node.kind == GateKind::Xor2) {
+            if (node.a != node.b) {  // equal fanins cancel mod 2
+                for (const NodeId fi : {node.a, node.b}) {
+                    std::uint64_t* fp = pat(fi);
+                    for (std::size_t w = 0; w < words; ++w) {
+                        fp[w] ^= p[w];
+                    }
+                    conditional[fi] |= conditional[id];
+                }
+            }
+        } else if (!zero || conditional[id]) {
+            // A fault on an AND input propagates only when the other input
+            // is 1 — no constant pattern for anything feeding it (unless
+            // this AND's own flips never reach an output at all).
+            conditional[node.a] = 1;
+            conditional[node.b] = 1;
+        }
+    }
+
+    // ---- Injection-site census and distinct pattern collection -----------
+    CedInfo info;
+    info.original_nodes = n;
+    std::set<BitVec> distinct;
+    for (NodeId id = 0; id < n; ++id) {
+        if (!reachable[id]) {
+            continue;
+        }
+        const auto& node = nl.node(id);
+        if (node.kind != GateKind::And2 && node.kind != GateKind::Xor2) {
+            continue;
+        }
+        if (conditional[id]) {
+            ++info.conditional_gates;
+            continue;
+        }
+        BitVec p(pat(id), pat(id) + words);
+        if (is_zero(p)) {
+            ++info.benign_gates;
+            continue;
+        }
+        info.covered_sites.push_back(id);
+        distinct.insert(std::move(p));
+    }
+
+    // ---- Greedy parity-group selection ------------------------------------
+    // Group 0 is the classic all-ones parity (catches every odd-weight
+    // pattern); further groups are the best of `candidates_per_round`
+    // pseudorandom masks per round, until no pattern has even overlap with
+    // every group.  Expected rounds ~ log2(|distinct even patterns|).
+    std::vector<BitVec> groups;
+    BitVec all_ones(words, ~std::uint64_t{0});
+    if (m % 64 != 0) {
+        all_ones[words - 1] = (std::uint64_t{1} << (m % 64)) - 1;
+    }
+    groups.push_back(all_ones);
+    std::vector<BitVec> uncovered;
+    for (const auto& p : distinct) {
+        if (!odd_overlap(p, all_ones)) {
+            uncovered.push_back(p);
+        }
+    }
+    verify::SweepRng rng{options.seed};
+    while (!uncovered.empty()) {
+        if (static_cast<int>(groups.size()) >= options.max_groups) {
+            throw std::logic_error{
+                "add_parity_ced: parity-group search exceeded max_groups"};
+        }
+        BitVec best;
+        std::size_t best_score = 0;
+        for (int c = 0; c < options.candidates_per_round; ++c) {
+            BitVec cand(words);
+            for (std::size_t w = 0; w < words; ++w) {
+                cand[w] = rng() & all_ones[w];
+            }
+            std::size_t score = 0;
+            for (const auto& p : uncovered) {
+                score += odd_overlap(p, cand) ? 1 : 0;
+            }
+            if (score > best_score) {
+                best_score = score;
+                best = std::move(cand);
+            }
+        }
+        if (best_score == 0) {
+            // Astronomically unlikely (each candidate covers each pattern
+            // w.p. 1/2); fall back to a singleton group on the first
+            // uncovered pattern's lowest set output.
+            best.assign(words, 0);
+            for (int k = 0; k < m; ++k) {
+                if (test_bit(uncovered.front(), k)) {
+                    best[static_cast<std::size_t>(k) / 64] = std::uint64_t{1}
+                                                             << (k % 64);
+                    break;
+                }
+            }
+        }
+        std::vector<BitVec> still;
+        for (auto& p : uncovered) {
+            if (!odd_overlap(p, best)) {
+                still.push_back(std::move(p));
+            }
+        }
+        uncovered = std::move(still);
+        groups.push_back(std::move(best));
+    }
+    // Self-check the cover before committing gates to it.
+    for (const auto& p : distinct) {
+        bool covered = false;
+        for (const auto& g : groups) {
+            covered = covered || odd_overlap(p, g);
+        }
+        if (!covered) {
+            throw std::logic_error{"add_parity_ced: group cover incomplete"};
+        }
+    }
+
+    // ---- Prediction/checker circuits (fresh gates only) -------------------
+    const auto powers = power_masks(field);
+    std::vector<NodeId> a_node(static_cast<std::size_t>(m));
+    std::vector<NodeId> b_node(static_cast<std::size_t>(m));
+    std::vector<NodeId> c_driver(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+        a_node[static_cast<std::size_t>(i)] =
+            nl.inputs()[static_cast<std::size_t>(i)].node;
+        b_node[static_cast<std::size_t>(i)] =
+            nl.inputs()[static_cast<std::size_t>(m + i)].node;
+        c_driver[static_cast<std::size_t>(i)] =
+            nl.outputs()[static_cast<std::size_t>(i)].node;
+    }
+    std::vector<NodeId> errs;
+    errs.reserve(groups.size());
+    for (std::size_t t = 0; t < groups.size(); ++t) {
+        const BitVec& g = groups[t];
+        // q^{g}_s = parity of (x^s mod f) restricted to the group.
+        std::vector<std::uint8_t> q(powers.size(), 0);
+        for (std::size_t s = 0; s < powers.size(); ++s) {
+            q[s] = odd_overlap(powers[s], g) ? 1 : 0;
+        }
+        // Predicted parity: Σ_i a_i · (Σ_j q_{i+j} b_j).
+        std::vector<NodeId> terms;
+        std::vector<NodeId> leaves;
+        for (int i = 0; i < m; ++i) {
+            leaves.clear();
+            for (int j = 0; j < m; ++j) {
+                if (q[static_cast<std::size_t>(i + j)] != 0) {
+                    leaves.push_back(b_node[static_cast<std::size_t>(j)]);
+                }
+            }
+            if (leaves.empty()) {
+                continue;
+            }
+            const NodeId r = fresh_xor_tree(nl, leaves);
+            terms.push_back(
+                nl.make_and_fresh(a_node[static_cast<std::size_t>(i)], r));
+        }
+        const NodeId pred = fresh_xor_tree(nl, std::move(terms));
+        // Actual parity over the group's real output drivers (duplicate
+        // drivers appear as duplicate leaves and cancel, matching the
+        // parity of the output *ports*).
+        std::vector<NodeId> act_leaves;
+        for (int k = 0; k < m; ++k) {
+            if (test_bit(g, k)) {
+                act_leaves.push_back(c_driver[static_cast<std::size_t>(k)]);
+            }
+        }
+        const NodeId act = fresh_xor_tree(nl, std::move(act_leaves));
+        errs.push_back(nl.make_xor_fresh(pred, act));
+    }
+    // Alarm = OR of the group errors: x|y = (x^y)^(x&y), fresh throughout.
+    NodeId alarm = errs[0];
+    for (std::size_t t = 1; t < errs.size(); ++t) {
+        const NodeId x = nl.make_xor_fresh(alarm, errs[t]);
+        const NodeId y = nl.make_and_fresh(alarm, errs[t]);
+        alarm = nl.make_xor_fresh(x, y);
+    }
+    for (std::size_t t = 0; t < errs.size(); ++t) {
+        nl.add_output(ced_error_output(static_cast<int>(t)), errs[t]);
+    }
+    nl.add_output(kCedAlarmOutput, alarm);
+
+    info.groups = static_cast<int>(groups.size());
+    info.masks.resize(groups.size());
+    for (std::size_t t = 0; t < groups.size(); ++t) {
+        info.masks[t].resize(static_cast<std::size_t>(m), 0);
+        for (int k = 0; k < m; ++k) {
+            info.masks[t][static_cast<std::size_t>(k)] =
+                test_bit(groups[t], k) ? 1 : 0;
+        }
+    }
+    info.added_gates = nl.node_count() - n;
+    return info;
+}
+
+}  // namespace gfr::guard

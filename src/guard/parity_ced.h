@@ -1,0 +1,93 @@
+#ifndef GFR_GUARD_PARITY_CED_H
+#define GFR_GUARD_PARITY_CED_H
+
+// Concurrent error detection for GF(2^m) bit-parallel multiplier netlists
+// via parity prediction (after Nabipour/Reyhani-Masoleh, arXiv 2306.13347).
+//
+// For C = A*B mod f, any parity group M ⊆ {0..m-1} of output coefficients
+// satisfies
+//
+//     XOR_{k in M} c_k = Σ_{i,j} q^{M}_{i+j} · a_i · b_j       over GF(2),
+//
+// where q^{M}_s is the parity of (x^s mod f) restricted to M — a host
+// compile-time constant of the modulus.  add_parity_ced() appends, per
+// group, a prediction circuit computing the right-hand side b-first
+// (r_i = XOR of the selected b_j, then AND with a_i, then an XOR tree), an
+// "actual" tree XORing the group's real output drivers, their difference
+// as output ced_err<t>, and the OR of all group errors as output
+// ced_alarm.  On a fault-free netlist every ced_err is identically 0.
+//
+// Detection guarantee.  A single fault at gate g corrupts the outputs by a
+// fixed pattern E(g) whenever the fault's local error is excited, PROVIDED
+// every path from g to the outputs is XOR-only (true for every AND output
+// and everything downstream, since all generators build a single AND
+// layer; gates feeding an AND input — the Paar a-sums, the Reyhani-Hasan
+// w-network, Karatsuba operand sums — propagate input-dependently and sit
+// outside the static guarantee).  The pass computes E(g) for every
+// constant-pattern gate by a reverse-topological XOR-path parity sweep and
+// then *selects* the parity groups so that every nonzero E(g) has odd
+// overlap with at least one group: the classic all-ones parity first
+// (which single-parity CED uses and which misses even-weight patterns),
+// then greedily-chosen pseudorandom groups until no pattern is left
+// uncovered.  The covered sites are reported in CedInfo; the
+// fault-injection campaign (verify/fault_campaign.h) injects exactly
+// there and the tests hold the detection rate to 100%.
+//
+// Structural independence: every gate this pass adds is created with the
+// fresh (non-interned) netlist API, so no checker gate can be merged with
+// a multiplier gate — a merged gate's fault would corrupt prediction and
+// function identically and cancel out of the comparison.
+
+#include "field/gf2m.h"
+#include "netlist/netlist.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gfr::guard {
+
+/// Output name of the 1-bit alarm (OR of all group errors).
+inline constexpr const char* kCedAlarmOutput = "ced_alarm";
+
+/// Output name of parity group t's error bit.
+[[nodiscard]] std::string ced_error_output(int t);
+
+struct CedOptions {
+    /// Hard cap on parity groups (greedy coverage needs ~log2 of the
+    /// distinct error patterns; the cap only guards against regressions).
+    int max_groups = 48;
+    /// Seed of the deterministic group search.
+    std::uint64_t seed = 0xCED5EEDULL;
+    /// Pseudorandom candidate groups scored per greedy round.
+    int candidates_per_round = 32;
+};
+
+struct CedInfo {
+    int groups = 0;  ///< parity groups added (>= 1; group 0 is all-ones)
+    /// Group membership masks over the m outputs: masks[t][k] != 0 iff
+    /// output c_k belongs to group t.
+    std::vector<std::vector<std::uint8_t>> masks;
+    /// Gates of the ORIGINAL netlist with a constant nonzero error pattern;
+    /// every one is covered by the selected groups (the 100%-detection
+    /// injection sites).
+    std::vector<netlist::NodeId> covered_sites;
+    std::size_t benign_gates = 0;       ///< constant pattern, identically zero
+    std::size_t conditional_gates = 0;  ///< pattern input-dependent (pre-AND)
+    std::size_t original_nodes = 0;     ///< node count before augmentation
+    std::size_t added_gates = 0;        ///< checker gates appended
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Augment a multiplier netlist (inputs a0..a(m-1), b0..b(m-1), outputs
+/// c0..c(m-1) in order, as built by mult::build_multiplier for `field`)
+/// with parity-predicted CED outputs.  The function outputs keep their
+/// position; ced_err0..ced_err(groups-1) and ced_alarm are appended after
+/// them.  Throws std::invalid_argument when the interface does not match
+/// the field.
+CedInfo add_parity_ced(netlist::Netlist& nl, const field::Field& field,
+                       const CedOptions& options = {});
+
+}  // namespace gfr::guard
+
+#endif  // GFR_GUARD_PARITY_CED_H

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <memory>
 #include <random>
 #include <stdexcept>
@@ -18,10 +19,28 @@ using field::Field;
 using gf2::Poly;
 
 std::string VerifyFailure::to_string() const {
-    return "c" + std::to_string(coefficient) + " mismatch: netlist=" +
-           std::to_string(static_cast<int>(netlist_bit)) + " reference=" +
-           std::to_string(static_cast<int>(reference_bit)) + " for A=" + a.to_string() +
-           ", B=" + b.to_string();
+    std::string out = "c" + std::to_string(coefficient) + " mismatch: netlist=" +
+                      std::to_string(static_cast<int>(netlist_bit)) + " reference=" +
+                      std::to_string(static_cast<int>(reference_bit)) + " for A=" +
+                      a.to_string() + ", B=" + b.to_string();
+    if (sweep_index != ~std::uint64_t{0}) {
+        char repro[128];
+        if (random_regime) {
+            std::snprintf(repro, sizeof repro,
+                          " [repro: seed=0x%llx sweep=%llu sweep_seed=0x%llx]",
+                          static_cast<unsigned long long>(campaign_seed),
+                          static_cast<unsigned long long>(sweep_index),
+                          static_cast<unsigned long long>(
+                              verify::Campaign::derive_sweep_seed(campaign_seed,
+                                                                  sweep_index)));
+        } else {
+            std::snprintf(repro, sizeof repro,
+                          " [repro: exhaustive sweep=%llu]",
+                          static_cast<unsigned long long>(sweep_index));
+        }
+        out += repro;
+    }
+    return out;
 }
 
 namespace {
@@ -278,6 +297,9 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
             }
             auto failure = check_sweep(*worker, prog, field, laneref.get(), blocks);
             if (failure.has_value()) {
+                failure->campaign_seed = options.seed;
+                failure->sweep_index = sweep;
+                failure->random_regime = !exhaustive;
                 payload[static_cast<std::size_t>(worker_id)] = std::move(failure);
                 payload_sweep[static_cast<std::size_t>(worker_id)] = sweep;
                 return true;

@@ -54,6 +54,15 @@ struct VerifyFailure {
     bool netlist_bit = false;
     bool reference_bit = false;
 
+    /// Reproduction coordinates, filled by verify_multiplier: rerun with
+    /// VerifyOptions.seed = campaign_seed and this sweep regenerates the
+    /// failing vectors (random regime contents are a pure function of
+    /// Campaign::derive_sweep_seed(campaign_seed, sweep_index), which
+    /// to_string() prints as a one-line repro recipe).
+    std::uint64_t campaign_seed = 0;
+    std::uint64_t sweep_index = ~std::uint64_t{0};  ///< ~0 = not recorded
+    bool random_regime = false;
+
     [[nodiscard]] std::string to_string() const;
 };
 

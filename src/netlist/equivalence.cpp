@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -29,6 +30,23 @@ std::string Mismatch::to_string() const {
         for (const auto bit : input_bits) {
             out += static_cast<char>('0' + bit);
         }
+    }
+    if (sweep_index != ~std::uint64_t{0}) {
+        char repro[128];
+        if (random_regime) {
+            std::snprintf(repro, sizeof repro,
+                          " [repro: seed=0x%llx sweep=%llu sweep_seed=0x%llx]",
+                          static_cast<unsigned long long>(campaign_seed),
+                          static_cast<unsigned long long>(sweep_index),
+                          static_cast<unsigned long long>(
+                              verify::Campaign::derive_sweep_seed(campaign_seed,
+                                                                  sweep_index)));
+        } else {
+            std::snprintf(repro, sizeof repro,
+                          " [repro: exhaustive sweep=%llu]",
+                          static_cast<unsigned long long>(sweep_index));
+        }
+        out += repro;
     }
     return out;
 }
@@ -179,6 +197,9 @@ std::optional<Mismatch> check_equivalence(const Netlist& lhs, const Netlist& rhs
             }
             auto mm = compare_sweep(*ctx, lhs_prog, rhs_prog, lhs, out_map, blocks);
             if (mm.has_value()) {
+                mm->campaign_seed = options.seed;
+                mm->sweep_index = sweep;
+                mm->random_regime = !exhaustive;
                 payload[static_cast<std::size_t>(worker_id)] = std::move(mm);
                 payload_sweep[static_cast<std::size_t>(worker_id)] = sweep;
                 return true;

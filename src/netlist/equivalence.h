@@ -39,6 +39,15 @@ struct Mismatch {
     bool lhs_value = false;
     bool rhs_value = false;
 
+    /// Reproduction coordinates: the campaign seed and the failing sweep
+    /// index.  Filled by check_equivalence; to_string() renders them as a
+    /// one-line repro recipe (random regime: the per-sweep PRNG seed via
+    /// Campaign::derive_sweep_seed is printed too, since that plus the
+    /// sweep index pins the exact vectors forever).
+    std::uint64_t campaign_seed = 0;
+    std::uint64_t sweep_index = ~std::uint64_t{0};  ///< ~0 = not recorded
+    bool random_regime = false;
+
     [[nodiscard]] std::string to_string() const;
 };
 

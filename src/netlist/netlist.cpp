@@ -86,6 +86,24 @@ NodeId Netlist::make_xor(NodeId a, NodeId b) {
     return intern(GateKind::Xor2, a, b);
 }
 
+NodeId Netlist::make_and_fresh(NodeId a, NodeId b) {
+    if (a >= nodes_.size() || b >= nodes_.size()) {
+        throw std::out_of_range{"Netlist::make_and_fresh: fanin id out of range"};
+    }
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{GateKind::And2, a, b});
+    return id;
+}
+
+NodeId Netlist::make_xor_fresh(NodeId a, NodeId b) {
+    if (a >= nodes_.size() || b >= nodes_.size()) {
+        throw std::out_of_range{"Netlist::make_xor_fresh: fanin id out of range"};
+    }
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{GateKind::Xor2, a, b});
+    return id;
+}
+
 NodeId Netlist::make_xor_tree(std::span<const NodeId> leaves, TreeShape shape) {
     if (leaves.empty()) {
         return const0();
@@ -124,6 +142,15 @@ void Netlist::add_output(std::string name, NodeId node) {
 int Netlist::input_index(const std::string& name) const {
     const auto it = input_index_by_name_.find(name);
     return it != input_index_by_name_.end() ? it->second : -1;
+}
+
+int Netlist::output_index(const std::string& name) const {
+    for (std::size_t i = 0; i < outputs_.size(); ++i) {
+        if (outputs_[i].name == name) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
 }
 
 std::vector<bool> Netlist::reachable_from_outputs() const {

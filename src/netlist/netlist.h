@@ -86,6 +86,29 @@ public:
     /// An empty list yields const0; a single leaf is returned unchanged.
     NodeId make_xor_tree(std::span<const NodeId> leaves, TreeShape shape);
 
+    // --- Fresh (non-interned) gates --------------------------------------
+    // Append a brand-new node unconditionally: no simplification, no
+    // structural-hash lookup, and the new node is never offered to future
+    // intern() calls.  Two users need this guarantee:
+    //
+    //   - concurrent-error-detection circuits (guard::add_parity_ced),
+    //     whose checker logic must be structurally independent of the
+    //     multiplier it checks — interning would merge a prediction gate
+    //     with the very gate whose fault it exists to catch, making that
+    //     fault undetectable by construction;
+    //   - verbatim fault-injection clones (netlist::clone_netlist with
+    //     intern off), where hashing could simplify the injected fault
+    //     away (XOR(a,a) must stay a live, evaluable gate).
+    //
+    // Equal fanins are legal here (XOR(a,a) evaluates to 0, AND(a,a) to a);
+    // downstream passes and exec::Program handle duplicate operands.
+
+    /// Fresh AND gate; never merged, never simplified.
+    NodeId make_and_fresh(NodeId a, NodeId b);
+
+    /// Fresh XOR gate; never merged, never simplified.
+    NodeId make_xor_fresh(NodeId a, NodeId b);
+
     /// Register a primary output.  The same node may drive several outputs.
     void add_output(std::string name, NodeId node);
 
@@ -101,6 +124,11 @@ public:
     /// equivalence/BDD checks and add_input's own uniqueness check call this
     /// per port, which was quadratic on m=571 builds with the linear scan).
     [[nodiscard]] int input_index(const std::string& name) const;
+
+    /// Index of the first output with this name among outputs(), or -1.
+    /// Linear scan: output lookups happen per netlist (locating ced_alarm
+    /// after a guard pass), not per port like input matching does.
+    [[nodiscard]] int output_index(const std::string& name) const;
 
     /// Flags for nodes reachable from any output (transitive fanin).
     [[nodiscard]] std::vector<bool> reachable_from_outputs() const;

@@ -1,0 +1,225 @@
+#include "verify/fault_campaign.h"
+
+#include "exec/program.h"
+#include "netlist/clone.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace gfr::verify {
+
+using netlist::GateKind;
+using netlist::Netlist;
+using netlist::NodeId;
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+    switch (kind) {
+        case FaultKind::FlipGateKind: return "flip-gate-kind";
+        case FaultKind::TieFanins: return "tie-fanins";
+    }
+    return "?";
+}
+
+std::string FaultSite::to_string() const {
+    return std::string{fault_kind_name(kind)} + "@node" + std::to_string(node);
+}
+
+std::string FaultReport::to_string() const {
+    return "fault campaign: " + std::to_string(injected) + " injections: " +
+           std::to_string(detected) + " detected, " + std::to_string(benign) +
+           " benign, " + std::to_string(escaped) + " escaped";
+}
+
+namespace {
+
+/// The campaign's vector schedule: block-major input words (as
+/// exec::Program::run consumes them) plus the per-block live-lane masks.
+struct VectorSchedule {
+    std::vector<std::uint64_t> in;     ///< blocks x n_inputs, block-major
+    std::vector<std::uint64_t> masks;  ///< live lanes per block
+    std::uint64_t blocks = 0;
+};
+
+VectorSchedule build_schedule(int n_inputs, const FaultCampaignOptions& opt) {
+    VectorSchedule s;
+    const bool exhaustive = n_inputs <= 16;
+    if (exhaustive) {
+        const std::uint64_t lanes = std::uint64_t{1} << n_inputs;
+        s.blocks = (lanes + 63) / 64;
+        s.in.assign(s.blocks * static_cast<std::size_t>(n_inputs), 0);
+        s.masks.assign(s.blocks, ~std::uint64_t{0});
+        if (lanes < 64) {
+            s.masks[0] = (std::uint64_t{1} << lanes) - 1;
+        }
+        for (std::uint64_t b = 0; b < s.blocks; ++b) {
+            for (int i = 0; i < n_inputs; ++i) {
+                std::uint64_t w = 0;
+                for (int l = 0; l < 64; ++l) {
+                    const std::uint64_t vec = b * 64 + static_cast<std::uint64_t>(l);
+                    if (vec < lanes && ((vec >> i) & 1U) != 0) {
+                        w |= std::uint64_t{1} << l;
+                    }
+                }
+                s.in[b * static_cast<std::size_t>(n_inputs) +
+                     static_cast<std::size_t>(i)] = w;
+            }
+        }
+    } else {
+        s.blocks = opt.random_blocks;
+        s.in.assign(s.blocks * static_cast<std::size_t>(n_inputs), 0);
+        s.masks.assign(s.blocks, ~std::uint64_t{0});
+        for (std::uint64_t b = 0; b < s.blocks; ++b) {
+            SweepRng rng{Campaign::derive_sweep_seed(opt.seed, b)};
+            for (int i = 0; i < n_inputs; ++i) {
+                s.in[b * static_cast<std::size_t>(n_inputs) +
+                     static_cast<std::size_t>(i)] = rng();
+            }
+        }
+    }
+    return s;
+}
+
+}  // namespace
+
+FaultReport run_fault_campaign(const Netlist& guarded,
+                               std::span<const NodeId> sites,
+                               std::size_t n_function, std::size_t alarm_index,
+                               const FaultCampaignOptions& options) {
+    if (n_function > guarded.outputs().size() ||
+        alarm_index >= guarded.outputs().size()) {
+        throw std::invalid_argument{
+            "run_fault_campaign: output indices exceed the netlist"};
+    }
+    for (const NodeId site : sites) {
+        if (site >= guarded.node_count()) {
+            throw std::invalid_argument{
+                "run_fault_campaign: site id out of range"};
+        }
+        const auto kind = guarded.node(site).kind;
+        if (kind != GateKind::And2 && kind != GateKind::Xor2) {
+            throw std::invalid_argument{
+                "run_fault_campaign: sites must be And2/Xor2 gates"};
+        }
+    }
+
+    const int n_inputs = static_cast<int>(guarded.inputs().size());
+    const int n_outputs = static_cast<int>(guarded.outputs().size());
+    const VectorSchedule sched = build_schedule(n_inputs, options);
+
+    // Clean reference outputs, computed once and shared read-only.
+    const exec::Program clean = exec::Program::compile(guarded);
+    std::vector<std::uint64_t> clean_out(sched.blocks *
+                                         static_cast<std::size_t>(n_outputs));
+    {
+        exec::Program::Scratch scratch;
+        const int group = static_cast<int>(
+            std::min<std::uint64_t>(exec::Program::kMaxBlocks, sched.blocks));
+        for (std::uint64_t b = 0; b < sched.blocks;) {
+            const int blocks = static_cast<int>(std::min<std::uint64_t>(
+                static_cast<std::uint64_t>(group), sched.blocks - b));
+            clean.run(
+                std::span<const std::uint64_t>{
+                    sched.in.data() + b * static_cast<std::size_t>(n_inputs),
+                    static_cast<std::size_t>(blocks * n_inputs)},
+                std::span<std::uint64_t>{
+                    clean_out.data() + b * static_cast<std::size_t>(n_outputs),
+                    static_cast<std::size_t>(blocks * n_outputs)},
+                scratch, blocks);
+            b += static_cast<std::uint64_t>(blocks);
+        }
+    }
+
+    // One sweep per (site, fault kind); outcomes land in per-sweep slots so
+    // the report is independent of the sharding.
+    const std::uint64_t total = static_cast<std::uint64_t>(sites.size()) * 2;
+    std::vector<FaultOutcome> outcomes(total, FaultOutcome::Benign);
+
+    const Campaign campaign{options.campaign};
+    campaign.run(total, [&](int) -> Campaign::SweepFn {
+        // Per-worker mutable state, owned outright.
+        auto scratch = std::make_shared<exec::Program::Scratch>();
+        auto fout = std::make_shared<std::vector<std::uint64_t>>();
+        return [&, scratch, fout](std::uint64_t sweep) -> bool {
+            const NodeId site = sites[static_cast<std::size_t>(sweep / 2)];
+            const FaultKind fk = (sweep % 2 == 0) ? FaultKind::FlipGateKind
+                                                  : FaultKind::TieFanins;
+            const netlist::GateHook hook = [site, fk](NodeId id, GateKind& k,
+                                                      NodeId& a, NodeId& b) {
+                if (id != site) {
+                    return;
+                }
+                if (fk == FaultKind::FlipGateKind) {
+                    k = (k == GateKind::And2) ? GateKind::Xor2 : GateKind::And2;
+                } else {
+                    b = a;
+                }
+            };
+            const Netlist faulty_nl =
+                netlist::clone_netlist(guarded, {.intern = false}, hook);
+            const exec::Program faulty = exec::Program::compile(faulty_nl);
+
+            FaultOutcome outcome = FaultOutcome::Benign;
+            const int group = static_cast<int>(std::min<std::uint64_t>(
+                exec::Program::kMaxBlocks, sched.blocks));
+            fout->assign(static_cast<std::size_t>(group * n_outputs), 0);
+            for (std::uint64_t b = 0;
+                 b < sched.blocks && outcome != FaultOutcome::Escaped;) {
+                const int blocks = static_cast<int>(std::min<std::uint64_t>(
+                    static_cast<std::uint64_t>(group), sched.blocks - b));
+                faulty.run(
+                    std::span<const std::uint64_t>{
+                        sched.in.data() + b * static_cast<std::size_t>(n_inputs),
+                        static_cast<std::size_t>(blocks * n_inputs)},
+                    std::span<std::uint64_t>{
+                        fout->data(), static_cast<std::size_t>(blocks * n_outputs)},
+                    *scratch, blocks);
+                for (int blk = 0; blk < blocks; ++blk) {
+                    const std::uint64_t mask =
+                        sched.masks[b + static_cast<std::uint64_t>(blk)];
+                    const std::uint64_t* fo =
+                        fout->data() + static_cast<std::size_t>(blk * n_outputs);
+                    const std::uint64_t* co =
+                        clean_out.data() +
+                        (b + static_cast<std::uint64_t>(blk)) *
+                            static_cast<std::size_t>(n_outputs);
+                    std::uint64_t corrupt = 0;
+                    for (std::size_t o = 0; o < n_function; ++o) {
+                        corrupt |= fo[o] ^ co[o];
+                    }
+                    corrupt &= mask;
+                    if (corrupt == 0) {
+                        continue;
+                    }
+                    if ((corrupt & ~fo[alarm_index]) != 0) {
+                        outcome = FaultOutcome::Escaped;
+                        break;
+                    }
+                    outcome = FaultOutcome::Detected;
+                }
+                b += static_cast<std::uint64_t>(blocks);
+            }
+            outcomes[sweep] = outcome;
+            return false;  // record everything; never cancel the campaign
+        };
+    });
+
+    FaultReport report;
+    report.injected = total;
+    for (std::uint64_t s = 0; s < total; ++s) {
+        switch (outcomes[s]) {
+            case FaultOutcome::Benign: ++report.benign; break;
+            case FaultOutcome::Detected: ++report.detected; break;
+            case FaultOutcome::Escaped:
+                ++report.escaped;
+                report.escapes.push_back(
+                    FaultSite{sites[static_cast<std::size_t>(s / 2)],
+                              (s % 2 == 0) ? FaultKind::FlipGateKind
+                                           : FaultKind::TieFanins});
+                break;
+        }
+    }
+    return report;
+}
+
+}  // namespace gfr::verify

@@ -1,0 +1,196 @@
+// Kernel self-tests, the quarantine ladder, and the environment-knob
+// parsing behind GFR_BULK_FORCE_SCALAR / GFR_GUARD_FAULT.
+
+#include "bulk/kernels.h"
+#include "guard/kernel_check.h"
+#include "guard/status.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace gfr {
+namespace {
+
+TEST(GuardStatus, Basics) {
+    const guard::Status ok = guard::Status::good();
+    EXPECT_TRUE(ok.ok());
+    EXPECT_TRUE(static_cast<bool>(ok));
+    const guard::Status bad =
+        guard::Status::fail(guard::Fault::RegionChecksum, "boom");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.fault, guard::Fault::RegionChecksum);
+    EXPECT_NE(bad.to_string().find("region-checksum"), std::string::npos);
+    EXPECT_NE(bad.to_string().find("boom"), std::string::npos);
+    EXPECT_STREQ(guard::fault_name(guard::Fault::None), "none");
+    EXPECT_STREQ(guard::fault_name(guard::Fault::KernelSelfTest),
+                 "kernel-self-test");
+    EXPECT_STREQ(guard::fault_name(guard::Fault::ParityAlarm), "parity-alarm");
+}
+
+TEST(GuardDispatch, EnvFlagParsing) {
+    // S1: empty / "0" / "off" / "false" / "no" (any case) mean UNSET, so
+    // scripts can pass GFR_BULK_FORCE_SCALAR=0 through unconditionally.
+    EXPECT_FALSE(bulk::env_flag_enabled(nullptr));
+    EXPECT_FALSE(bulk::env_flag_enabled(""));
+    EXPECT_FALSE(bulk::env_flag_enabled("0"));
+    EXPECT_FALSE(bulk::env_flag_enabled("off"));
+    EXPECT_FALSE(bulk::env_flag_enabled("OFF"));
+    EXPECT_FALSE(bulk::env_flag_enabled("Off"));
+    EXPECT_FALSE(bulk::env_flag_enabled("false"));
+    EXPECT_FALSE(bulk::env_flag_enabled("FALSE"));
+    EXPECT_FALSE(bulk::env_flag_enabled("no"));
+    EXPECT_FALSE(bulk::env_flag_enabled("No"));
+    EXPECT_TRUE(bulk::env_flag_enabled("1"));
+    EXPECT_TRUE(bulk::env_flag_enabled("on"));
+    EXPECT_TRUE(bulk::env_flag_enabled("yes"));
+    EXPECT_TRUE(bulk::env_flag_enabled("true"));
+    EXPECT_TRUE(bulk::env_flag_enabled("2"));
+    EXPECT_TRUE(bulk::env_flag_enabled("scalar"));
+    // Whole-token comparison, not prefix: "0x" and "offline" enable.
+    EXPECT_TRUE(bulk::env_flag_enabled("0x"));
+    EXPECT_TRUE(bulk::env_flag_enabled("offline"));
+}
+
+TEST(GuardDispatch, FaultSpecParsing) {
+    using bulk::KernelKind;
+    EXPECT_FALSE(guard::fault_forced(nullptr, KernelKind::Avx2));
+    EXPECT_FALSE(guard::fault_forced("", KernelKind::Avx2));
+    EXPECT_FALSE(guard::fault_forced("0", KernelKind::Avx2));
+    EXPECT_FALSE(guard::fault_forced("off", KernelKind::Avx2));
+    for (const char* all : {"all", "1", "simd", "ALL", "Simd", "on", "yes"}) {
+        EXPECT_TRUE(guard::fault_forced(all, KernelKind::Ssse3)) << all;
+        EXPECT_TRUE(guard::fault_forced(all, KernelKind::Avx2)) << all;
+        EXPECT_TRUE(guard::fault_forced(all, KernelKind::Vpclmul)) << all;
+        // Scalar is the reference, never screened, never forced.
+        EXPECT_FALSE(guard::fault_forced(all, KernelKind::Scalar)) << all;
+    }
+    EXPECT_TRUE(guard::fault_forced("ssse3", KernelKind::Ssse3));
+    EXPECT_FALSE(guard::fault_forced("ssse3", KernelKind::Avx2));
+    EXPECT_TRUE(guard::fault_forced("AVX2", KernelKind::Avx2));
+    EXPECT_TRUE(guard::fault_forced("avx2,vpclmul", KernelKind::Vpclmul));
+    EXPECT_TRUE(guard::fault_forced("avx2,vpclmul", KernelKind::Avx2));
+    EXPECT_FALSE(guard::fault_forced("avx2,vpclmul", KernelKind::Ssse3));
+    EXPECT_FALSE(guard::fault_forced("scalar", KernelKind::Scalar));
+    EXPECT_FALSE(guard::fault_forced("bogus", KernelKind::Avx2));
+}
+
+TEST(GuardDispatch, ScalarByteKernelPassesSelfTest) {
+    // The scalar kernel is never screened in production, but it must agree
+    // with the self-test's independent reference — otherwise the reference
+    // itself is wrong.
+    const guard::Status s = guard::selftest_byte_kernel(bulk::kByteScalar);
+    EXPECT_TRUE(s.ok()) << s.to_string();
+}
+
+TEST(GuardDispatch, CompiledKernelsPassSelfTests) {
+    const auto& d = bulk::dispatch();
+    for (const auto kind : bulk::compiled_byte_kernels()) {
+        if (kind == bulk::KernelKind::Scalar ||
+            !bulk::kernel_supported(kind, d.cpu)) {
+            continue;
+        }
+        const guard::Status s =
+            guard::selftest_byte_kernel(*bulk::byte_kernel(kind));
+        EXPECT_TRUE(s.ok()) << s.to_string();
+    }
+    if (const auto* wk = bulk::vpclmul_word_kernel();
+        wk != nullptr && bulk::kernel_supported(bulk::KernelKind::Vpclmul, d.cpu)) {
+        const guard::Status s = guard::selftest_word_kernel(*wk);
+        EXPECT_TRUE(s.ok()) << s.to_string();
+    }
+}
+
+TEST(GuardDispatch, ForcedFaultFailsSelfTest) {
+    const guard::Status s =
+        guard::selftest_byte_kernel(bulk::kByteScalar, /*force_fault=*/true);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.fault, guard::Fault::KernelSelfTest);
+    EXPECT_NE(s.detail.find("mismatch"), std::string::npos) << s.detail;
+}
+
+TEST(GuardDispatch, ScreenCleanDispatchQuarantinesNothing) {
+    const auto r = guard::screen_dispatch(bulk::dispatch(), nullptr);
+    EXPECT_TRUE(r.quarantined.empty());
+    EXPECT_EQ(r.dispatch.byte, bulk::dispatch().byte);
+    EXPECT_EQ(r.dispatch.word, bulk::dispatch().word);
+}
+
+TEST(GuardDispatch, ForcedScalarDispatchNeedsNoScreening) {
+    const bulk::Dispatch base = bulk::make_dispatch(bulk::detect_cpu(),
+                                                    /*force_scalar=*/true);
+    const auto r = guard::screen_dispatch(base, "all");
+    EXPECT_TRUE(r.quarantined.empty());
+    ASSERT_NE(r.dispatch.byte, nullptr);
+    EXPECT_EQ(r.dispatch.byte->kind, bulk::KernelKind::Scalar);
+    EXPECT_EQ(r.dispatch.word, nullptr);
+}
+
+TEST(GuardDispatch, ForcedFaultWalksTheQuarantineLadder) {
+    const bulk::Dispatch base = bulk::make_dispatch(bulk::detect_cpu(),
+                                                    /*force_scalar=*/false);
+    // Quarantine everything: the byte ladder must land on scalar and the
+    // word kernel must drop to the window walk, whatever this CPU offers.
+    const auto all = guard::screen_dispatch(base, "all");
+    ASSERT_NE(all.dispatch.byte, nullptr);
+    EXPECT_EQ(all.dispatch.byte->kind, bulk::KernelKind::Scalar);
+    EXPECT_EQ(all.dispatch.word, nullptr);
+    std::size_t expected = 0;
+    if (base.byte->kind == bulk::KernelKind::Avx2) {
+        // avx2 fails, then ssse3 (forced too) fails, then scalar.
+        expected += (bulk::ssse3_byte_kernel() != nullptr &&
+                     bulk::kernel_supported(bulk::KernelKind::Ssse3, base.cpu))
+                        ? 2
+                        : 1;
+    } else if (base.byte->kind == bulk::KernelKind::Ssse3) {
+        expected += 1;
+    }
+    if (base.word != nullptr) {
+        expected += 1;
+    }
+    EXPECT_EQ(all.quarantined.size(), expected);
+    for (const auto& q : all.quarantined) {
+        EXPECT_TRUE(q.forced);
+        EXPECT_FALSE(q.detail.empty());
+        EXPECT_FALSE(q.to_string().empty());
+        EXPECT_NE(q.kind, bulk::KernelKind::Scalar);
+    }
+
+    // Quarantine only the top byte rung: the ladder stops at the next
+    // healthy kernel instead of falling all the way to scalar.
+    if (base.byte->kind == bulk::KernelKind::Avx2 &&
+        bulk::ssse3_byte_kernel() != nullptr &&
+        bulk::kernel_supported(bulk::KernelKind::Ssse3, base.cpu)) {
+        const auto one = guard::screen_dispatch(base, "avx2");
+        // Only avx2 is forced; the healthy ssse3 rung and the (unforced)
+        // word kernel survive.
+        ASSERT_EQ(one.quarantined.size(), 1U);
+        EXPECT_EQ(one.quarantined[0].kind, bulk::KernelKind::Avx2);
+        EXPECT_EQ(one.dispatch.byte->kind, bulk::KernelKind::Ssse3);
+        EXPECT_EQ(one.dispatch.word, base.word);
+    }
+}
+
+TEST(GuardDispatch, QuarantineReportMatchesEnvironment) {
+    // The process-wide dispatch was screened on first use with whatever
+    // GFR_GUARD_FAULT the environment carries (the CI smoke job sets it;
+    // the regular test run does not).
+    const char* spec = std::getenv(guard::kGuardFaultEnv);
+    const auto& report = guard::quarantine_report();
+    if (spec == nullptr || *spec == '\0') {
+        EXPECT_TRUE(report.empty());
+        return;
+    }
+    // Under a forced-fault spec the report must name every forced kernel
+    // the base selection would otherwise have used, and the surviving
+    // dispatch must still serve every layout (scalar at worst).
+    const auto& d = bulk::dispatch();
+    ASSERT_NE(d.byte, nullptr);
+    for (const auto& q : report) {
+        EXPECT_TRUE(q.forced);
+        EXPECT_NE(q.kind, bulk::KernelKind::Scalar);
+    }
+}
+
+}  // namespace
+}  // namespace gfr

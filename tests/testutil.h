@@ -24,6 +24,7 @@
 #include "field/gf2m.h"
 #include "gf2/gf2_poly.h"
 #include "gf2/pentanomial.h"
+#include "netlist/clone.h"
 #include "netlist/netlist.h"
 #include "verify/campaign.h"
 
@@ -179,72 +180,19 @@ inline gf2::Poly large_modulus(int m) {
 }
 
 // --- Netlist cloning (verification-tier tests) -------------------------------
+// The mutation substrate now lives in the library (netlist/clone.h) so the
+// fault-injection campaign can build on it; these aliases keep the
+// historical test-harness spelling.  The default here remains the interning
+// clone — structural hashing in the destination may merge or simplify
+// rewritten gates, which the mutation tests rely on.
 
-/// May rewrite one logic gate during clone_netlist: kind and fanins are the
-/// *source* netlist's values; rewritten fanins must reference source nodes
-/// created before `id` (the clone maps them bottom-up).
-using GateHook = std::function<void(netlist::NodeId id, netlist::GateKind& kind,
-                                    netlist::NodeId& a, netlist::NodeId& b)>;
+using GateHook = netlist::GateHook;
+using OutputHook = netlist::OutputHook;
 
-/// May redirect outputs during clone_netlist: receives the output index,
-/// the mapped drivers of ALL outputs (same order as src.outputs()), and the
-/// destination netlist (for building extra gates); returns the node to
-/// register under this index's original name.  Returning mapped[other]
-/// swaps output drivers — the classic transcription fault.
-using OutputHook = std::function<netlist::NodeId(
-    std::size_t index, std::span<const netlist::NodeId> mapped, netlist::Netlist& dst)>;
-
-/// Structural gate-for-gate copy of `src`, with optional fault-injection
-/// hooks — the substrate of the mutation tests (the verifier's verifier) and
-/// of corrupted-netlist fixtures.  Structural hashing in the destination may
-/// merge or simplify rewritten gates; the copy stays functionally faithful
-/// to the rewrites.
 inline netlist::Netlist clone_netlist(const netlist::Netlist& src,
                                       const GateHook& gate_hook = nullptr,
                                       const OutputHook& output_hook = nullptr) {
-    netlist::Netlist dst;
-    std::vector<netlist::NodeId> map(src.node_count(), netlist::kInvalidNode);
-    std::vector<std::string> input_name(src.node_count());
-    for (const auto& port : src.inputs()) {
-        input_name[port.node] = port.name;
-    }
-    for (netlist::NodeId id = 0; id < src.node_count(); ++id) {
-        const auto& node = src.node(id);
-        switch (node.kind) {
-            case netlist::GateKind::Input:
-                map[id] = dst.add_input(input_name[id]);
-                break;
-            case netlist::GateKind::Const0:
-                map[id] = dst.const0();
-                break;
-            case netlist::GateKind::And2:
-            case netlist::GateKind::Xor2: {
-                auto kind = node.kind;
-                auto a = node.a;
-                auto b = node.b;
-                if (gate_hook) {
-                    gate_hook(id, kind, a, b);
-                }
-                map[id] = (kind == netlist::GateKind::And2)
-                              ? dst.make_and(map[a], map[b])
-                              : dst.make_xor(map[a], map[b]);
-                break;
-            }
-        }
-    }
-    std::vector<netlist::NodeId> mapped_outputs;
-    mapped_outputs.reserve(src.outputs().size());
-    for (const auto& port : src.outputs()) {
-        mapped_outputs.push_back(map[port.node]);
-    }
-    for (std::size_t o = 0; o < src.outputs().size(); ++o) {
-        netlist::NodeId node = mapped_outputs[o];
-        if (output_hook) {
-            node = output_hook(o, mapped_outputs, dst);
-        }
-        dst.add_output(src.outputs()[o].name, node);
-    }
-    return dst;
+    return netlist::clone_netlist(src, {.intern = true}, gate_hook, output_hook);
 }
 
 }  // namespace gfr::testutil
