@@ -44,8 +44,10 @@ int main() {
     std::puts("[3] needs T_A + 7T_X with 77 XOR.  Our reconstructions:");
     const auto s6 = mult::build_multiplier(mult::Method::Imana2012, fld).stats();
     const auto s3 = mult::build_multiplier(mult::Method::ReyhaniHasan, fld).stats();
-    std::printf("  [6] imana2012    : %d XOR, %s\n", s6.n_xor, s6.delay_string().c_str());
-    std::printf("  [3] reyhani-hasan: %d XOR, %s\n", s3.n_xor, s3.delay_string().c_str());
+    std::printf("  [6] imana2012    : %lld XOR, %s\n",
+                static_cast<long long>(s6.n_xor), s6.delay_string().c_str());
+    std::printf("  [3] reyhani-hasan: %lld XOR, %s\n",
+                static_cast<long long>(s3.n_xor), s3.delay_string().c_str());
 
     const bool ok = golden_stats.xor_depth == 5 && golden_stats.n_and == 64 &&
                     gen_stats.xor_depth == 5;

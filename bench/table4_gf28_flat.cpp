@@ -70,8 +70,9 @@ int main() {
     }
 
     const auto stats = mult::build_multiplier(mult::Method::Date2018Flat, fld).stats();
-    std::printf("\nFlat netlist before synthesis: %d AND, %d XOR, %s\n", stats.n_and,
-                stats.n_xor, stats.delay_string().c_str());
+    std::printf("\nFlat netlist before synthesis: %lld AND, %lld XOR, %s\n",
+                static_cast<long long>(stats.n_and),
+                static_cast<long long>(stats.n_xor), stats.delay_string().c_str());
     std::puts("(The point of Table IV: these flat sums give the synthesiser freedom;");
     std::puts(" see table5_fpga_comparison for the post-flow effect.)");
 

@@ -27,7 +27,8 @@ int main() {
     // 3. The paper's proposed multiplier: flat split-term sums (Table IV).
     const auto nl = mult::build_multiplier(mult::Method::Date2018Flat, fld);
     const auto stats = nl.stats();
-    std::printf("netlist   : %d AND, %d XOR, delay %s\n", stats.n_and, stats.n_xor,
+    std::printf("netlist   : %lld AND, %lld XOR, delay %s\n",
+                static_cast<long long>(stats.n_and), static_cast<long long>(stats.n_xor),
                 stats.delay_string().c_str());
 
     // 4. Exhaustive functional verification against the reference (all 2^16

@@ -7,8 +7,10 @@
 #include "field/gf2m.h"
 #include "fpga/flow.h"
 #include "multipliers/generator.h"
+#include "multipliers/verify.h"
 #include "netlist/emit_verilog.h"
 #include "netlist/emit_vhdl.h"
+#include "opt/opt.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,10 +53,24 @@ int main(int argc, char** argv) {
     const field::Field fld = field::Field::type2(m, n);
     std::printf("generating %s multiplier for %s\n", std::string{info->key}.c_str(),
                 fld.to_string().c_str());
-    const auto nl = mult::build_multiplier(info->method, fld);
+    const auto raw = mult::build_multiplier(info->method, fld);
+    const auto raw_stats = raw.stats();
+    std::printf("gate netlist: %lld AND, %lld XOR, delay %s\n",
+                static_cast<long long>(raw_stats.n_and),
+                static_cast<long long>(raw_stats.n_xor),
+                raw_stats.delay_string().c_str());
+
+    // Optimize before emitting: every pass is equivalence-gated, and the
+    // optimized netlist is re-verified against the field arithmetic.
+    const opt::OptResult optimized = mult::optimize_and_verify(raw, fld);
+    const auto& nl = optimized.netlist;
     const auto stats = nl.stats();
-    std::printf("gate netlist: %d AND, %d XOR, delay %s\n", stats.n_and, stats.n_xor,
-                stats.delay_string().c_str());
+    std::printf("optimized:    %lld AND, %lld XOR (%lld -> %lld gates), "
+                "all passes verified\n",
+                static_cast<long long>(stats.n_and),
+                static_cast<long long>(stats.n_xor),
+                static_cast<long long>(optimized.gates_before()),
+                static_cast<long long>(optimized.gates_after()));
 
     const std::string entity =
         "gf2m_mult_" + std::to_string(m) + "_" + std::to_string(n);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstddef>
 #include <limits>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 namespace gfr::exec {
@@ -75,6 +77,150 @@ void schedule_post_order(std::size_t n_values, std::span<const std::uint32_t> ro
             emit(f.value);
             stack.pop_back();
         }
+    }
+}
+
+/// Tape-level CSE (Program::CompileOptions::hoist_common_pairs): hoist XOR
+/// operand pairs recurring across the singles regions of fused accumulate
+/// instructions into shared Xor2 definitions.  Runs in value-id space
+/// between scheduling and linking; XOR reassociation keeps the tape
+/// semantically identical, and liveness/slots are recomputed by the
+/// unchanged Linker afterwards.  Rounds repeat so hoisted values can pair
+/// up again (multi-level sharing) until no pair clears the threshold.
+void hoist_common_pairs(Builder& b, int min_count) {
+    constexpr int kMaxRounds = 10;
+    constexpr std::size_t kMaxSinglesCounted = 128;
+    if (min_count < 2) {
+        min_count = 2;
+    }
+    const auto singles_begin = [](const ValueDef& def) -> std::size_t {
+        return def.op == Op::AndXorN ? static_cast<std::size_t>(def.aux) * 2 : 0;
+    };
+    for (int round = 0; round < kMaxRounds; ++round) {
+        // --- Count: each unordered singles pair at most once per def -----
+        std::unordered_map<std::uint64_t, std::uint32_t> counts;
+        std::vector<std::uint32_t> uniq;
+        for (const ValueDef& def : b.sched) {
+            if (def.op != Op::XorN && def.op != Op::AndXorN) {
+                continue;
+            }
+            const std::size_t begin = singles_begin(def);
+            if (def.args.size() < begin + 2) {
+                continue;
+            }
+            const std::size_t end =
+                std::min(def.args.size(), begin + kMaxSinglesCounted);
+            uniq.assign(def.args.begin() + static_cast<std::ptrdiff_t>(begin),
+                        def.args.begin() + static_cast<std::ptrdiff_t>(end));
+            std::sort(uniq.begin(), uniq.end());
+            uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+            for (std::size_t i = 0; i < uniq.size(); ++i) {
+                for (std::size_t j = i + 1; j < uniq.size(); ++j) {
+                    const std::uint64_t key =
+                        (static_cast<std::uint64_t>(uniq[i]) << 32U) | uniq[j];
+                    ++counts[key];
+                }
+            }
+        }
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> ranked;
+        for (const auto& [key, count] : counts) {
+            if (static_cast<int>(count) >= min_count) {
+                ranked.emplace_back(count, key);
+            }
+        }
+        if (ranked.empty()) {
+            break;
+        }
+        std::sort(ranked.begin(), ranked.end(), [](const auto& p, const auto& q) {
+            return p.first != q.first ? p.first > q.first : p.second < q.second;
+        });
+
+        // --- Apply greedily; overlapping pairs re-check live state -------
+        struct NewDef {
+            std::uint32_t value;
+            std::uint32_t x;
+            std::uint32_t y;
+            std::size_t before;  ///< sched index of the first user
+        };
+        std::vector<NewDef> created;
+        for (const auto& [count, key] : ranked) {
+            const auto x = static_cast<std::uint32_t>(key >> 32U);
+            const auto y = static_cast<std::uint32_t>(key & 0xFFFFFFFFULL);
+            const auto find_pair = [&](const ValueDef& def, std::size_t& ix,
+                                       std::size_t& iy) {
+                if (def.op != Op::XorN && def.op != Op::AndXorN) {
+                    return false;
+                }
+                const std::size_t begin = singles_begin(def);
+                ix = iy = def.args.size();
+                for (std::size_t k = begin; k < def.args.size(); ++k) {
+                    if (def.args[k] == x && ix == def.args.size()) {
+                        ix = k;
+                    } else if (def.args[k] == y && iy == def.args.size()) {
+                        iy = k;
+                    }
+                }
+                return ix != def.args.size() && iy != def.args.size();
+            };
+            // Dry scan first: overlaps with already-applied pairs may have
+            // consumed occurrences, and a pair no longer clearing the
+            // threshold is not worth a definition.
+            int live = 0;
+            for (const ValueDef& def : b.sched) {
+                std::size_t ix = 0;
+                std::size_t iy = 0;
+                if (find_pair(def, ix, iy)) {
+                    ++live;
+                }
+            }
+            if (live < min_count) {
+                continue;
+            }
+            const auto v = static_cast<std::uint32_t>(b.n_values++);
+            std::size_t first_user = b.sched.size();
+            for (std::size_t t = 0; t < b.sched.size(); ++t) {
+                ValueDef& def = b.sched[t];
+                std::size_t ix = 0;
+                std::size_t iy = 0;
+                // Repeat within one def: duplicate leaves can carry the
+                // same pair more than once.
+                while (find_pair(def, ix, iy)) {
+                    if (iy < ix) {
+                        std::swap(ix, iy);
+                    }
+                    def.args.erase(def.args.begin() +
+                                   static_cast<std::ptrdiff_t>(iy));
+                    def.args.erase(def.args.begin() +
+                                   static_cast<std::ptrdiff_t>(ix));
+                    def.args.push_back(v);
+                    first_user = std::min(first_user, t);
+                    if (def.op == Op::XorN && def.args.size() == 2) {
+                        def.op = Op::Xor2;
+                    }
+                }
+            }
+            created.push_back(NewDef{v, x, y, first_user});
+        }
+        if (created.empty()) {
+            break;
+        }
+
+        // --- Insert the hoisted defs right before their first user -------
+        std::vector<ValueDef> rebuilt;
+        rebuilt.reserve(b.sched.size() + created.size());
+        for (std::size_t t = 0; t < b.sched.size(); ++t) {
+            for (const NewDef& nd : created) {
+                if (nd.before == t) {
+                    ValueDef def;
+                    def.op = Op::Xor2;
+                    def.value = nd.value;
+                    def.args = {nd.x, nd.y};
+                    rebuilt.push_back(std::move(def));
+                }
+            }
+            rebuilt.push_back(std::move(b.sched[t]));
+        }
+        b.sched = std::move(rebuilt);
     }
 }
 
@@ -228,6 +374,11 @@ struct Linker {
 // --- Netlist front end -------------------------------------------------------
 
 Program Program::compile(const netlist::Netlist& nl) {
+    return compile(nl, CompileOptions{});
+}
+
+Program Program::compile(const netlist::Netlist& nl,
+                         const CompileOptions& options) {
     using netlist::GateKind;
     using netlist::NodeId;
     const std::size_t n = nl.node_count();
@@ -361,6 +512,9 @@ Program Program::compile(const netlist::Netlist& nl) {
         }
     };
     schedule_post_order(n, roots, deps, emit);
+    if (options.hoist_common_pairs) {
+        hoist_common_pairs(b, options.min_pair_occurrences);
+    }
     return detail::Linker::link(std::move(b), n);
 }
 

@@ -355,6 +355,19 @@ CedInfo add_parity_ced(Netlist& nl, const field::Field& field,
         }
     }
     info.added_gates = nl.node_count() - n;
+
+    // Mark every appended checker gate as protected: the optimization
+    // passes (src/opt) rebuild protected logic — and its whole transitive
+    // fanin — verbatim, so no rewrite can merge a prediction gate with the
+    // multiplier gate whose fault it exists to catch, and the error
+    // patterns the parity groups were selected to cover stay valid.
+    for (NodeId id = static_cast<NodeId>(n);
+         id < static_cast<NodeId>(nl.node_count()); ++id) {
+        const auto kind = nl.node(id).kind;
+        if (kind == netlist::GateKind::And2 || kind == netlist::GateKind::Xor2) {
+            nl.set_protected(id);
+        }
+    }
     return info;
 }
 

@@ -19,13 +19,19 @@
 
 namespace gfr::mult {
 
-netlist::Netlist build_date2018_flat(const field::Field& field) {
+netlist::Netlist build_date2018_flat(const field::Field& field,
+                                     Elaboration elaboration) {
     const int m = field.degree();
     const mastrovito::ReductionMatrix q{field.modulus()};
     const st::SplitTables tables = st::make_split_tables(m);
 
     netlist::Netlist nl;
     ProductLayer pl{nl, m};
+    // Literal elaboration writes the Table IV flat sums one gate per
+    // operator: only the product plane (memoised by ProductLayer) is
+    // shared, matching the paper's flat gate-count accounting.  The
+    // synthesis/optimization pipeline is what re-discovers the sharing.
+    nl.set_structural_sharing(elaboration == Elaboration::Shared);
 
     auto append_desc = [&](const std::vector<st::SplitTerm>& splits,
                            std::vector<netlist::NodeId>& leaves) {

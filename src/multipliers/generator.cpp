@@ -57,4 +57,18 @@ netlist::Netlist build_multiplier(Method method, const field::Field& field) {
     throw std::invalid_argument{"build_multiplier: unknown method"};
 }
 
+netlist::Netlist build_multiplier(Method method, const field::Field& field,
+                                  Elaboration elaboration) {
+    if (elaboration == Elaboration::Shared) {
+        return build_multiplier(method, field);
+    }
+    if (method != Method::Date2018Flat) {
+        throw std::invalid_argument{
+            "build_multiplier: literal elaboration is only defined for the "
+            "flat product family (Date2018Flat); the other architectures "
+            "prescribe their sharing structure"};
+    }
+    return build_date2018_flat(field, elaboration);
+}
+
 }  // namespace gfr::mult

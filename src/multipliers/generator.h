@@ -59,8 +59,27 @@ const std::vector<MethodInfo>& all_methods();
 /// Metadata for one method.
 const MethodInfo& method_info(Method method);
 
+/// How a generator writes its expression into the netlist IR.
+///
+///   Shared  — hash-cons every gate at construction (the historical
+///             behavior): structurally identical subterms exist once.
+///   Literal — one gate per operator of the written expression, no
+///             structural sharing above the (memoised) product layer.
+///             This is the form the paper's flat-family gate counts
+///             describe and the form handed to synthesis; recovering the
+///             sharing is the optimization pipeline's job (src/opt).
+///             Only the flat family supports it — every other Table V
+///             architecture *prescribes* its sharing structure, so a
+///             literal elaboration of those would not be that method.
+enum class Elaboration : std::uint8_t { Shared, Literal };
+
 /// Dispatch to the architecture-specific builder below.
 netlist::Netlist build_multiplier(Method method, const field::Field& field);
+
+/// Elaboration-aware dispatch.  Throws std::invalid_argument for
+/// Elaboration::Literal on any method other than Date2018Flat.
+netlist::Netlist build_multiplier(Method method, const field::Field& field,
+                                  Elaboration elaboration);
 
 netlist::Netlist build_school_reduce(const field::Field& field);
 netlist::Netlist build_paar_mastrovito(const field::Field& field);
@@ -68,7 +87,8 @@ netlist::Netlist build_rashidi_direct(const field::Field& field);
 netlist::Netlist build_reyhani_hasan(const field::Field& field);
 netlist::Netlist build_imana2012(const field::Field& field);
 netlist::Netlist build_imana2016_paren(const field::Field& field);
-netlist::Netlist build_date2018_flat(const field::Field& field);
+netlist::Netlist build_date2018_flat(const field::Field& field,
+                                     Elaboration elaboration = Elaboration::Shared);
 
 /// Declared in karatsuba.h; listed here so build_multiplier can dispatch.
 netlist::Netlist build_karatsuba_default(const field::Field& field);

@@ -16,6 +16,8 @@ ProductLayer::ProductLayer(netlist::Netlist& nl, int m) : nl_{&nl}, m_{m} {
     for (int i = 0; i < m; ++i) {
         b_.push_back(nl.add_input(b_name(i)));
     }
+    products_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(m),
+                     netlist::kInvalidNode);
 }
 
 netlist::NodeId ProductLayer::a(int i) const { return a_.at(static_cast<std::size_t>(i)); }
@@ -23,7 +25,13 @@ netlist::NodeId ProductLayer::a(int i) const { return a_.at(static_cast<std::siz
 netlist::NodeId ProductLayer::b(int i) const { return b_.at(static_cast<std::size_t>(i)); }
 
 netlist::NodeId ProductLayer::product(int i, int j) {
-    return nl_->make_and(a(i), b(j));
+    auto& memo = products_.at(static_cast<std::size_t>(i) *
+                                  static_cast<std::size_t>(m_) +
+                              static_cast<std::size_t>(j));
+    if (memo == netlist::kInvalidNode) {
+        memo = nl_->make_and(a(i), b(j));
+    }
+    return memo;
 }
 
 netlist::NodeId ProductLayer::z_term(int lo, int hi) {

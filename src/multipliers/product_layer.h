@@ -4,9 +4,11 @@
 // Common input frame shared by every multiplier generator: primary inputs
 // a0..a(m-1) and b0..b(m-1) plus memoised builders for the elementary pieces
 // of the paper's algebra — partial products a_i*b_j, square terms x_k and
-// cross terms z^j_i.  Structural hashing in the netlist guarantees each
-// piece exists at most once no matter how many architectures' worth of
-// expressions reference it.
+// cross terms z^j_i.  The partial products are memoised by the layer itself
+// (the product plane is physical hardware computed once, whatever the
+// summation network above it looks like), so they stay unique even under a
+// literal elaboration with netlist structural sharing disabled; everything
+// above the products relies on the netlist's hash-consing when enabled.
 
 #include "netlist/netlist.h"
 #include "st/st_terms.h"
@@ -54,6 +56,7 @@ private:
     int m_ = 0;
     std::vector<netlist::NodeId> a_;
     std::vector<netlist::NodeId> b_;
+    std::vector<netlist::NodeId> products_;  ///< m*m memo, kInvalidNode = unbuilt
 };
 
 /// Canonical output name "c<k>".

@@ -320,4 +320,16 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
     return std::nullopt;  // unreachable: the failing worker recorded its payload
 }
 
+opt::OptResult optimize_and_verify(const netlist::Netlist& nl,
+                                   const field::Field& field,
+                                   const opt::OptOptions& opt_options,
+                                   const VerifyOptions& verify_options) {
+    opt::OptResult result = opt::optimize(nl, opt_options);
+    if (const auto failure =
+            verify_multiplier(result.netlist, field, verify_options)) {
+        throw opt::VerificationError("multiplier", failure->to_string());
+    }
+    return result;
+}
+
 }  // namespace gfr::mult

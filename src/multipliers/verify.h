@@ -23,6 +23,7 @@
 
 #include "field/gf2m.h"
 #include "netlist/netlist.h"
+#include "opt/opt.h"
 
 #include <cstdint>
 #include <optional>
@@ -71,6 +72,19 @@ struct VerifyFailure {
 std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
                                                const field::Field& field,
                                                const VerifyOptions& options = {});
+
+/// The productive order for guarded designs is optimize-then-guard, and this
+/// is the seam every consumer (flow, emitters, reports, demos) goes through:
+/// run the campaign-gated optimization pipeline, then re-verify the
+/// optimized netlist against the reference field arithmetic end-to-end.
+/// Throws opt::VerificationError when a pass fails its equivalence gate OR
+/// when the optimized multiplier fails the reference check (pass name
+/// "multiplier", detail = the failure's repro string) — a caller can never
+/// obtain an unverified optimized netlist from this function.
+opt::OptResult optimize_and_verify(const netlist::Netlist& nl,
+                                   const field::Field& field,
+                                   const opt::OptOptions& opt_options = {},
+                                   const VerifyOptions& verify_options = {});
 
 }  // namespace gfr::mult
 

@@ -19,10 +19,17 @@ std::string NetlistStats::delay_string() const {
     return out.empty() ? "0" : out;
 }
 
+void Netlist::check_capacity() const {
+    if (nodes_.size() + 1 >= kMaxNodes) {
+        throw std::length_error{"Netlist: node count limit reached (2^32 - 1)"};
+    }
+}
+
 NodeId Netlist::add_input(std::string name) {
     if (input_index(name) >= 0) {
         throw std::invalid_argument{"Netlist::add_input: duplicate input name " + name};
     }
+    check_capacity();
     const NodeId id = static_cast<NodeId>(nodes_.size());
     nodes_.push_back(Node{GateKind::Input, kInvalidNode, kInvalidNode});
     input_index_by_name_.emplace(name, static_cast<int>(inputs_.size()));
@@ -32,6 +39,7 @@ NodeId Netlist::add_input(std::string name) {
 
 NodeId Netlist::const0() {
     if (const0_ == kInvalidNode) {
+        check_capacity();
         const0_ = static_cast<NodeId>(nodes_.size());
         nodes_.push_back(Node{GateKind::Const0, kInvalidNode, kInvalidNode});
     }
@@ -42,17 +50,44 @@ NodeId Netlist::intern(GateKind kind, NodeId a, NodeId b) {
     if (a > b) {
         std::swap(a, b);  // commutative gates get canonical fanin order
     }
-    const std::uint64_t key = (static_cast<std::uint64_t>(kind) << 60U) |
-                              (static_cast<std::uint64_t>(a) << 30U) |
-                              static_cast<std::uint64_t>(b);
+    if (!structural_sharing_) {
+        check_capacity();
+        const NodeId id = static_cast<NodeId>(nodes_.size());
+        nodes_.push_back(Node{kind, a, b});
+        return id;  // literal elaboration: never merged, never probed
+    }
+    const detail::StructuralKey key{static_cast<std::uint8_t>(kind), a, b};
     const auto it = structural_hash_.find(key);
     if (it != structural_hash_.end()) {
         return it->second;
     }
+    check_capacity();
     const NodeId id = static_cast<NodeId>(nodes_.size());
     nodes_.push_back(Node{kind, a, b});
     structural_hash_.emplace(key, id);
     return id;
+}
+
+NodeId Netlist::find_gate(GateKind kind, NodeId a, NodeId b) const {
+    if (a > b) {
+        std::swap(a, b);
+    }
+    const detail::StructuralKey key{static_cast<std::uint8_t>(kind), a, b};
+    const auto it = structural_hash_.find(key);
+    return it != structural_hash_.end() ? it->second : kInvalidNode;
+}
+
+void Netlist::set_protected(NodeId id) {
+    if (id >= nodes_.size()) {
+        throw std::out_of_range{"Netlist::set_protected: node id out of range"};
+    }
+    if (protected_.size() < nodes_.size()) {
+        protected_.resize(nodes_.size(), 0);
+    }
+    if (protected_[id] == 0) {
+        protected_[id] = 1;
+        ++protected_count_;
+    }
 }
 
 NodeId Netlist::make_and(NodeId a, NodeId b) {
@@ -90,6 +125,7 @@ NodeId Netlist::make_and_fresh(NodeId a, NodeId b) {
     if (a >= nodes_.size() || b >= nodes_.size()) {
         throw std::out_of_range{"Netlist::make_and_fresh: fanin id out of range"};
     }
+    check_capacity();
     const NodeId id = static_cast<NodeId>(nodes_.size());
     nodes_.push_back(Node{GateKind::And2, a, b});
     return id;
@@ -99,6 +135,7 @@ NodeId Netlist::make_xor_fresh(NodeId a, NodeId b) {
     if (a >= nodes_.size() || b >= nodes_.size()) {
         throw std::out_of_range{"Netlist::make_xor_fresh: fanin id out of range"};
     }
+    check_capacity();
     const NodeId id = static_cast<NodeId>(nodes_.size());
     nodes_.push_back(Node{GateKind::Xor2, a, b});
     return id;
@@ -200,10 +237,10 @@ std::vector<int> Netlist::fanout_counts() const {
 NetlistStats Netlist::stats() const {
     const auto seen = reachable_from_outputs();
     NetlistStats s;
-    s.n_inputs = static_cast<int>(inputs_.size());
-    s.n_outputs = static_cast<int>(outputs_.size());
-    std::vector<int> and_depth(nodes_.size(), 0);
-    std::vector<int> xor_depth(nodes_.size(), 0);
+    s.n_inputs = static_cast<std::int64_t>(inputs_.size());
+    s.n_outputs = static_cast<std::int64_t>(outputs_.size());
+    std::vector<std::int64_t> and_depth(nodes_.size(), 0);
+    std::vector<std::int64_t> xor_depth(nodes_.size(), 0);
     for (NodeId id = 0; id < nodes_.size(); ++id) {
         if (!seen[id]) {
             continue;

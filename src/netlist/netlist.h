@@ -27,6 +27,41 @@ enum class GateKind : std::uint8_t { Input, Const0, And2, Xor2 };
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = 0xFFFFFFFFU;
 
+/// Hard ceiling on node count: every valid id must stay below the invalid
+/// sentinel.  Construction throws std::length_error at the cliff instead of
+/// silently wrapping ids.
+inline constexpr std::size_t kMaxNodes = static_cast<std::size_t>(kInvalidNode);
+
+namespace detail {
+
+/// Exact structural-hash key.  This replaces the former packed-word key
+/// ((kind << 60) | (a << 30) | b): node ids occupy 32 bits, so the 30-bit
+/// fields aliased distinct fanin pairs once ids crossed 2^30 — and because
+/// the key *is* the gate identity in the hash map, an aliased key did not
+/// merely slow a lookup down, it silently merged unrelated gates (flat
+/// m >= 1024 netlists head toward that cliff, and the optimizer re-interns
+/// whole netlists).  The struct compares field-exact; the hash may collide
+/// freely (collisions only cost probes, never identity).
+struct StructuralKey {
+    std::uint8_t kind = 0;
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    friend bool operator==(const StructuralKey&, const StructuralKey&) = default;
+};
+
+struct StructuralKeyHash {
+    [[nodiscard]] std::size_t operator()(const StructuralKey& k) const noexcept {
+        // splitmix64 finalizer over the exact (kind, a, b) triple.
+        std::uint64_t x = (static_cast<std::uint64_t>(k.a) << 32U) | k.b;
+        x += 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(k.kind) + 1);
+        x = (x ^ (x >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27U)) * 0x94d049bb133111ebULL;
+        return static_cast<std::size_t>(x ^ (x >> 31U));
+    }
+};
+
+}  // namespace detail
+
 /// One gate.  For Input/Const0 the fanins are kInvalidNode.
 struct Node {
     GateKind kind = GateKind::Const0;
@@ -52,13 +87,21 @@ enum class TreeShape : std::uint8_t {
 /// input-to-output path (counted independently, the convention used by the
 /// paper's "T_A + k T_X" delay expressions; all multipliers here have
 /// and_depth == 1 because products form a single AND layer).
+///
+/// All counters and depths are std::int64_t: the flat product families are
+/// quadratic in m (m = 1024 already emits ~2M gates before optimization)
+/// and derived quantities (gate x depth products, bench deltas) overflowed
+/// the old `int` fields long before the counts themselves did.
 struct NetlistStats {
-    int n_inputs = 0;
-    int n_outputs = 0;
-    int n_and = 0;
-    int n_xor = 0;
-    int and_depth = 0;
-    int xor_depth = 0;
+    std::int64_t n_inputs = 0;
+    std::int64_t n_outputs = 0;
+    std::int64_t n_and = 0;
+    std::int64_t n_xor = 0;
+    std::int64_t and_depth = 0;
+    std::int64_t xor_depth = 0;
+
+    /// Total gate count (the area proxy used by the optimizer's reports).
+    [[nodiscard]] std::int64_t gates() const noexcept { return n_and + n_xor; }
 
     /// "T_A + 5T_X" style rendering.
     [[nodiscard]] std::string delay_string() const;
@@ -86,6 +129,25 @@ public:
     /// An empty list yields const0; a single leaf is returned unchanged.
     NodeId make_xor_tree(std::span<const NodeId> leaves, TreeShape shape);
 
+    // --- Structural sharing toggle ----------------------------------------
+    // With sharing disabled, make_and/make_xor keep their algebraic
+    // simplifications (x^x = 0, x&0 = 0, ...) but every surviving gate is a
+    // brand-new node: no hash lookup on the way in, and the node is not
+    // offered to later intern() calls or find_gate() probes.  This is the
+    // *literal* elaboration the flat generator family uses — one gate per
+    // operator of the written expression, with all structure recovery left
+    // to the optimization pipeline (whose first pass re-interns everything,
+    // exactly the load the exact StructuralKey exists for).
+
+    /// Enable/disable hash-consing for subsequent make_and/make_xor calls.
+    void set_structural_sharing(bool enabled) noexcept {
+        structural_sharing_ = enabled;
+    }
+
+    [[nodiscard]] bool structural_sharing() const noexcept {
+        return structural_sharing_;
+    }
+
     // --- Fresh (non-interned) gates --------------------------------------
     // Append a brand-new node unconditionally: no simplification, no
     // structural-hash lookup, and the new node is never offered to future
@@ -112,6 +174,29 @@ public:
     /// Register a primary output.  The same node may drive several outputs.
     void add_output(std::string name, NodeId node);
 
+    // --- Protected gates --------------------------------------------------
+    // A protected gate is one the optimization passes (src/opt) must keep
+    // verbatim: never merged with another gate, never rewritten, never
+    // re-interned.  guard::add_parity_ced marks every checker gate it
+    // appends — merging a prediction gate with the multiplier gate whose
+    // fault it exists to catch would make that fault undetectable by
+    // construction.  Passes extend the guarantee to the whole transitive
+    // fanin of a protected node (the "frozen cone"), since restructuring
+    // logic a checker observes changes the fault patterns the parity groups
+    // were chosen to cover.  clone_netlist preserves marks.
+
+    /// Mark a node as protected.  Throws std::out_of_range on a bad id.
+    void set_protected(NodeId id);
+
+    [[nodiscard]] bool is_protected(NodeId id) const noexcept {
+        return id < protected_.size() && protected_[id] != 0;
+    }
+
+    /// Number of protected nodes (0 on any netlist no guard pass touched).
+    [[nodiscard]] std::size_t protected_count() const noexcept {
+        return protected_count_;
+    }
+
     // --- Inspection -------------------------------------------------------
 
     [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
@@ -130,6 +215,14 @@ public:
     /// after a guard pass), not per port like input matching does.
     [[nodiscard]] int output_index(const std::string& name) const;
 
+    /// Probe the structural hash: the interned gate matching (kind, a, b)
+    /// after the same commutative canonicalisation intern() applies, or
+    /// kInvalidNode.  Never creates a node and never applies the make_and/
+    /// make_xor simplifications — the optimizer's dry-run costing uses this
+    /// to price a candidate structure before committing to build it.
+    /// Fresh (non-interned) gates are invisible here by design.
+    [[nodiscard]] NodeId find_gate(GateKind kind, NodeId a, NodeId b) const;
+
     /// Flags for nodes reachable from any output (transitive fanin).
     [[nodiscard]] std::vector<bool> reachable_from_outputs() const;
 
@@ -143,12 +236,20 @@ public:
 private:
     [[nodiscard]] NodeId intern(GateKind kind, NodeId a, NodeId b);
 
+    /// Throws std::length_error when appending one more node would reach
+    /// kMaxNodes (ids must stay below the kInvalidNode sentinel).
+    void check_capacity() const;
+
     std::vector<Node> nodes_;
     std::vector<Port> inputs_;
     std::vector<Port> outputs_;
-    std::unordered_map<std::uint64_t, NodeId> structural_hash_;
+    std::unordered_map<detail::StructuralKey, NodeId, detail::StructuralKeyHash>
+        structural_hash_;
     std::unordered_map<std::string, int> input_index_by_name_;
+    std::vector<std::uint8_t> protected_;  ///< lazily sized; empty = no marks
+    std::size_t protected_count_ = 0;
     NodeId const0_ = kInvalidNode;
+    bool structural_sharing_ = true;
 };
 
 }  // namespace gfr::netlist

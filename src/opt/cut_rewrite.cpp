@@ -1,0 +1,484 @@
+// DAG-aware <=4-input cut rewriting (mockturtle-style, adapted to the
+// inverter-free AND/XOR basis).
+//
+// For every non-frozen gate, processed in topological order while the
+// destination netlist is rebuilt bottom-up, the pass enumerates up to
+// cuts_per_node cuts of at most four leaves (truth tables stitched during
+// the merge), looks each cut function up in the optimal-subcircuit
+// database, and prices the candidate implementation by *dry-running* it
+// against the destination's structural hash: a candidate gate that already
+// exists (built by another cone, or by an earlier rewrite) costs nothing.
+// The benefit side counts the gate the default rebuild would add plus the
+// cut's MFFC — interior cone nodes whose every fanout lies inside the cone
+// and whose destination image serves no other source node; those become
+// dead the moment the root stops referencing them and the final sweep
+// collects them.  A candidate is committed only when benefit exceeds cost,
+// so a round can only shrink the reachable gate count.
+
+#include "opt/internal.h"
+#include "opt/opt.h"
+#include "opt/xag_db.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gfr::opt {
+
+using netlist::GateKind;
+using netlist::kInvalidNode;
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+constexpr int kMaxLeaves = 4;
+constexpr std::size_t kMaxConeNodes = 64;  ///< skip cuts with larger cones
+
+struct Cut {
+    std::uint8_t size = 0;
+    std::array<NodeId, kMaxLeaves> leaves{};  ///< ascending node ids
+    std::uint16_t tt = 0;  ///< function over leaves in 4-var space
+};
+
+/// Expand a truth table from a cut's own leaf positions to positions in a
+/// merged leaf list (both ascending).
+std::uint16_t expand_truth(std::uint16_t tt, const Cut& cut,
+                           const std::array<NodeId, kMaxLeaves>& merged,
+                           int merged_size) {
+    std::array<int, kMaxLeaves> pos{};  // cut leaf index -> merged index
+    for (int i = 0; i < cut.size; ++i) {
+        for (int j = 0; j < merged_size; ++j) {
+            if (merged[static_cast<std::size_t>(j)] ==
+                cut.leaves[static_cast<std::size_t>(i)]) {
+                pos[static_cast<std::size_t>(i)] = j;
+                break;
+            }
+        }
+    }
+    std::uint16_t out = 0;
+    for (unsigned m = 0; m < 16; ++m) {
+        unsigned idx = 0;
+        for (int i = 0; i < cut.size; ++i) {
+            if ((m >> pos[static_cast<std::size_t>(i)]) & 1U) {
+                idx |= 1U << i;
+            }
+        }
+        if ((tt >> idx) & 1U) {
+            out |= static_cast<std::uint16_t>(1U << m);
+        }
+    }
+    return out;
+}
+
+struct DryResult {
+    NodeId node = kInvalidNode;  ///< resolved existing dst node, if any
+    int new_gates = 0;
+};
+
+/// Price a database structure against the destination netlist without
+/// building anything.  `leaf_node[j]` is the dst image of merged leaf j;
+/// `resolved` collects every existing dst node the candidate would reuse
+/// (so the MFFC estimate can exclude them from "freed").
+DryResult dry_run(std::uint16_t tt, const internal::XagDatabase& db,
+                  const std::array<NodeId, kMaxLeaves>& leaf_node,
+                  NodeId dst_zero, const Netlist& dst,
+                  std::unordered_map<std::uint16_t, DryResult>& memo,
+                  std::vector<NodeId>& resolved) {
+    if (tt == 0) {
+        return DryResult{dst_zero, 0};
+    }
+    for (int j = 0; j < kMaxLeaves; ++j) {
+        if (tt == internal::kLeafTruth[static_cast<std::size_t>(j)]) {
+            return DryResult{leaf_node[static_cast<std::size_t>(j)], 0};
+        }
+    }
+    if (const auto it = memo.find(tt); it != memo.end()) {
+        return it->second;
+    }
+    const auto& e = db.entry(tt);
+    DryResult r;
+    const DryResult la =
+        dry_run(e.fa, db, leaf_node, dst_zero, dst, memo, resolved);
+    const DryResult lb =
+        dry_run(e.fb, db, leaf_node, dst_zero, dst, memo, resolved);
+    r.new_gates = la.new_gates + lb.new_gates;
+    if (la.node != kInvalidNode && lb.node != kInvalidNode) {
+        const NodeId hit = dst.find_gate(e.is_and ? GateKind::And2 : GateKind::Xor2,
+                                         la.node, lb.node);
+        if (hit != kInvalidNode) {
+            r.node = hit;
+            resolved.push_back(hit);
+        } else {
+            ++r.new_gates;
+        }
+    } else {
+        ++r.new_gates;
+    }
+    memo.emplace(tt, r);
+    return r;
+}
+
+/// Build a database structure for real (memoized per call, interned).
+NodeId build_structure(std::uint16_t tt, const internal::XagDatabase& db,
+                       const std::array<NodeId, kMaxLeaves>& leaf_node,
+                       Netlist& dst,
+                       std::unordered_map<std::uint16_t, NodeId>& memo) {
+    if (tt == 0) {
+        return dst.const0();
+    }
+    for (int j = 0; j < kMaxLeaves; ++j) {
+        if (tt == internal::kLeafTruth[static_cast<std::size_t>(j)]) {
+            return leaf_node[static_cast<std::size_t>(j)];
+        }
+    }
+    if (const auto it = memo.find(tt); it != memo.end()) {
+        return it->second;
+    }
+    const auto& e = db.entry(tt);
+    const NodeId a = build_structure(e.fa, db, leaf_node, dst, memo);
+    const NodeId b = build_structure(e.fb, db, leaf_node, dst, memo);
+    const NodeId out = e.is_and ? dst.make_and(a, b) : dst.make_xor(a, b);
+    memo.emplace(tt, out);
+    return out;
+}
+
+}  // namespace
+
+PassResult rewrite_cuts(const Netlist& nl, const RewriteOptions& options) {
+    const std::size_t n = nl.node_count();
+    const auto reachable = nl.reachable_from_outputs();
+    const auto frozen = internal::frozen_nodes(nl);
+    const auto& db = internal::XagDatabase::instance(options.max_database_gates);
+    const int cuts_cap = std::max(2, options.cuts_per_node);
+
+    // Source-side fanout adjacency over the reachable subgraph; output
+    // ports count as one extra (non-removable) fanout.
+    std::vector<std::vector<NodeId>> fanouts(n);
+    std::vector<std::uint32_t> output_refs(n, 0);
+    for (NodeId id = 0; id < n; ++id) {
+        if (!reachable[id]) {
+            continue;
+        }
+        const auto& node = nl.node(id);
+        if (node.kind == GateKind::And2 || node.kind == GateKind::Xor2) {
+            fanouts[node.a].push_back(id);
+            fanouts[node.b].push_back(id);
+        }
+    }
+    for (const auto& port : nl.outputs()) {
+        ++output_refs[port.node];
+    }
+
+    Netlist dst;
+    const NodeId dst_zero = dst.const0();
+    std::vector<NodeId> memo(n, kInvalidNode);
+    std::vector<std::uint32_t> dst_src_count{1};  // const0 counts as shared
+    const auto note_mapping = [&](NodeId dst_id) {
+        if (dst_id >= dst_src_count.size()) {
+            dst_src_count.resize(static_cast<std::size_t>(dst_id) + 1, 0);
+        }
+        ++dst_src_count[dst_id];
+    };
+
+    std::vector<std::vector<Cut>> cuts(n);
+    std::vector<std::string> input_name(n);
+    for (const auto& port : nl.inputs()) {
+        input_name[port.node] = port.name;
+    }
+
+    // Scratch reused across nodes.
+    std::vector<Cut> merged_cuts;
+    std::vector<NodeId> cone;
+    std::vector<std::uint8_t> in_cone(n, 0);
+    std::vector<std::uint8_t> in_mffc(n, 0);
+
+    const auto trivial_cut = [](NodeId id) {
+        Cut c;
+        c.size = 1;
+        c.leaves[0] = id;
+        c.tt = internal::kLeafTruth[0];
+        return c;
+    };
+
+    for (NodeId id = 0; id < n; ++id) {
+        const auto& node = nl.node(id);
+        if (node.kind == GateKind::Input) {
+            memo[id] = dst.add_input(input_name[id]);
+            note_mapping(memo[id]);
+            if (nl.is_protected(id)) {
+                dst.set_protected(memo[id]);
+            }
+            cuts[id] = {trivial_cut(id)};
+            continue;
+        }
+        if (node.kind == GateKind::Const0) {
+            if (reachable[id] || frozen[id]) {
+                memo[id] = dst_zero;
+                note_mapping(dst_zero);
+            }
+            continue;  // const0 never appears as a cut leaf (tt handles it)
+        }
+        if (!reachable[id] && !frozen[id]) {
+            continue;  // dead
+        }
+        const NodeId fa = memo[node.a];
+        const NodeId fb = memo[node.b];
+        if (frozen[id]) {
+            // Verbatim rebuild; cuts stop here so no cone ever crosses
+            // frozen logic.
+            memo[id] = (node.kind == GateKind::And2) ? dst.make_and_fresh(fa, fb)
+                                                     : dst.make_xor_fresh(fa, fb);
+            note_mapping(memo[id]);
+            if (nl.is_protected(id)) {
+                dst.set_protected(memo[id]);
+            }
+            cuts[id] = {trivial_cut(id)};
+            continue;
+        }
+        // A fanin may be a dead Const0 sibling only when unreachable; both
+        // fanins of a reachable gate are mapped here.
+
+        // --- Cut enumeration (source side) -------------------------------
+        merged_cuts.clear();
+        const auto fanin_cuts = [&](NodeId f) -> const std::vector<Cut>& {
+            return cuts[f];
+        };
+        for (const Cut& ca : fanin_cuts(node.a)) {
+            for (const Cut& cb : fanin_cuts(node.b)) {
+                std::array<NodeId, kMaxLeaves> merged{};
+                int size = 0;
+                bool ok = true;
+                const auto add_leaf = [&](NodeId leaf) {
+                    for (int i = 0; i < size; ++i) {
+                        if (merged[static_cast<std::size_t>(i)] == leaf) {
+                            return;
+                        }
+                    }
+                    if (size == kMaxLeaves) {
+                        ok = false;
+                        return;
+                    }
+                    merged[static_cast<std::size_t>(size++)] = leaf;
+                };
+                for (int i = 0; i < ca.size && ok; ++i) {
+                    add_leaf(ca.leaves[static_cast<std::size_t>(i)]);
+                }
+                for (int i = 0; i < cb.size && ok; ++i) {
+                    add_leaf(cb.leaves[static_cast<std::size_t>(i)]);
+                }
+                if (!ok) {
+                    continue;
+                }
+                std::sort(merged.begin(), merged.begin() + size);
+                const std::uint16_t ta = expand_truth(ca.tt, ca, merged, size);
+                const std::uint16_t tb = expand_truth(cb.tt, cb, merged, size);
+                Cut c;
+                c.size = static_cast<std::uint8_t>(size);
+                c.leaves = merged;
+                c.tt = (node.kind == GateKind::And2)
+                           ? static_cast<std::uint16_t>(ta & tb)
+                           : static_cast<std::uint16_t>(ta ^ tb);
+                // Dedupe on the leaf set.
+                bool dup = false;
+                for (const Cut& seen : merged_cuts) {
+                    if (seen.size == c.size && seen.leaves == c.leaves) {
+                        dup = true;
+                        break;
+                    }
+                }
+                if (!dup) {
+                    merged_cuts.push_back(c);
+                }
+            }
+        }
+        std::stable_sort(merged_cuts.begin(), merged_cuts.end(),
+                         [](const Cut& x, const Cut& y) { return x.size < y.size; });
+        if (static_cast<int>(merged_cuts.size()) > cuts_cap) {
+            merged_cuts.resize(static_cast<std::size_t>(cuts_cap));
+        }
+
+        // --- Default rebuild price ---------------------------------------
+        const GateKind kind = node.kind;
+        NodeId default_node = kInvalidNode;
+        if (fa == fb) {
+            default_node = (kind == GateKind::And2) ? fa : dst_zero;
+        } else if (fa == dst_zero || fb == dst_zero) {
+            default_node =
+                (kind == GateKind::And2) ? dst_zero : (fa == dst_zero ? fb : fa);
+        } else {
+            default_node = dst.find_gate(kind, fa, fb);
+        }
+        if (default_node != kInvalidNode) {
+            // Sharing or simplification makes the default free; no
+            // candidate can beat cost zero plus an intact cone.
+            memo[id] = default_node;
+            note_mapping(default_node);
+            cuts[id] = std::move(merged_cuts);
+            cuts[id].push_back(trivial_cut(id));
+            continue;
+        }
+
+        // --- Candidate evaluation ----------------------------------------
+        int best_gain = 0;
+        std::uint16_t best_tt = 0;
+        std::array<NodeId, kMaxLeaves> best_leaf_node{};
+        std::unordered_map<std::uint16_t, DryResult> dry_memo;
+        std::vector<NodeId> resolved;
+        for (const Cut& c : merged_cuts) {
+            if (c.size == 1 && c.leaves[0] == id) {
+                continue;  // trivial self-cut
+            }
+            const auto& entry = db.entry(c.tt);
+            if (entry.cost < 0) {
+                continue;  // function beyond the database bound
+            }
+            std::array<NodeId, kMaxLeaves> leaf_node{};
+            leaf_node.fill(kInvalidNode);
+            for (int j = 0; j < c.size; ++j) {
+                leaf_node[static_cast<std::size_t>(j)] =
+                    memo[c.leaves[static_cast<std::size_t>(j)]];
+            }
+            dry_memo.clear();
+            resolved.clear();
+            const DryResult priced = dry_run(c.tt, db, leaf_node, dst_zero, dst,
+                                             dry_memo, resolved);
+
+            // MFFC of id w.r.t. this cut: interior cone nodes every one of
+            // whose fanouts stays inside the cone (output-driving, frozen
+            // and candidate-reused nodes excluded) — dead after rewrite.
+            cone.clear();
+            bool cone_ok = true;
+            {
+                std::vector<NodeId> stack{id};
+                in_cone[id] = 1;
+                while (!stack.empty() && cone_ok) {
+                    const NodeId v = stack.back();
+                    stack.pop_back();
+                    cone.push_back(v);
+                    if (cone.size() > kMaxConeNodes) {
+                        cone_ok = false;
+                        break;
+                    }
+                    bool is_leaf = false;
+                    for (int j = 0; j < c.size; ++j) {
+                        if (c.leaves[static_cast<std::size_t>(j)] == v) {
+                            is_leaf = true;
+                            break;
+                        }
+                    }
+                    if (is_leaf || v == kInvalidNode) {
+                        continue;
+                    }
+                    const auto& vn = nl.node(v);
+                    if (vn.kind != GateKind::And2 && vn.kind != GateKind::Xor2) {
+                        continue;
+                    }
+                    for (const NodeId f : {vn.a, vn.b}) {
+                        if (!in_cone[f]) {
+                            in_cone[f] = 1;
+                            stack.push_back(f);
+                        }
+                    }
+                }
+            }
+            int freed = 0;
+            if (cone_ok) {
+                // Descending id order: fanouts have larger ids, so their
+                // MFFC status is known before their fanins are visited.
+                std::sort(cone.begin(), cone.end(),
+                          [](NodeId x, NodeId y) { return x > y; });
+                for (const NodeId v : cone) {
+                    if (v == id) {
+                        in_mffc[v] = 1;
+                        continue;
+                    }
+                    bool is_leaf = false;
+                    for (int j = 0; j < c.size; ++j) {
+                        if (c.leaves[static_cast<std::size_t>(j)] == v) {
+                            is_leaf = true;
+                            break;
+                        }
+                    }
+                    const auto& vn = nl.node(v);
+                    const bool gate =
+                        vn.kind == GateKind::And2 || vn.kind == GateKind::Xor2;
+                    if (is_leaf || !gate || frozen[v] || output_refs[v] > 0) {
+                        in_mffc[v] = 0;
+                        continue;
+                    }
+                    bool all_inside = true;
+                    for (const NodeId f : fanouts[v]) {
+                        if (!in_cone[f] || !in_mffc[f]) {
+                            all_inside = false;
+                            break;
+                        }
+                    }
+                    in_mffc[v] = all_inside ? 1 : 0;
+                    if (all_inside && memo[v] != kInvalidNode &&
+                        dst_src_count[memo[v]] == 1 &&
+                        std::find(resolved.begin(), resolved.end(), memo[v]) ==
+                            resolved.end()) {
+                        ++freed;
+                    }
+                }
+            }
+            for (const NodeId v : cone) {
+                in_cone[v] = 0;
+                in_mffc[v] = 0;
+            }
+            if (!cone_ok) {
+                continue;
+            }
+
+            const int gain = 1 + freed - priced.new_gates;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_tt = c.tt;
+                best_leaf_node = leaf_node;
+            }
+        }
+
+        if (best_gain > 0) {
+            std::unordered_map<std::uint16_t, NodeId> build_memo;
+            memo[id] =
+                build_structure(best_tt, db, best_leaf_node, dst, build_memo);
+        } else {
+            memo[id] = (kind == GateKind::And2) ? dst.make_and(fa, fb)
+                                                : dst.make_xor(fa, fb);
+        }
+        note_mapping(memo[id]);
+        cuts[id] = std::move(merged_cuts);
+        cuts[id].push_back(trivial_cut(id));
+    }
+
+    for (const auto& port : nl.outputs()) {
+        NodeId driver = memo[port.node];
+        if (options.unsound_for_test && &port == &nl.outputs().front() &&
+            !nl.inputs().empty()) {
+            // Mutation-tier hook: a deliberately wrong rewrite the
+            // post-pass campaign must catch (flips output 0 whenever
+            // input 0 is 1).
+            driver = dst.make_xor(driver, memo[nl.inputs().front().node]);
+        }
+        dst.add_output(port.name, driver);
+    }
+
+    // Sweep the garbage the rewrites orphaned (and the eager const0 when
+    // unused) and compose the maps.
+    PassResult swept = strash(dst);
+    PassResult out;
+    out.netlist = std::move(swept.netlist);
+    out.node_map.assign(n, kInvalidNode);
+    for (NodeId id = 0; id < n; ++id) {
+        if (memo[id] != kInvalidNode) {
+            out.node_map[id] = swept.node_map[memo[id]];
+        }
+    }
+    return out;
+}
+
+}  // namespace gfr::opt

@@ -1,0 +1,30 @@
+#ifndef GFR_OPT_INTERNAL_H
+#define GFR_OPT_INTERNAL_H
+
+// Shared helpers of the optimization passes (not part of the public API).
+
+#include "netlist/netlist.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gfr::opt::internal {
+
+/// Frozen-cone flags: a node is frozen iff it is protected or lies in the
+/// transitive fanin of a protected node.  Frozen logic must be rebuilt
+/// verbatim (fresh gates, marks preserved) by every pass — restructuring
+/// anything a CED checker observes changes the fault patterns its parity
+/// groups were selected to cover.
+[[nodiscard]] std::vector<bool> frozen_nodes(const netlist::Netlist& nl);
+
+/// splitmix64 — deterministic signature/seed derivation for the passes.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27U)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31U);
+}
+
+}  // namespace gfr::opt::internal
+
+#endif  // GFR_OPT_INTERNAL_H

@@ -1,0 +1,168 @@
+#ifndef GFR_OPT_OPT_H
+#define GFR_OPT_OPT_H
+
+// Netlist optimization pipeline (ROADMAP item 2): the repo generated,
+// mapped, verified and guarded multiplier netlists but never *optimized*
+// them.  This layer adds four mockturtle-style passes over the AND/XOR IR:
+//
+//   strash             — re-intern an arbitrary netlist bottom-up: constant
+//                        folding, duplicate-gate merging (structural
+//                        hashing) and dead-logic sweep in one pass.  Today
+//                        only generator-emitted gates get interned; fresh
+//                        gates (CED checkers, fault clones) and any logic a
+//                        pass left dead never did.
+//   rewrite_cuts       — DAG-aware rewriting of <=4-input cuts against a
+//                        precomputed optimal-subcircuit database (XAG
+//                        functions enumerated to minimal tree cost; the
+//                        AND/XOR basis has no inverters, so truth tables
+//                        are keyed directly, no NPN canonicalisation
+//                        needed).  A candidate is priced by dry-running it
+//                        against the destination's structural hash
+//                        (find_gate), so sharing with logic that already
+//                        exists counts as free — replacements win either by
+//                        needing fewer gates or by reusing gates other
+//                        cones already built.
+//   reduce_functional  — functional reduction: random-pattern signatures
+//                        group candidate-equivalent nodes, every merge is
+//                        confirmed by netlist::check_equivalence on the
+//                        extracted cones before it is applied.
+//   restructure        — global XOR restructuring reusing the synthesis
+//                        passes (group_common_cones / fast-extract pair
+//                        CSE / depth balancing), best-of over strategies.
+//
+// optimize() chains them and gates EVERY pass with the equivalence
+// campaign (netlist::check_equivalence rides verify::Campaign): a pass
+// whose output is not equivalent to its input throws VerificationError and
+// nothing downstream ever sees the bad netlist.  The mutation tier proves
+// the gate bites (RewriteOptions::unsound_for_test).
+//
+// Protected gates (guard::add_parity_ced checker logic) are never merged,
+// rewritten or re-interned.  A node is *frozen* iff it is protected or in
+// the transitive fanin of a protected node; frozen logic is rebuilt
+// verbatim through the fresh (non-interned) gate API with marks preserved.
+// On a guarded netlist the entire multiplier sits in the actual-parity
+// trees' fanin, so the pipeline is intentionally ~identity there: optimize
+// first, then guard (the README documents the order).
+
+#include "netlist/equivalence.h"
+#include "netlist/netlist.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gfr::opt {
+
+/// Result of one pass: the rebuilt netlist plus an old-id -> new-id map
+/// (kInvalidNode for source nodes the pass dropped as dead).  Input and
+/// output ports keep their names and order, so any pass output is a drop-in
+/// for the original everywhere in the repo.
+struct PassResult {
+    netlist::Netlist netlist;
+    std::vector<netlist::NodeId> node_map;
+};
+
+/// Strash/sweep: bottom-up re-intern of the whole netlist.
+PassResult strash(const netlist::Netlist& nl);
+
+struct RewriteOptions {
+    /// Database depth: minimal implementations enumerated up to this many
+    /// gates per <=4-input function (tree cost; DAG sharing is priced at
+    /// rewrite time against the destination netlist).
+    int max_database_gates = 5;
+    /// Cuts kept per node during enumeration.
+    int cuts_per_node = 8;
+    /// Mutation-tier hook: XOR output 0's driver with primary input 0, a
+    /// deliberately unsound rewrite the post-pass campaign must catch.
+    bool unsound_for_test = false;
+};
+
+/// DAG-aware <=4-cut database rewriting.
+PassResult rewrite_cuts(const netlist::Netlist& nl,
+                        const RewriteOptions& options = {});
+
+struct ReduceOptions {
+    /// 64-lane random signature words per node (4 => 256 patterns).
+    int signature_words = 4;
+    std::uint64_t seed = 0xF12EDULL;
+    /// Upper bound on check_equivalence cone confirmations per run (a
+    /// safety valve on adversarial inputs; candidates beyond it stay
+    /// unmerged, which is always sound).
+    int max_confirmations = 4096;
+};
+
+/// Functional reduction via simulation signatures + cone equivalence.
+PassResult reduce_functional(const netlist::Netlist& nl,
+                             const ReduceOptions& options = {});
+
+/// One pipeline stage's before/after record.
+struct PassReport {
+    std::string pass;
+    std::int64_t gates_before = 0;
+    std::int64_t gates_after = 0;
+    std::int64_t xor_depth_before = 0;
+    std::int64_t xor_depth_after = 0;
+    bool verified = false;  ///< equivalence campaign ran and passed
+};
+
+/// A pass produced a netlist that is NOT equivalent to its input.  Carries
+/// the failing pass name and the campaign's counterexample.
+class VerificationError : public std::runtime_error {
+public:
+    VerificationError(std::string pass, const std::string& detail)
+        : std::runtime_error("opt: pass '" + pass +
+                             "' failed post-pass verification: " + detail),
+          pass_(std::move(pass)) {}
+
+    [[nodiscard]] const std::string& pass() const noexcept { return pass_; }
+
+private:
+    std::string pass_;
+};
+
+struct OptOptions {
+    bool strash = true;
+    /// Global XOR restructuring via the synthesis passes.  Automatically
+    /// skipped when the netlist carries protected gates (the synthesis
+    /// passes are not protection-aware); it also invalidates the node map.
+    bool restructure = true;
+    /// Cut-rewriting rounds (0 disables); rounds stop early when a round
+    /// stops improving the gate count.
+    int rewrite_rounds = 2;
+    bool reduce = true;
+    RewriteOptions rewrite{};
+    ReduceOptions reduction{};
+    /// Gate every pass with the equivalence campaign.  Leave on; the off
+    /// switch exists for benchmarking the passes themselves.
+    bool verify_each_pass = true;
+    netlist::EquivalenceOptions verify{};
+};
+
+struct OptResult {
+    netlist::Netlist netlist;
+    std::vector<PassReport> passes;
+    /// Composed old-id -> new-id map across all executed passes, valid only
+    /// when node_map_valid (the restructure stage rebuilds from flattened
+    /// equations and cannot produce one).  On guarded netlists restructure
+    /// is skipped, so CED bookkeeping (CedInfo::covered_sites) can always
+    /// be remapped through this.
+    std::vector<netlist::NodeId> node_map;
+    bool node_map_valid = false;
+
+    /// Total gate delta across the pipeline.
+    [[nodiscard]] std::int64_t gates_before() const noexcept {
+        return passes.empty() ? 0 : passes.front().gates_before;
+    }
+    [[nodiscard]] std::int64_t gates_after() const noexcept {
+        return passes.empty() ? 0 : passes.back().gates_after;
+    }
+};
+
+/// Run the full campaign-gated pipeline.  Throws VerificationError if any
+/// pass fails its equivalence check.
+OptResult optimize(const netlist::Netlist& nl, const OptOptions& options = {});
+
+}  // namespace gfr::opt
+
+#endif  // GFR_OPT_OPT_H

@@ -59,4 +59,12 @@ std::string fmt(double value, int decimals) {
     return buf;
 }
 
+std::string fmt_delta_pct(double before, double after, int decimals) {
+    if (before == 0.0 || before == after) {
+        return fmt(0.0, decimals) + "%";
+    }
+    const double pct = (after - before) / before * 100.0;
+    return (pct > 0.0 ? "+" : "") + fmt(pct, decimals) + "%";
+}
+
 }  // namespace gfr::report

@@ -28,6 +28,12 @@ private:
 /// Fixed-point formatting helper ("9.77", "322.41").
 std::string fmt(double value, int decimals);
 
+/// Relative-change formatting for before/after columns: "-15.3%" when
+/// `after` improved on `before`, "+2.1%" when it regressed, "0.0%" when
+/// unchanged or `before` is zero.  Used by the optimization benches so
+/// Table V deltas read uniformly.
+std::string fmt_delta_pct(double before, double after, int decimals = 1);
+
 }  // namespace gfr::report
 
 #endif  // GFR_REPORT_TABLE_H

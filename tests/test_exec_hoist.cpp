@@ -1,0 +1,133 @@
+// Tape-level CSE (Program::CompileOptions::hoist_common_pairs): the hoisted
+// tape must compute bit-identical outputs to the default tape and to the
+// frozen interpreter, must never carry more operand slots than the default
+// tape, and the default path must stay byte-for-byte the historical shape
+// (hoisting is opt-in; replay coordinates of logged campaign failures pin
+// the default tape).
+
+#include "exec/program.h"
+#include "field/field_catalog.h"
+#include "multipliers/generator.h"
+#include "netlist/simulate.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace gfr::exec {
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+/// A netlist with heavy cross-output pair sharing left on the table: every
+/// output is a flat XOR chain over overlapping input windows, so the pairs
+/// (i_k ^ i_{k+1}) recur across many outputs.
+Netlist overlapping_windows(int n_inputs, int window, int n_outputs) {
+    Netlist nl;
+    std::vector<NodeId> in;
+    for (int i = 0; i < n_inputs; ++i) {
+        in.push_back(nl.add_input("i" + std::to_string(i)));
+    }
+    for (int o = 0; o < n_outputs; ++o) {
+        NodeId acc = in[static_cast<std::size_t>(o % n_inputs)];
+        for (int k = 1; k < window; ++k) {
+            acc = nl.make_xor_fresh(
+                acc, in[static_cast<std::size_t>((o + k) % n_inputs)]);
+        }
+        nl.add_output("o" + std::to_string(o), acc);
+    }
+    return nl;
+}
+
+void expect_same_tape_results(const Netlist& nl, const Program& a,
+                              const Program& b, std::uint64_t seed) {
+    ASSERT_EQ(a.input_count(), b.input_count());
+    ASSERT_EQ(a.output_count(), b.output_count());
+    testutil::Xorshift64Star rng{seed};
+    const auto n_in = static_cast<std::size_t>(a.input_count());
+    const auto n_out = static_cast<std::size_t>(a.output_count());
+    Program::Scratch sa;
+    Program::Scratch sb;
+    for (int blocks = 1; blocks <= Program::kMaxBlocks; ++blocks) {
+        std::vector<std::uint64_t> in(n_in * static_cast<std::size_t>(blocks));
+        for (auto& w : in) {
+            w = rng.next();
+        }
+        std::vector<std::uint64_t> out_a(n_out * static_cast<std::size_t>(blocks));
+        std::vector<std::uint64_t> out_b(out_a.size());
+        a.run(in, out_a, sa, blocks);
+        b.run(in, out_b, sb, blocks);
+        ASSERT_EQ(out_a, out_b) << "blocks=" << blocks;
+        // Differential anchor: the frozen interpreter on block 0.
+        const auto ref = netlist::simulate_interpreted(
+            nl, std::span{in}.subspan(0, n_in));
+        for (std::size_t o = 0; o < n_out; ++o) {
+            ASSERT_EQ(out_a[o], ref[o]) << "output " << o;
+        }
+    }
+}
+
+TEST(ExecHoist, HoistedTapeMatchesDefaultAndInterpreter) {
+    const Netlist nl = overlapping_windows(12, 7, 16);
+    const Program plain = Program::compile(nl);
+    Program::CompileOptions options;
+    options.hoist_common_pairs = true;
+    const Program hoisted = Program::compile(nl, options);
+    expect_same_tape_results(nl, plain, hoisted, 0x4015ULL);
+    // The windows overlap heavily, so hoisting must actually shrink the
+    // operand stream.
+    EXPECT_LT(hoisted.stats().total_args, plain.stats().total_args);
+}
+
+TEST(ExecHoist, MultiplierTapesShrinkAndStayExact) {
+    for (const auto& spec : field::table5_fields()) {
+        if (spec.m > 16) {
+            break;  // one small field keeps the differential sweep cheap
+        }
+        const field::Field f = spec.make();
+        const Netlist nl = mult::build_date2018_flat(f);
+        const Program plain = Program::compile(nl);
+        Program::CompileOptions options;
+        options.hoist_common_pairs = true;
+        options.min_pair_occurrences = 2;
+        const Program hoisted = Program::compile(nl, options);
+        expect_same_tape_results(nl, plain, hoisted, 0xD1CE0ULL + spec.m);
+        EXPECT_LE(hoisted.stats().total_args, plain.stats().total_args);
+    }
+}
+
+TEST(ExecHoist, DefaultCompileIsUnchanged) {
+    // compile(nl) must stay the exact historical tape: same instruction
+    // stream as compile(nl, {}) with hoisting off, byte for byte.
+    const Netlist nl = overlapping_windows(10, 5, 8);
+    const Program a = Program::compile(nl);
+    const Program b = Program::compile(nl, Program::CompileOptions{});
+    ASSERT_EQ(a.instruction_count(), b.instruction_count());
+    const auto ia = a.instructions();
+    const auto ib = b.instructions();
+    for (std::size_t k = 0; k < ia.size(); ++k) {
+        EXPECT_EQ(ia[k].op, ib[k].op) << k;
+        EXPECT_EQ(ia[k].dst, ib[k].dst) << k;
+        EXPECT_EQ(ia[k].arg_count, ib[k].arg_count) << k;
+    }
+    ASSERT_EQ(a.args().size(), b.args().size());
+}
+
+TEST(ExecHoist, ThresholdGatesHoisting) {
+    // With a threshold above every pair's occurrence count, the hoisted
+    // tape degenerates to the plain one.
+    const Netlist nl = overlapping_windows(12, 7, 16);
+    const Program plain = Program::compile(nl);
+    Program::CompileOptions options;
+    options.hoist_common_pairs = true;
+    options.min_pair_occurrences = 1000;
+    const Program gated = Program::compile(nl, options);
+    EXPECT_EQ(gated.instruction_count(), plain.instruction_count());
+    EXPECT_EQ(gated.stats().total_args, plain.stats().total_args);
+}
+
+}  // namespace
+}  // namespace gfr::exec

@@ -5,6 +5,8 @@
 
 #include "netlist/equivalence.h"
 #include "netlist/passes.h"
+#include "netlist/simulate.h"
+#include "opt/opt.h"
 #include "testutil.h"
 
 #include <gtest/gtest.h>
@@ -91,6 +93,104 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PassFuzz,
                          [](const auto& info) {
                              return "seed" + std::to_string(info.param);
                          });
+
+// --- Optimization passes (src/opt) ------------------------------------------
+//
+// Each opt pass is fuzzed the same way as the synthesis passes, but checked
+// against the FROZEN gate-by-gate interpreter (simulate_interpreted) rather
+// than check_equivalence alone: the interpreter shares no code with the
+// compiled tapes the equivalence campaign executes, so a pass bug and a
+// compiler bug cannot mask each other.
+
+/// Interpreted differential: both netlists, 8 random 64-lane sweeps.
+void expect_same_interpreted(const Netlist& a, const Netlist& b,
+                             std::uint64_t seed) {
+    ASSERT_EQ(a.inputs().size(), b.inputs().size());
+    ASSERT_EQ(a.outputs().size(), b.outputs().size());
+    testutil::Xorshift64Star rng{seed ^ 0xF00DULL};
+    std::vector<std::uint64_t> in(a.inputs().size());
+    for (int sweep = 0; sweep < 8; ++sweep) {
+        for (auto& w : in) {
+            w = rng.next();
+        }
+        const auto lhs = simulate_interpreted(a, in);
+        const auto rhs = simulate_interpreted(b, in);
+        ASSERT_EQ(lhs, rhs) << "sweep " << sweep;
+    }
+}
+
+/// Random netlist with a few protected ("checker") gates: marks must
+/// survive every opt pass and the marked logic must never be re-interned.
+Netlist random_protected_netlist(std::uint64_t seed) {
+    Netlist nl = random_netlist(seed);
+    testutil::Xorshift64Star rng{seed ^ 0xCEDULL};
+    std::vector<NodeId> gates;
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+        const auto kind = nl.node(id).kind;
+        if (kind == GateKind::And2 || kind == GateKind::Xor2) {
+            gates.push_back(id);
+        }
+    }
+    if (!gates.empty()) {
+        for (int k = 0; k < 3; ++k) {
+            nl.set_protected(gates[rng() % gates.size()]);
+        }
+    }
+    return nl;
+}
+
+TEST_P(PassFuzz, OptStrashPreservesFunction) {
+    const Netlist nl = random_netlist(GetParam());
+    const opt::PassResult r = opt::strash(nl);
+    EXPECT_FALSE(check_equivalence(nl, r.netlist).has_value());
+    expect_same_interpreted(nl, r.netlist, GetParam());
+    EXPECT_LE(r.netlist.stats().gates(), nl.stats().gates());
+}
+
+TEST_P(PassFuzz, OptRewriteCutsPreservesFunction) {
+    const Netlist nl = random_netlist(GetParam());
+    const opt::PassResult r = opt::rewrite_cuts(nl);
+    EXPECT_FALSE(check_equivalence(nl, r.netlist).has_value());
+    expect_same_interpreted(nl, r.netlist, GetParam());
+    EXPECT_LE(r.netlist.stats().gates(), nl.stats().gates());
+}
+
+TEST_P(PassFuzz, OptReduceFunctionalPreservesFunction) {
+    const Netlist nl = random_netlist(GetParam());
+    const opt::PassResult r = opt::reduce_functional(nl);
+    EXPECT_FALSE(check_equivalence(nl, r.netlist).has_value());
+    expect_same_interpreted(nl, r.netlist, GetParam());
+    EXPECT_LE(r.netlist.stats().gates(), nl.stats().gates());
+}
+
+TEST_P(PassFuzz, OptPipelinePreservesFunction) {
+    const Netlist nl = random_netlist(GetParam());
+    const opt::OptResult r = opt::optimize(nl);
+    EXPECT_FALSE(check_equivalence(nl, r.netlist).has_value());
+    expect_same_interpreted(nl, r.netlist, GetParam());
+    for (const auto& pass : r.passes) {
+        EXPECT_TRUE(pass.verified) << pass.pass;
+    }
+}
+
+TEST_P(PassFuzz, OptPassesPreserveProtectedMarks) {
+    const Netlist nl = random_protected_netlist(GetParam());
+    const std::size_t marks = nl.protected_count();
+    for (int which = 0; which < 3; ++which) {
+        const opt::PassResult r = which == 0   ? opt::strash(nl)
+                                  : which == 1 ? opt::rewrite_cuts(nl)
+                                               : opt::reduce_functional(nl);
+        EXPECT_FALSE(check_equivalence(nl, r.netlist).has_value()) << which;
+        EXPECT_EQ(r.netlist.protected_count(), marks) << which;
+        for (NodeId id = 0; id < nl.node_count(); ++id) {
+            if (!nl.is_protected(id)) {
+                continue;
+            }
+            ASSERT_NE(r.node_map[id], kInvalidNode) << which;
+            EXPECT_TRUE(r.netlist.is_protected(r.node_map[id])) << which;
+        }
+    }
+}
 
 }  // namespace
 }  // namespace gfr::netlist

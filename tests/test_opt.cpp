@@ -1,0 +1,368 @@
+// Optimization-pipeline tier: the four passes of src/opt (strash, cut
+// rewriting, functional reduction, the campaign-gated optimize() chain),
+// the structural-hash key regression, CED-preservation through the
+// pipeline, and the widened netlist statistics.
+
+#include "field/field_catalog.h"
+#include "guard/parity_ced.h"
+#include "multipliers/generator.h"
+#include "multipliers/verify.h"
+#include "netlist/clone.h"
+#include "netlist/equivalence.h"
+#include "netlist/simulate.h"
+#include "opt/opt.h"
+#include "verify/fault_campaign.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace gfr::opt {
+namespace {
+
+using netlist::GateKind;
+using netlist::kInvalidNode;
+using netlist::Netlist;
+using netlist::NodeId;
+
+// --- Structural-hash key regression -----------------------------------------
+
+TEST(StructuralKey, ExactKeyDoesNotAliasLargeIds) {
+    // The former intern key packed (kind, a, b) as (kind<<60)|(a<<30)|b:
+    // any fanin id >= 2^30 overflowed its 30-bit field, so e.g.
+    // (And2, a=1, b=2^30) and (And2, a=2, b=0) collapsed onto the same
+    // 64-bit key and unrelated gates merged.  The exact-field key must keep
+    // every such historical alias pair distinct.
+    using netlist::detail::StructuralKey;
+    using netlist::detail::StructuralKeyHash;
+    const auto and_kind = static_cast<std::uint8_t>(GateKind::And2);
+    const StructuralKey k1{and_kind, 1, NodeId{1} << 30U};
+    const StructuralKey k2{and_kind, 2, 0};
+    EXPECT_FALSE(k1 == k2);
+    EXPECT_NE(StructuralKeyHash{}(k1), StructuralKeyHash{}(k2));
+    // (a<<30)|b also aliased high-id XOR pairs against shifted ones.
+    const auto xor_kind = static_cast<std::uint8_t>(GateKind::Xor2);
+    const StructuralKey k3{xor_kind, 7, (NodeId{5} << 30U) | 3U};
+    const StructuralKey k4{xor_kind, 12, 3};
+    EXPECT_FALSE(k3 == k4);
+    // Same triple still compares (and hashes) equal.
+    const StructuralKey k5{and_kind, 1, NodeId{1} << 30U};
+    EXPECT_TRUE(k1 == k5);
+    EXPECT_EQ(StructuralKeyHash{}(k1), StructuralKeyHash{}(k5));
+}
+
+TEST(StructuralKey, FindGateProbesWithoutCreating) {
+    Netlist nl;
+    const NodeId a = nl.add_input("a");
+    const NodeId b = nl.add_input("b");
+    const NodeId g = nl.make_and(a, b);
+    const std::size_t before = nl.node_count();
+    // Canonicalized both ways; absent gates miss; nothing is created.
+    EXPECT_EQ(nl.find_gate(GateKind::And2, a, b), g);
+    EXPECT_EQ(nl.find_gate(GateKind::And2, b, a), g);
+    EXPECT_EQ(nl.find_gate(GateKind::Xor2, a, b), kInvalidNode);
+    EXPECT_EQ(nl.node_count(), before);
+    // Fresh (non-interned) gates stay invisible to the probe.
+    const NodeId fresh = nl.make_xor_fresh(a, b);
+    EXPECT_NE(fresh, kInvalidNode);
+    EXPECT_EQ(nl.find_gate(GateKind::Xor2, a, b), kInvalidNode);
+}
+
+// --- Widened statistics ------------------------------------------------------
+
+TEST(NetlistStats, CountersAreInt64) {
+    static_assert(std::is_same_v<decltype(netlist::NetlistStats::n_and),
+                                 std::int64_t>);
+    static_assert(std::is_same_v<decltype(netlist::NetlistStats::n_xor),
+                                 std::int64_t>);
+    static_assert(std::is_same_v<decltype(netlist::NetlistStats::xor_depth),
+                                 std::int64_t>);
+    static_assert(std::is_same_v<decltype(netlist::NetlistStats::and_depth),
+                                 std::int64_t>);
+}
+
+TEST(NetlistStats, LargeGeneratedNetlistCountsStayConsistent) {
+    // The flat product family is quadratic in m; at m=571 the counts and
+    // especially gate x depth products need 64-bit room.
+    const field::Field f{testutil::large_modulus(571)};
+    const Netlist nl = mult::build_date2018_flat(f);
+    const auto s = nl.stats();
+    EXPECT_GT(s.gates(), std::int64_t{300000});
+    EXPECT_EQ(s.gates(), s.n_and + s.n_xor);
+    EXPECT_GT(s.n_and, 0);
+    EXPECT_GT(s.n_xor, 0);
+    // A derived quantity the old int fields could overflow for larger m.
+    const std::int64_t area_depth = s.gates() * s.xor_depth;
+    EXPECT_GT(area_depth, 0);
+}
+
+// --- Protected marks ---------------------------------------------------------
+
+TEST(ProtectedMarks, SetQueryCountAndCloneSurvival) {
+    Netlist nl;
+    const NodeId a = nl.add_input("a");
+    const NodeId b = nl.add_input("b");
+    const NodeId g = nl.make_xor(a, b);
+    nl.add_output("y", g);
+    EXPECT_EQ(nl.protected_count(), 0U);
+    EXPECT_FALSE(nl.is_protected(g));
+    nl.set_protected(g);
+    nl.set_protected(g);  // idempotent
+    EXPECT_TRUE(nl.is_protected(g));
+    EXPECT_EQ(nl.protected_count(), 1U);
+    EXPECT_THROW(nl.set_protected(static_cast<NodeId>(nl.node_count())),
+                 std::out_of_range);
+    // Clones preserve marks in both modes.
+    const Netlist verbatim = netlist::clone_netlist(nl, {.intern = false});
+    EXPECT_EQ(verbatim.protected_count(), 1U);
+    EXPECT_TRUE(verbatim.is_protected(g));
+    const Netlist interned = netlist::clone_netlist(nl);
+    EXPECT_EQ(interned.protected_count(), 1U);
+}
+
+TEST(ProtectedMarks, CedCheckerGatesAreMarked) {
+    const field::Field f = field::table5_fields()[0].make();  // (8,2)
+    Netlist nl = mult::build_date2018_flat(f);
+    EXPECT_EQ(nl.protected_count(), 0U);
+    const auto info = guard::add_parity_ced(nl, f);
+    EXPECT_GT(nl.protected_count(), 0U);
+    // Every protected node is a checker gate (appended after the original
+    // multiplier), never original multiplier logic.
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+        if (nl.is_protected(id)) {
+            EXPECT_GE(static_cast<std::size_t>(id), info.original_nodes);
+        }
+    }
+}
+
+// --- strash ------------------------------------------------------------------
+
+TEST(Strash, MergesFreshDuplicatesAndSweepsDeadLogic) {
+    Netlist nl;
+    const NodeId a = nl.add_input("a");
+    const NodeId b = nl.add_input("b");
+    const NodeId c = nl.add_input("c");  // dead input, must survive
+    const NodeId g1 = nl.make_xor_fresh(a, b);
+    const NodeId g2 = nl.make_xor_fresh(a, b);  // structural duplicate
+    static_cast<void>(nl.make_and(b, c));       // dead gate
+    nl.add_output("y0", g1);
+    nl.add_output("y1", g2);
+    const PassResult r = strash(nl);
+    EXPECT_FALSE(netlist::check_equivalence(nl, r.netlist).has_value());
+    EXPECT_EQ(r.netlist.inputs().size(), 3U);  // interface preserved
+    EXPECT_EQ(r.netlist.stats().gates(), 1);   // merged + swept
+    EXPECT_EQ(r.node_map[g1], r.node_map[g2]);
+}
+
+TEST(Strash, FrozenGatesAreRebuiltVerbatim) {
+    Netlist nl;
+    const NodeId a = nl.add_input("a");
+    const NodeId b = nl.add_input("b");
+    const NodeId g1 = nl.make_xor(a, b);
+    const NodeId g2 = nl.make_xor_fresh(a, b);  // a "checker" duplicate
+    nl.set_protected(g2);
+    nl.add_output("y", g1);
+    nl.add_output("chk", g2);
+    const PassResult r = strash(nl);
+    EXPECT_FALSE(netlist::check_equivalence(nl, r.netlist).has_value());
+    // The protected duplicate must NOT merge into the interned gate.
+    EXPECT_NE(r.node_map[g1], r.node_map[g2]);
+    EXPECT_TRUE(r.netlist.is_protected(r.node_map[g2]));
+    EXPECT_EQ(r.netlist.protected_count(), 1U);
+    EXPECT_EQ(r.netlist.stats().gates(), 2);
+}
+
+// --- rewrite_cuts ------------------------------------------------------------
+
+TEST(RewriteCuts, PreservesFunctionAndNeverGrows) {
+    const field::Field f = field::table5_fields()[0].make();
+    const Netlist nl = mult::build_date2018_flat(f);
+    const PassResult r = rewrite_cuts(nl);
+    EXPECT_FALSE(netlist::check_equivalence(nl, r.netlist).has_value());
+    EXPECT_LE(r.netlist.stats().gates(), nl.stats().gates());
+}
+
+TEST(RewriteCuts, CancelsSharedSubtermsAndSharesAcrossCones) {
+    // y0 = (a^b) ^ (a^c) is b^c with the `a` terms cancelling — invisible
+    // to structural hashing (all three gates are distinct), but the cut
+    // truth table over {a,b,c} is the 2-input XOR, so the database candidate
+    // replaces the 3-gate cone with one gate and the MFFC (both inner XORs)
+    // is freed.  y1 then rediscovers that gate through the destination's
+    // structural hash: both outputs collapse onto the same node.
+    Netlist nl;
+    const NodeId a = nl.add_input("a");
+    const NodeId b = nl.add_input("b");
+    const NodeId c = nl.add_input("c");
+    const NodeId y0 =
+        nl.make_xor_fresh(nl.make_xor_fresh(a, b), nl.make_xor_fresh(a, c));
+    const NodeId y1 = nl.make_xor_fresh(b, c);
+    nl.add_output("y0", y0);
+    nl.add_output("y1", y1);
+    ASSERT_EQ(nl.stats().gates(), 4);
+    const PassResult r = rewrite_cuts(nl);
+    EXPECT_FALSE(netlist::check_equivalence(nl, r.netlist).has_value());
+    EXPECT_EQ(r.netlist.stats().gates(), 1);
+    EXPECT_EQ(r.node_map[y0], r.node_map[y1]);
+}
+
+TEST(RewriteCuts, UnsoundHookProducesNonEquivalentNetlist) {
+    const field::Field f = field::table5_fields()[0].make();
+    const Netlist nl = mult::build_date2018_flat(f);
+    RewriteOptions options;
+    options.unsound_for_test = true;
+    const PassResult r = rewrite_cuts(nl, options);
+    EXPECT_TRUE(netlist::check_equivalence(nl, r.netlist).has_value());
+}
+
+// --- reduce_functional -------------------------------------------------------
+
+TEST(ReduceFunctional, MergesEquivalentButStructurallyDifferentCones) {
+    // y1 = (a^b)&(a^b) rebuilt as AND of two fresh copies of a^b — no
+    // structural duplicate of y0 = a^b anywhere, but functionally equal.
+    Netlist nl;
+    const NodeId a = nl.add_input("a");
+    const NodeId b = nl.add_input("b");
+    const NodeId y0 = nl.make_xor(a, b);
+    const NodeId x1 = nl.make_xor_fresh(a, b);
+    const NodeId x2 = nl.make_xor_fresh(a, b);
+    const NodeId y1 = nl.make_and_fresh(x1, x2);
+    nl.add_output("y0", y0);
+    nl.add_output("y1", y1);
+    ASSERT_EQ(nl.stats().gates(), 4);
+    const PassResult r = reduce_functional(nl);
+    EXPECT_FALSE(netlist::check_equivalence(nl, r.netlist).has_value());
+    EXPECT_EQ(r.netlist.stats().gates(), 1);
+    EXPECT_EQ(r.node_map[y0], r.node_map[y1]);
+}
+
+TEST(ReduceFunctional, PreservesMultiplierFunction) {
+    const field::Field f = field::table5_fields()[0].make();
+    const Netlist nl = mult::build_rashidi_direct(f);
+    const PassResult r = reduce_functional(nl);
+    EXPECT_FALSE(netlist::check_equivalence(nl, r.netlist).has_value());
+    EXPECT_LE(r.netlist.stats().gates(), nl.stats().gates());
+}
+
+// --- optimize() pipeline -----------------------------------------------------
+
+TEST(Optimize, ShrinksTableVMultiplierWithEveryPassVerified) {
+    const field::Field f = field::table5_fields()[0].make();  // (8,2)
+    // The flat family as handed to synthesis: the literal Table IV sums
+    // (one gate per operator above the product plane).  The pipeline must
+    // recover the sharing the flat form leaves on the table.
+    const Netlist nl =
+        mult::build_date2018_flat(f, mult::Elaboration::Literal);
+    const Netlist shared = mult::build_date2018_flat(f);
+    EXPECT_GT(nl.stats().gates(), shared.stats().gates());
+    EXPECT_FALSE(netlist::check_equivalence(nl, shared).has_value());
+    const OptResult r = optimize(nl);
+    EXPECT_FALSE(netlist::check_equivalence(nl, r.netlist).has_value());
+    ASSERT_FALSE(r.passes.empty());
+    for (const auto& pass : r.passes) {
+        EXPECT_TRUE(pass.verified) << pass.pass;
+        EXPECT_LE(pass.gates_after, pass.gates_before) << pass.pass;
+    }
+    // The acceptance bar: >= 15% gate reduction on the flat product family.
+    const double reduction =
+        1.0 - static_cast<double>(r.gates_after()) /
+                  static_cast<double>(r.gates_before());
+    EXPECT_GE(reduction, 0.15) << "gates " << r.gates_before() << " -> "
+                               << r.gates_after();
+    // The optimized flat form must also beat the hash-consed elaboration —
+    // the pipeline earns more than construction-time interning provides.
+    EXPECT_LT(r.gates_after(), shared.stats().gates());
+}
+
+TEST(Optimize, UnsoundRewriteIsCaughtByTheCampaignGate) {
+    const field::Field f = field::table5_fields()[0].make();
+    const Netlist nl = mult::build_date2018_flat(f);
+    OptOptions options;
+    options.rewrite.unsound_for_test = true;
+    try {
+        static_cast<void>(optimize(nl, options));
+        FAIL() << "unsound rewrite passed the verification gate";
+    } catch (const VerificationError& e) {
+        EXPECT_EQ(e.pass(), "rewrite");
+        // The message carries the counterexample repro string.
+        EXPECT_NE(std::string{e.what()}.find("rewrite"), std::string::npos);
+    }
+}
+
+TEST(Optimize, VerificationOffStillRunsPasses) {
+    const field::Field f = field::table5_fields()[0].make();
+    const Netlist nl = mult::build_rashidi_direct(f);
+    OptOptions options;
+    options.verify_each_pass = false;
+    const OptResult r = optimize(nl, options);
+    for (const auto& pass : r.passes) {
+        EXPECT_FALSE(pass.verified);
+    }
+    EXPECT_FALSE(netlist::check_equivalence(nl, r.netlist).has_value());
+}
+
+TEST(OptimizeAndVerify, ReverifiesAgainstTheFieldReference) {
+    const field::Field f = field::table5_fields()[0].make();
+    const Netlist nl = mult::build_rashidi_direct(f);
+    const OptResult r = mult::optimize_and_verify(nl, f);
+    EXPECT_LE(r.gates_after(), r.gates_before());
+    EXPECT_FALSE(mult::verify_multiplier(r.netlist, f).has_value());
+}
+
+// --- CED preservation through the pipeline -----------------------------------
+
+TEST(Optimize, GuardedNetlistKeepsCheckerSemantics) {
+    const field::Field f = field::table5_fields()[0].make();  // (8,2)
+    Netlist guarded = mult::build_date2018_flat(f);
+    const auto info = guard::add_parity_ced(guarded, f);
+    const std::size_t marks = guarded.protected_count();
+    ASSERT_GT(marks, 0U);
+
+    const OptResult r = optimize(guarded);
+    // Restructure is skipped on protected netlists, so the composed node
+    // map stays valid and CED bookkeeping can be remapped through it.
+    ASSERT_TRUE(r.node_map_valid);
+    EXPECT_FALSE(netlist::check_equivalence(guarded, r.netlist).has_value());
+    EXPECT_EQ(r.netlist.protected_count(), marks);
+
+    // Remap the covered sites and rerun the fault campaign on the OPTIMIZED
+    // guarded netlist: the 100%-detection guarantee must survive verbatim.
+    std::vector<NodeId> sites;
+    sites.reserve(info.covered_sites.size());
+    for (const NodeId site : info.covered_sites) {
+        const NodeId mapped = r.node_map[site];
+        ASSERT_NE(mapped, kInvalidNode) << "covered site swept by a pass";
+        sites.push_back(mapped);
+    }
+    const auto report = verify::run_fault_campaign(
+        r.netlist, sites, static_cast<std::size_t>(f.degree()),
+        static_cast<std::size_t>(
+            r.netlist.output_index(guard::kCedAlarmOutput)));
+    EXPECT_EQ(report.escaped, 0U) << report.to_string();
+    EXPECT_TRUE(report.all_detected());
+    EXPECT_GT(report.detected, 0U);
+
+    // Zero false alarms: on the clean optimized circuit every CED output
+    // stays low across random input blocks.
+    netlist::Simulator sim(r.netlist);
+    testutil::Xorshift64Star rng{0x0dd5eedULL};
+    const std::size_t n_in = r.netlist.inputs().size();
+    const auto n_function = static_cast<std::size_t>(f.degree());
+    std::vector<std::uint64_t> in(n_in);
+    for (int block = 0; block < 16; ++block) {
+        for (auto& w : in) {
+            w = rng.next();
+        }
+        const auto out = sim.run(in);
+        for (std::size_t o = n_function; o < out.size(); ++o) {
+            ASSERT_EQ(out[o], 0U)
+                << "CED output " << r.netlist.outputs()[o].name
+                << " raised on the clean optimized circuit";
+        }
+    }
+}
+
+}  // namespace
+}  // namespace gfr::opt
