@@ -42,6 +42,10 @@ CpuFeatures detect_cpu() noexcept {
         // The 256-bit VPCLMULQDQ kernel mixes in AVX2 integer ops (shifts,
         // shuffles, XOR), so it is only usable when both are present.
         f.vpclmulqdq = f.avx2 && f.pclmul && (c & (1U << 10)) != 0;
+        // GFNI exists in SSE-only parts (some Atoms), but our kernel uses
+        // the VEX 256-bit form, so usability is gated in kernel_supported
+        // (gfni && avx2) rather than here — report the raw CPU bit.
+        f.gfni = (c & (1U << 8)) != 0;
     }
     return f;
 }

@@ -22,6 +22,7 @@ struct CpuFeatures {
     bool avx2 = false;        ///< 32-byte integer ops, YMM state OS-enabled
     bool pclmul = false;      ///< PCLMULQDQ (128-bit carry-less multiply)
     bool vpclmulqdq = false;  ///< VPCLMULQDQ on YMM (implies avx2 usable here)
+    bool gfni = false;        ///< GF2P8AFFINEQB (8x8 bit-matrix transform)
 };
 
 /// Probe the running CPU.  Cheap (two CPUID leaves + one XGETBV), but

@@ -10,14 +10,22 @@
 
 namespace gfr::bulk {
 
+// Every switch over KernelKind in this file is exhaustive *without* a
+// default and without a fall-through return after the switch: a new
+// enumerator fails to compile (-Werror=switch on the library target) until
+// each table below names it.  The old trailing `return "?"` / `return
+// nullptr` style let an unlisted kind silently dispatch nothing — exactly
+// the latent bug wiring GFNI in would have tripped.
+
 const char* kernel_name(KernelKind kind) noexcept {
     switch (kind) {
         case KernelKind::Scalar: return "scalar";
         case KernelKind::Ssse3: return "ssse3";
         case KernelKind::Avx2: return "avx2";
         case KernelKind::Vpclmul: return "vpclmul";
+        case KernelKind::Gfni: return "gfni";
     }
-    return "?";
+    __builtin_unreachable();
 }
 
 bool kernel_supported(KernelKind kind, const CpuFeatures& f) noexcept {
@@ -32,8 +40,13 @@ bool kernel_supported(KernelKind kind, const CpuFeatures& f) noexcept {
             // this predicate is the policy the tests pin for *any*
             // feature combination).
             return f.vpclmulqdq && f.avx2 && f.pclmul;
+        case KernelKind::Gfni:
+            // Our GFNI kernel is the VEX 256-bit form plus AVX2 XORs for
+            // addmul, so the raw GFNI bit alone (SSE-only Atom parts) is
+            // not enough — those fall back to SSSE3.
+            return f.gfni && f.avx2;
     }
-    return false;
+    __builtin_unreachable();
 }
 
 std::vector<KernelKind> compiled_byte_kernels() {
@@ -43,6 +56,9 @@ std::vector<KernelKind> compiled_byte_kernels() {
     }
     if (avx2_byte_kernel() != nullptr) {
         kinds.push_back(KernelKind::Avx2);
+    }
+    if (gfni_byte_kernel() != nullptr) {
+        kinds.push_back(KernelKind::Gfni);
     }
     return kinds;
 }
@@ -60,13 +76,24 @@ const ByteKernel* byte_kernel(KernelKind kind) noexcept {
         case KernelKind::Scalar: return &kByteScalar;
         case KernelKind::Ssse3: return ssse3_byte_kernel();
         case KernelKind::Avx2: return avx2_byte_kernel();
-        case KernelKind::Vpclmul: return nullptr;
+        case KernelKind::Gfni: return gfni_byte_kernel();
+        case KernelKind::Vpclmul: return nullptr;  // word family only
     }
-    return nullptr;
+    __builtin_unreachable();
 }
 
 const WordKernel* word_kernel(KernelKind kind) noexcept {
-    return kind == KernelKind::Vpclmul ? vpclmul_word_kernel() : nullptr;
+    // Previously a `kind == Vpclmul ? ... : nullptr` ternary — the one
+    // dispatch table the compiler could not check for exhaustiveness.
+    switch (kind) {
+        case KernelKind::Vpclmul: return vpclmul_word_kernel();
+        case KernelKind::Scalar:  // scalar u64 path is the window walk,
+        case KernelKind::Ssse3:   // byte family only
+        case KernelKind::Avx2:
+        case KernelKind::Gfni:
+            return nullptr;
+    }
+    __builtin_unreachable();
 }
 
 Dispatch make_dispatch(const CpuFeatures& f, bool force_scalar) noexcept {
@@ -80,13 +107,16 @@ Dispatch make_dispatch(const CpuFeatures& f, bool force_scalar) noexcept {
     }
     // Best compiled kernel the running CPU supports, never beyond: each
     // candidate requires both its TU (non-null registry) and the full
-    // feature predicate in kernel_supported — one source of truth.
-    if (const ByteKernel* k = avx2_byte_kernel();
-        k != nullptr && kernel_supported(KernelKind::Avx2, f)) {
-        d.byte = k;
-    } else if (const ByteKernel* k2 = ssse3_byte_kernel();
-               k2 != nullptr && kernel_supported(KernelKind::Ssse3, f)) {
-        d.byte = k2;
+    // feature predicate in kernel_supported — one source of truth.  Byte
+    // preference order: gfni > avx2 > ssse3 > scalar (GFNI does one
+    // affine transform where the shuffle kernels do two lookups + XOR).
+    for (const KernelKind kind :
+         {KernelKind::Gfni, KernelKind::Avx2, KernelKind::Ssse3}) {
+        if (const ByteKernel* k = byte_kernel(kind);
+            k != nullptr && kernel_supported(kind, f)) {
+            d.byte = k;
+            break;
+        }
     }
     if (const WordKernel* k = vpclmul_word_kernel();
         k != nullptr && kernel_supported(KernelKind::Vpclmul, f)) {

@@ -22,6 +22,13 @@
 //     per byte.  Because table[0] == 0, these kernels are also correct on
 //     u64-layout regions of canonical elements reinterpreted as bytes (the
 //     seven zero padding bytes of each element multiply to zero).
+//     The GFNI kernel is the same family with different per-constant state:
+//     multiplication by a fixed constant is GF(2)-linear in the input byte,
+//     so it is one 8x8 bit-matrix transform — GF2P8AFFINEQB applies it to 32
+//     bytes per instruction under *any* degree-<=8 modulus (the instruction's
+//     baked-in AES polynomial is only used by its sibling GF2P8MULB, which we
+//     deliberately do not use).  NibbleTables carries the matrix alongside
+//     the nibble tables; both describe the same linear map.
 //   - Word kernels (any single-word field, one canonical element per u64):
 //     wide carry-less multiply — each element is CLMULed by the constant and
 //     the 128-bit product folded down through the modulus tails, four
@@ -53,7 +60,9 @@
 namespace gfr::bulk {
 
 /// Which ISA a kernel is built on.  Scalar is always available.
-enum class KernelKind : std::uint8_t { Scalar, Ssse3, Avx2, Vpclmul };
+/// Adding an enumerator is a compile error (-Werror=switch, no defaults)
+/// until every dispatch table in dispatch.cpp handles it.
+enum class KernelKind : std::uint8_t { Scalar, Ssse3, Avx2, Vpclmul, Gfni };
 
 [[nodiscard]] const char* kernel_name(KernelKind kind) noexcept;
 
@@ -61,10 +70,16 @@ enum class KernelKind : std::uint8_t { Scalar, Ssse3, Avx2, Vpclmul };
 [[nodiscard]] bool kernel_supported(KernelKind kind, const CpuFeatures& f) noexcept;
 
 /// Per-constant state of the byte kernels: lo[v] = c*v, hi[v] = c*(v<<4)
-/// for every 4-bit v, all canonical field bytes.
+/// for every 4-bit v, all canonical field bytes.  `matrix` is the same
+/// linear map y -> c*y packed for GF2P8AFFINEQB: byte 7-i of the qword is
+/// row i, whose bit j is bit i of c*y^j mod f — so output bit i is the
+/// parity of (row i AND input byte).  Builders (FieldOps::nibble_tables)
+/// must keep matrix and lo/hi consistent; the GFNI kernel uses the matrix
+/// for its vector body and the tables for the scalar tail.
 struct NibbleTables {
     std::uint8_t lo[16];
     std::uint8_t hi[16];
+    std::uint64_t matrix = 0;
 };
 
 /// Per-field (and per-constant) state of the carry-less word kernels.
@@ -134,6 +149,7 @@ void word_addmul_windows(const std::uint64_t* table, int windows,
 
 [[nodiscard]] const ByteKernel* ssse3_byte_kernel() noexcept;
 [[nodiscard]] const ByteKernel* avx2_byte_kernel() noexcept;
+[[nodiscard]] const ByteKernel* gfni_byte_kernel() noexcept;
 [[nodiscard]] const WordKernel* vpclmul_word_kernel() noexcept;
 
 /// Kernels compiled into this binary, Scalar first.  The differential tests

@@ -37,7 +37,8 @@ void RegionEngine::init_kernels(KernelKind forced, bool have_forced) {
             word_kernel_ = nullptr;
             return;
         case KernelKind::Ssse3:
-        case KernelKind::Avx2: {
+        case KernelKind::Avx2:
+        case KernelKind::Gfni: {
             if (m_ > 8) {
                 throw std::invalid_argument{
                     "RegionEngine: byte kernels require m <= 8"};
@@ -88,6 +89,16 @@ RegionEngine::Prepared RegionEngine::prepare(std::uint64_t c) const {
     p.m_ = m_;
     if (m_ <= 8) {
         p.nibbles_ = ops_->nibble_tables(p.c_);
+    }
+    if (u16_capable()) {
+        // Split-byte tables for the u16 layout: symbol s maps to
+        // lo[s & 0xFF] ^ hi[s >> 8], both halves canonical products.
+        p.split16_.resize(512);
+        for (std::uint64_t v = 0; v < 256; ++v) {
+            p.split16_[v] = static_cast<std::uint16_t>(ops_->mul(p.c_, v));
+            p.split16_[256 + v] =
+                static_cast<std::uint16_t>(ops_->mul(p.c_, v << 8));
+        }
     }
     if (word_kernel_ != nullptr) {
         p.wide_ = ops_->wide_params(p.c_);
@@ -149,6 +160,30 @@ void RegionEngine::check_prepared(const Prepared& p, bool need_word) const {
     }
 }
 
+namespace {
+
+/// Reject partially-overlapping src/dst at the span entry points: the
+/// kernels stream vector-width blocks, so a partial overlap reads a mix of
+/// stale and freshly-written symbols depending on direction and ISA —
+/// silent corruption, refused loudly instead.  Exact aliasing (dst == src,
+/// the in-place form every kernel guarantees) passes.
+void check_no_partial_overlap(const void* src, const void* dst,
+                              std::size_t bytes, const char* fn) {
+    if (src == dst || bytes == 0) {
+        return;
+    }
+    const auto s = reinterpret_cast<std::uintptr_t>(src);
+    const auto d = reinterpret_cast<std::uintptr_t>(dst);
+    if (s < d + bytes && d < s + bytes) {
+        throw std::invalid_argument{
+            std::string{fn} +
+            ": src and dst overlap partially (dst must alias src exactly or "
+            "not at all)"};
+    }
+}
+
+}  // namespace
+
 // --- Byte layout -------------------------------------------------------------
 
 void RegionEngine::byte_call(bool add, const Prepared& p,
@@ -168,6 +203,8 @@ void RegionEngine::mul_region(const Prepared& p,
     if (src.size() != dst.size()) {
         throw std::invalid_argument{"RegionEngine::mul_region: length mismatch"};
     }
+    check_no_partial_overlap(src.data(), dst.data(), src.size_bytes(),
+                             "RegionEngine::mul_region");
     byte_call(false, p, src.data(), dst.data(), src.size());
 }
 
@@ -178,12 +215,68 @@ void RegionEngine::addmul_region(const Prepared& p,
         throw std::invalid_argument{
             "RegionEngine::addmul_region: length mismatch"};
     }
+    check_no_partial_overlap(src.data(), dst.data(), src.size_bytes(),
+                             "RegionEngine::addmul_region");
     byte_call(true, p, src.data(), dst.data(), src.size());
 }
 
 void RegionEngine::scale_region(const Prepared& p,
                                 std::span<std::uint8_t> data) const {
     byte_call(false, p, data.data(), data.data(), data.size());
+}
+
+// --- u16 layout --------------------------------------------------------------
+
+void RegionEngine::u16_call(bool add, const Prepared& p,
+                            const std::uint16_t* src, std::uint16_t* dst,
+                            std::size_t n) const {
+    if (!u16_capable()) {
+        throw std::invalid_argument{
+            "RegionEngine: u16 layout requires 8 < m <= 16 (byte-capable "
+            "fields use the byte layout)"};
+    }
+    check_prepared(p, /*need_word=*/false);
+    const std::uint16_t* lo = p.split16_.data();
+    const std::uint16_t* hi = lo + 256;
+    if (add) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint16_t s = src[i];
+            dst[i] ^= static_cast<std::uint16_t>(lo[s & 0xFF] ^ hi[s >> 8]);
+        }
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint16_t s = src[i];
+            dst[i] = static_cast<std::uint16_t>(lo[s & 0xFF] ^ hi[s >> 8]);
+        }
+    }
+}
+
+void RegionEngine::mul_region(const Prepared& p,
+                              std::span<const std::uint16_t> src,
+                              std::span<std::uint16_t> dst) const {
+    if (src.size() != dst.size()) {
+        throw std::invalid_argument{"RegionEngine::mul_region: length mismatch"};
+    }
+    check_no_partial_overlap(src.data(), dst.data(), src.size_bytes(),
+                             "RegionEngine::mul_region");
+    u16_call(false, p, src.data(), dst.data(), src.size());
+}
+
+void RegionEngine::addmul_region(const Prepared& p,
+                                 std::span<const std::uint16_t> src,
+                                 std::span<std::uint16_t> dst) const {
+    if (src.size() != dst.size()) {
+        throw std::invalid_argument{
+            "RegionEngine::addmul_region: length mismatch"};
+    }
+    check_no_partial_overlap(src.data(), dst.data(), src.size_bytes(),
+                             "RegionEngine::addmul_region");
+    u16_call(true, p, src.data(), dst.data(), src.size());
+}
+
+void RegionEngine::scale_region(const Prepared& p,
+                                std::span<std::uint16_t> data) const {
+    u16_call(false, p, data.data(), data.data(), data.size());
 }
 
 // --- u64 layout --------------------------------------------------------------
@@ -221,6 +314,8 @@ void RegionEngine::mul_region(const Prepared& p,
     if (src.size() != dst.size()) {
         throw std::invalid_argument{"RegionEngine::mul_region: length mismatch"};
     }
+    check_no_partial_overlap(src.data(), dst.data(), src.size_bytes(),
+                             "RegionEngine::mul_region");
     word_call(false, p, src.data(), dst.data(), src.size());
 }
 
@@ -231,6 +326,8 @@ void RegionEngine::addmul_region(const Prepared& p,
         throw std::invalid_argument{
             "RegionEngine::addmul_region: length mismatch"};
     }
+    check_no_partial_overlap(src.data(), dst.data(), src.size_bytes(),
+                             "RegionEngine::addmul_region");
     word_call(true, p, src.data(), dst.data(), src.size());
 }
 
@@ -250,6 +347,10 @@ void RegionEngine::mul_region_elementwise(std::span<const std::uint64_t> a,
         throw std::invalid_argument{
             "RegionEngine::mul_region_elementwise: requires m <= 64"};
     }
+    check_no_partial_overlap(a.data(), out.data(), a.size_bytes(),
+                             "RegionEngine::mul_region_elementwise");
+    check_no_partial_overlap(b.data(), out.data(), b.size_bytes(),
+                             "RegionEngine::mul_region_elementwise");
     if (word_kernel_ != nullptr) {
         word_kernel_->mul_elementwise(ops_->wide_params(0), a.data(), b.data(),
                                       out.data(), a.size());
@@ -285,6 +386,15 @@ std::uint64_t RegionEngine::region_checksum(
 }
 
 std::uint64_t RegionEngine::region_checksum(
+    std::span<const std::uint16_t> data) const noexcept {
+    std::uint16_t sum = 0;
+    for (const std::uint16_t v : data) {
+        sum = static_cast<std::uint16_t>(sum ^ v);
+    }
+    return sum;
+}
+
+std::uint64_t RegionEngine::region_checksum(
     std::span<const std::uint64_t> data) const noexcept {
     std::uint64_t sum = 0;
     for (const std::uint64_t v : data) {
@@ -303,6 +413,15 @@ void RegionEngine::mul_region_checked(const Prepared& p,
 }
 
 void RegionEngine::mul_region_checked(const Prepared& p,
+                                      std::span<const std::uint16_t> src,
+                                      std::uint64_t src_sum,
+                                      std::span<std::uint16_t> dst,
+                                      std::uint64_t& dst_sum) const {
+    mul_region(p, src, dst);
+    dst_sum = ops_->mul(p.c_, src_sum);
+}
+
+void RegionEngine::mul_region_checked(const Prepared& p,
                                       std::span<const std::uint64_t> src,
                                       std::uint64_t src_sum,
                                       std::span<std::uint64_t> dst,
@@ -315,6 +434,15 @@ void RegionEngine::addmul_region_checked(const Prepared& p,
                                          std::span<const std::uint8_t> src,
                                          std::uint64_t src_sum,
                                          std::span<std::uint8_t> dst,
+                                         std::uint64_t& dst_sum) const {
+    addmul_region(p, src, dst);
+    dst_sum ^= ops_->mul(p.c_, src_sum);
+}
+
+void RegionEngine::addmul_region_checked(const Prepared& p,
+                                         std::span<const std::uint16_t> src,
+                                         std::uint64_t src_sum,
+                                         std::span<std::uint16_t> dst,
                                          std::uint64_t& dst_sum) const {
     addmul_region(p, src, dst);
     dst_sum ^= ops_->mul(p.c_, src_sum);
@@ -357,6 +485,12 @@ guard::Status RegionEngine::verify_region(std::span<const std::uint8_t> data,
                             "byte");
 }
 
+guard::Status RegionEngine::verify_region(std::span<const std::uint16_t> data,
+                                          std::uint64_t expected_sum) const {
+    return checksum_verdict(region_checksum(data), expected_sum, data.size(),
+                            "u16");
+}
+
 guard::Status RegionEngine::verify_region(std::span<const std::uint64_t> data,
                                           std::uint64_t expected_sum) const {
     return checksum_verdict(region_checksum(data), expected_sum, data.size(),
@@ -375,6 +509,9 @@ void RegionEngine::mw_call(bool add, const Prepared& p,
             "RegionEngine: multi-word spans must be equal multiples of "
             "elem_words()"};
     }
+    check_no_partial_overlap(src.data(), dst.data(), src.size_bytes(),
+                             add ? "RegionEngine::addmul_region_mw"
+                                 : "RegionEngine::mul_region_mw");
     check_prepared(p, /*need_word=*/false);
     if (p.cwords_.size() != mw) {
         throw std::invalid_argument{

@@ -17,6 +17,10 @@
 //
 //   - byte spans (fields with m <= 8): one symbol per byte — the dense
 //     layout bulk byte traffic actually uses;
+//   - u16 spans (fields with 8 < m <= 16): one symbol per uint16 — the
+//     dense layout of the GF(2^16) erasure-codec tier (PAR2-style fields);
+//     served by per-constant split-byte tables (lo[v] = c*v, hi[v] =
+//     c*(v<<8); two lookups + XOR per symbol);
 //   - u64 spans (any single-word field): one canonical element per word,
 //     the layout of every existing FieldOps/ConstMultiplier region API;
 //   - multi-word spans (m > 64): elem_words() consecutive words per
@@ -40,7 +44,10 @@
 // Contracts:
 //   - Operands must be canonical (degree < m); the table kernels do not
 //     reduce higher bits.
-//   - dst may equal src exactly (in-place); partial overlap is undefined.
+//   - dst may equal src exactly (in-place); *partial* overlap is rejected
+//     with std::invalid_argument at every span entry point (the kernels
+//     would stream stale or freshly-written bytes depending on direction
+//     and vector width — silent corruption, so the engine refuses).
 //   - The engine borrows the FieldOps (no copy): keep it alive for the
 //     engine's lifetime, as Field does for its ops().
 //   - Everything is immutable after construction; multi-word calls draw
@@ -75,6 +82,11 @@ public:
 
     /// True when the byte layout applies (every symbol fits one byte).
     [[nodiscard]] bool byte_capable() const noexcept { return m_ <= 8; }
+    /// True when the u16 layout applies (byte-capable fields use the byte
+    /// layout instead — denser and SIMD-served).
+    [[nodiscard]] bool u16_capable() const noexcept {
+        return m_ > 8 && m_ <= 16;
+    }
     [[nodiscard]] bool single_word() const noexcept { return m_ <= 64; }
 
     /// Kernel serving byte-layout calls (meaningful when byte_capable()).
@@ -110,6 +122,9 @@ public:
         std::vector<std::uint64_t> windows_;  ///< scalar m > 8 fallback
         int n_windows_ = 0;
         std::vector<std::uint64_t> cwords_;   ///< m > 64: elem_words() words
+        /// u16 layout (8 < m <= 16): 512 entries, lo half c*v, hi half
+        /// c*(v<<8) for every byte v.
+        std::vector<std::uint16_t> split16_;
     };
 
     /// Prepare a constant given as bits (requires single_word()).
@@ -125,6 +140,17 @@ public:
     void addmul_region(const Prepared& p, std::span<const std::uint8_t> src,
                        std::span<std::uint8_t> dst) const;
     void scale_region(const Prepared& p, std::span<std::uint8_t> data) const;
+
+    // --- u16 layout (8 < m <= 16): one symbol per uint16 ---------------------
+    // The GF(2^16) erasure-codec layout: dense (no u64 padding), served by
+    // the Prepared's split-byte tables.  Always available — no SIMD tier
+    // yet, so forced-kernel engines serve it identically.
+
+    void mul_region(const Prepared& p, std::span<const std::uint16_t> src,
+                    std::span<std::uint16_t> dst) const;
+    void addmul_region(const Prepared& p, std::span<const std::uint16_t> src,
+                       std::span<std::uint16_t> dst) const;
+    void scale_region(const Prepared& p, std::span<std::uint16_t> data) const;
 
     // --- u64 layout (m <= 64): one canonical element per word ----------------
 
@@ -158,6 +184,8 @@ public:
     [[nodiscard]] std::uint64_t region_checksum(
         std::span<const std::uint8_t> data) const noexcept;
     [[nodiscard]] std::uint64_t region_checksum(
+        std::span<const std::uint16_t> data) const noexcept;
+    [[nodiscard]] std::uint64_t region_checksum(
         std::span<const std::uint64_t> data) const noexcept;
 
     /// dst[i] = c * src[i] and dst_sum = c * src_sum, the latter via the
@@ -166,6 +194,10 @@ public:
     void mul_region_checked(const Prepared& p,
                             std::span<const std::uint8_t> src,
                             std::uint64_t src_sum, std::span<std::uint8_t> dst,
+                            std::uint64_t& dst_sum) const;
+    void mul_region_checked(const Prepared& p,
+                            std::span<const std::uint16_t> src,
+                            std::uint64_t src_sum, std::span<std::uint16_t> dst,
                             std::uint64_t& dst_sum) const;
     void mul_region_checked(const Prepared& p,
                             std::span<const std::uint64_t> src,
@@ -179,6 +211,11 @@ public:
                                std::span<std::uint8_t> dst,
                                std::uint64_t& dst_sum) const;
     void addmul_region_checked(const Prepared& p,
+                               std::span<const std::uint16_t> src,
+                               std::uint64_t src_sum,
+                               std::span<std::uint16_t> dst,
+                               std::uint64_t& dst_sum) const;
+    void addmul_region_checked(const Prepared& p,
                                std::span<const std::uint64_t> src,
                                std::uint64_t src_sum,
                                std::span<std::uint64_t> dst,
@@ -187,6 +224,8 @@ public:
     /// Recompute the fold of `data` and compare against the maintained
     /// checksum.  Ok, or a Fault::RegionChecksum Status with coordinates.
     [[nodiscard]] guard::Status verify_region(std::span<const std::uint8_t> data,
+                                              std::uint64_t expected_sum) const;
+    [[nodiscard]] guard::Status verify_region(std::span<const std::uint16_t> data,
                                               std::uint64_t expected_sum) const;
     [[nodiscard]] guard::Status verify_region(std::span<const std::uint64_t> data,
                                               std::uint64_t expected_sum) const;
@@ -217,6 +256,8 @@ private:
     void check_prepared(const Prepared& p, bool need_word) const;
     void byte_call(bool add, const Prepared& p, const std::uint8_t* src,
                    std::uint8_t* dst, std::size_t n) const;
+    void u16_call(bool add, const Prepared& p, const std::uint16_t* src,
+                  std::uint16_t* dst, std::size_t n) const;
     void word_call(bool add, const Prepared& p, const std::uint64_t* src,
                    std::uint64_t* dst, std::size_t n) const;
     void mw_call(bool add, const Prepared& p, std::span<const std::uint64_t> src,

@@ -400,6 +400,19 @@ bulk::NibbleTables FieldOps::nibble_tables(std::uint64_t c) const {
         t.lo[v] = static_cast<std::uint8_t>(mul(cc, v));
         t.hi[v] = static_cast<std::uint8_t>(mul(cc, v << 4));
     }
+    // The same map packed for GF2P8AFFINEQB (the GFNI byte kernel): matrix
+    // byte 7-i is row i, whose bit j is bit i of c * y^j mod f — the
+    // columns of the linear map y -> c*y.  Output bit i of the transform is
+    // then parity(row i AND input byte), which is that map exactly.
+    t.matrix = 0;
+    for (int j = 0; j < 8; ++j) {
+        const std::uint64_t col = mul(cc, std::uint64_t{1} << j);
+        for (int i = 0; i < 8; ++i) {
+            if ((col >> i) & 1U) {
+                t.matrix |= std::uint64_t{1} << ((7 - i) * 8 + j);
+            }
+        }
+    }
     return t;
 }
 

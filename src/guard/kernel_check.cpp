@@ -49,6 +49,23 @@ constexpr std::array<std::size_t, 12> kWordLengths = {0, 1, 2,  3,  4,  5,
 /// GF(2^64) with f = y^64 + y^4 + y^3 + y + 1 — the word self-test field.
 constexpr std::uint64_t kWordTails = 0x1B;
 
+/// Software GF2P8AFFINEQB byte transform (parity loops, no SIMD): the
+/// independent reference the GFNI kernel's tables are derived from in its
+/// self-test.  Output bit i = parity(matrix byte 7-i AND input).
+std::uint8_t soft_affine(std::uint64_t matrix, std::uint8_t x) noexcept {
+    std::uint8_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+        const auto row = static_cast<std::uint8_t>(matrix >> ((7 - i) * 8));
+        const unsigned masked = static_cast<unsigned>(row & x);
+        unsigned parity = masked;
+        parity ^= parity >> 4;
+        parity ^= parity >> 2;
+        parity ^= parity >> 1;
+        r = static_cast<std::uint8_t>(r | ((parity & 1U) << i));
+    }
+    return r;
+}
+
 /// Russian-peasant shift-XOR multiply mod f: bitwise, no CLMUL, no folds —
 /// structurally unrelated to the kernel under test.
 std::uint64_t peasant_mul(std::uint64_t a, std::uint64_t b) noexcept {
@@ -117,13 +134,25 @@ Status selftest_byte_kernel(const bulk::ByteKernel& k, bool force_fault) {
                             std::string{name} + " byte kernel: null entry point");
     }
     SelfTestRng rng{0xB17EC0DEULL ^ static_cast<std::uint64_t>(k.kind)};
-    // Tables need not be field products: the kernels implement the pure
-    // two-lookup-XOR semantics for ANY tables, so random ones (with the
-    // structural zero at index 0 real tables carry) test exactly that.
+    // Tables need not be field products: the shuffle kernels implement the
+    // pure two-lookup-XOR semantics for ANY tables, so random ones (with the
+    // structural zero at index 0 real tables carry) test exactly that.  The
+    // GFNI kernel can only represent GF(2)-linear maps, so for it the tables
+    // are instead *derived* from a random bit matrix via the independent
+    // software affine transform above — by linearity the same two-lookup
+    // reference then checks the vector path against that emulation.
     bulk::NibbleTables t{};
-    for (int v = 1; v < 16; ++v) {
-        t.lo[v] = static_cast<std::uint8_t>(rng());
-        t.hi[v] = static_cast<std::uint8_t>(rng());
+    if (k.kind == bulk::KernelKind::Gfni) {
+        t.matrix = rng();
+        for (int v = 0; v < 16; ++v) {
+            t.lo[v] = soft_affine(t.matrix, static_cast<std::uint8_t>(v));
+            t.hi[v] = soft_affine(t.matrix, static_cast<std::uint8_t>(v << 4));
+        }
+    } else {
+        for (int v = 1; v < 16; ++v) {
+            t.lo[v] = static_cast<std::uint8_t>(rng());
+            t.hi[v] = static_cast<std::uint8_t>(rng());
+        }
     }
     const auto ref = [&t](std::uint8_t s) {
         return static_cast<std::uint8_t>(t.lo[s & 0xF] ^ t.hi[s >> 4]);
@@ -294,12 +323,25 @@ ScreenResult screen_dispatch(const bulk::Dispatch& base, const char* fault_spec)
             break;
         }
         r.quarantined.push_back(KernelCheck{byte->kind, forced, s.detail});
+        // Next rung of gfni > avx2 > ssse3 > scalar that is compiled and
+        // CPU-supported (the same order make_dispatch prefers).
         const bulk::ByteKernel* next = nullptr;
-        if (byte->kind == bulk::KernelKind::Avx2) {
-            if (const auto* k = bulk::ssse3_byte_kernel();
-                k != nullptr &&
-                bulk::kernel_supported(bulk::KernelKind::Ssse3, base.cpu)) {
+        constexpr bulk::KernelKind kByteLadder[] = {bulk::KernelKind::Gfni,
+                                                    bulk::KernelKind::Avx2,
+                                                    bulk::KernelKind::Ssse3};
+        bool below_failed = false;
+        for (const bulk::KernelKind kind : kByteLadder) {
+            if (kind == byte->kind) {
+                below_failed = true;
+                continue;
+            }
+            if (!below_failed) {
+                continue;
+            }
+            if (const auto* k = bulk::byte_kernel(kind);
+                k != nullptr && bulk::kernel_supported(kind, base.cpu)) {
                 next = k;
+                break;
             }
         }
         byte = (next != nullptr) ? next : &bulk::kByteScalar;

@@ -1,0 +1,183 @@
+#include "rs/codec.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace gfr::rs {
+
+namespace {
+
+Matrix build_parity(const field::FieldOps& ops, int n, int k,
+                    GeneratorKind kind) {
+    return kind == GeneratorKind::Cauchy ? cauchy_parity_matrix(ops, n, k)
+                                         : vandermonde_parity_matrix(ops, n, k);
+}
+
+template <typename Span>
+void check_equal_lengths(const std::vector<Span>& shards, std::size_t len) {
+    for (const auto& s : shards) {
+        if (s.size() != len) {
+            throw std::invalid_argument{"rs::Codec: shard lengths differ"};
+        }
+    }
+}
+
+}  // namespace
+
+Codec::Codec(const field::FieldOps& ops, int n, int k, GeneratorKind kind)
+    : ops_{&ops}, n_{n}, k_{k}, kind_{kind}, engine_{ops},
+      parity_{build_parity(ops, n, k, kind)} {
+    prepared_.reserve(static_cast<std::size_t>(parity_shards()) * k_);
+    for (const std::uint64_t c : parity_.a) {
+        prepared_.push_back(engine_.prepare(c));
+    }
+}
+
+Codec::Codec(const field::FieldOps& ops, int n, int k, GeneratorKind kind,
+             bulk::KernelKind forced)
+    : ops_{&ops}, n_{n}, k_{k}, kind_{kind}, engine_{ops, forced},
+      parity_{build_parity(ops, n, k, kind)} {
+    prepared_.reserve(static_cast<std::size_t>(parity_shards()) * k_);
+    for (const std::uint64_t c : parity_.a) {
+        prepared_.push_back(engine_.prepare(c));
+    }
+}
+
+template <typename T>
+void Codec::encode_impl(const std::vector<std::span<const T>>& data,
+                        const std::vector<std::span<T>>& parity) const {
+    if (static_cast<int>(data.size()) != k_) {
+        throw std::invalid_argument{"rs::Codec::encode: expected k data shards"};
+    }
+    if (static_cast<int>(parity.size()) != parity_shards()) {
+        throw std::invalid_argument{
+            "rs::Codec::encode: expected n-k parity shards"};
+    }
+    const std::size_t len = data.empty() ? 0 : data[0].size();
+    check_equal_lengths(data, len);
+    check_equal_lengths(parity, len);
+    for (int r = 0; r < parity_shards(); ++r) {
+        const auto* row = prepared_.data() + static_cast<std::size_t>(r) * k_;
+        engine_.mul_region(row[0], data[0], parity[r]);
+        for (int c = 1; c < k_; ++c) {
+            engine_.addmul_region(row[c], data[c], parity[r]);
+        }
+    }
+}
+
+template <typename T>
+void Codec::decode_impl(const std::vector<std::span<T>>& shards,
+                        const std::vector<bool>& present) const {
+    if (static_cast<int>(shards.size()) != n_) {
+        throw std::invalid_argument{"rs::Codec::decode: expected n shards"};
+    }
+    if (static_cast<int>(present.size()) != n_) {
+        throw std::invalid_argument{
+            "rs::Codec::decode: present flags must have n entries"};
+    }
+    const std::size_t len = shards.empty() ? 0 : shards[0].size();
+    check_equal_lengths(shards, len);
+    const int present_count =
+        static_cast<int>(std::count(present.begin(), present.end(), true));
+    if (present_count < k_) {
+        throw std::invalid_argument{
+            "rs::Codec::decode: fewer than k shards present"};
+    }
+
+    std::vector<int> lost_data;
+    for (int i = 0; i < k_; ++i) {
+        if (!present[i]) {
+            lost_data.push_back(i);
+        }
+    }
+
+    if (!lost_data.empty()) {
+        // k survivors, data shards first (each contributes a unit row, so
+        // the inverse stays sparse there), then the lowest-index parity
+        // shards to fill up.
+        std::vector<int> survivors;
+        for (int i = 0; i < k_ && static_cast<int>(survivors.size()) < k_; ++i) {
+            if (present[i]) {
+                survivors.push_back(i);
+            }
+        }
+        for (int i = k_; i < n_ && static_cast<int>(survivors.size()) < k_;
+             ++i) {
+            if (present[i]) {
+                survivors.push_back(i);
+            }
+        }
+        // Rows of [I ; P] for the chosen survivors: solving M * d = s
+        // recovers the full data vector d from the survivor shards s.
+        Matrix m(k_, k_);
+        for (int t = 0; t < k_; ++t) {
+            const int s = survivors[t];
+            if (s < k_) {
+                m.at(t, s) = 1;
+            } else {
+                for (int c = 0; c < k_; ++c) {
+                    m.at(t, c) = parity_.at(s - k_, c);
+                }
+            }
+        }
+        const Matrix minv = invert(*ops_, m);
+        // d_j = sum_t minv[j][t] * shard(survivor_t); zero coefficients
+        // (the unit-row structure above makes them common) skip their
+        // region pass entirely.
+        for (const int j : lost_data) {
+            std::fill(shards[j].begin(), shards[j].end(), T{0});
+            for (int t = 0; t < k_; ++t) {
+                const std::uint64_t coeff = minv.at(j, t);
+                if (coeff == 0) {
+                    continue;
+                }
+                const auto p = engine_.prepare(coeff);
+                engine_.addmul_region(
+                    p, std::span<const T>{shards[survivors[t]]}, shards[j]);
+            }
+        }
+    }
+
+    // Parity regeneration from the (now complete) data shards.
+    for (int r = 0; r < parity_shards(); ++r) {
+        if (present[k_ + r]) {
+            continue;
+        }
+        const auto* row = prepared_.data() + static_cast<std::size_t>(r) * k_;
+        engine_.mul_region(row[0], std::span<const T>{shards[0]},
+                           shards[k_ + r]);
+        for (int c = 1; c < k_; ++c) {
+            engine_.addmul_region(row[c], std::span<const T>{shards[c]},
+                                  shards[k_ + r]);
+        }
+    }
+}
+
+void Codec::encode(const std::vector<std::span<const std::uint8_t>>& data,
+                   const std::vector<std::span<std::uint8_t>>& parity) const {
+    encode_impl(data, parity);
+}
+void Codec::encode(const std::vector<std::span<const std::uint16_t>>& data,
+                   const std::vector<std::span<std::uint16_t>>& parity) const {
+    encode_impl(data, parity);
+}
+void Codec::encode(const std::vector<std::span<const std::uint64_t>>& data,
+                   const std::vector<std::span<std::uint64_t>>& parity) const {
+    encode_impl(data, parity);
+}
+
+void Codec::decode(const std::vector<std::span<std::uint8_t>>& shards,
+                   const std::vector<bool>& present) const {
+    decode_impl(shards, present);
+}
+void Codec::decode(const std::vector<std::span<std::uint16_t>>& shards,
+                   const std::vector<bool>& present) const {
+    decode_impl(shards, present);
+}
+void Codec::decode(const std::vector<std::span<std::uint64_t>>& shards,
+                   const std::vector<bool>& present) const {
+    decode_impl(shards, present);
+}
+
+}  // namespace gfr::rs

@@ -1,0 +1,136 @@
+#include "rs/rs_matrix.h"
+
+#include <stdexcept>
+
+namespace gfr::rs {
+
+namespace {
+
+void check_code_shape(const field::FieldOps& ops, int n, int k) {
+    if (k < 1 || n <= k) {
+        throw std::invalid_argument{"rs: requires 1 <= k < n"};
+    }
+    if (!ops.single_word()) {
+        throw std::invalid_argument{"rs: field degree must be <= 64"};
+    }
+    const int m = ops.degree();
+    if (m < 31 && static_cast<std::int64_t>(n) > (std::int64_t{1} << m)) {
+        throw std::invalid_argument{
+            "rs: n exceeds the field size (need n <= 2^m distinct elements)"};
+    }
+}
+
+}  // namespace
+
+Matrix cauchy_parity_matrix(const field::FieldOps& ops, int n, int k) {
+    check_code_shape(ops, n, k);
+    const int p = n - k;
+    Matrix m(p, k);
+    for (int r = 0; r < p; ++r) {
+        // x_r = k+r and y_c = c are distinct by construction, so the XOR
+        // is never zero and every entry has an inverse.
+        const auto x = static_cast<std::uint64_t>(k + r);
+        for (int c = 0; c < k; ++c) {
+            m.at(r, c) = ops.inv(x ^ static_cast<std::uint64_t>(c));
+        }
+    }
+    return m;
+}
+
+Matrix vandermonde_parity_matrix(const field::FieldOps& ops, int n, int k) {
+    check_code_shape(ops, n, k);
+    // V[i][j] = alpha_i^j over distinct points alpha_i = i.
+    Matrix v(n, k);
+    for (int i = 0; i < n; ++i) {
+        const auto alpha = static_cast<std::uint64_t>(i);
+        std::uint64_t pw = 1;
+        for (int j = 0; j < k; ++j) {
+            v.at(i, j) = pw;
+            pw = ops.mul(pw, alpha);
+        }
+    }
+    // Systematise: G = V * inv(V_top) has I in its top k rows; the parity
+    // rows are the bottom (n-k) rows of that product.
+    Matrix top(k, k);
+    for (int i = 0; i < k; ++i) {
+        for (int j = 0; j < k; ++j) {
+            top.at(i, j) = v.at(i, j);
+        }
+    }
+    const Matrix top_inv = invert(ops, top);
+    Matrix bottom(n - k, k);
+    for (int i = k; i < n; ++i) {
+        for (int j = 0; j < k; ++j) {
+            bottom.at(i - k, j) = v.at(i, j);
+        }
+    }
+    return mat_mul(ops, bottom, top_inv);
+}
+
+Matrix invert(const field::FieldOps& ops, const Matrix& m) {
+    if (m.rows != m.cols) {
+        throw std::invalid_argument{"rs::invert: matrix must be square"};
+    }
+    const int n = m.rows;
+    Matrix work = m;
+    Matrix inv(n, n);
+    for (int i = 0; i < n; ++i) {
+        inv.at(i, i) = 1;
+    }
+    for (int col = 0; col < n; ++col) {
+        int pivot = -1;
+        for (int r = col; r < n; ++r) {
+            if (work.at(r, col) != 0) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot < 0) {
+            throw std::invalid_argument{"rs::invert: matrix is singular"};
+        }
+        if (pivot != col) {
+            for (int c = 0; c < n; ++c) {
+                std::swap(work.at(pivot, c), work.at(col, c));
+                std::swap(inv.at(pivot, c), inv.at(col, c));
+            }
+        }
+        const std::uint64_t scale = ops.inv(work.at(col, col));
+        for (int c = 0; c < n; ++c) {
+            work.at(col, c) = ops.mul(scale, work.at(col, c));
+            inv.at(col, c) = ops.mul(scale, inv.at(col, c));
+        }
+        for (int r = 0; r < n; ++r) {
+            if (r == col) {
+                continue;
+            }
+            const std::uint64_t f = work.at(r, col);
+            if (f == 0) {
+                continue;
+            }
+            for (int c = 0; c < n; ++c) {
+                work.at(r, c) ^= ops.mul(f, work.at(col, c));
+                inv.at(r, c) ^= ops.mul(f, inv.at(col, c));
+            }
+        }
+    }
+    return inv;
+}
+
+Matrix mat_mul(const field::FieldOps& ops, const Matrix& x, const Matrix& y) {
+    if (x.cols != y.rows) {
+        throw std::invalid_argument{"rs::mat_mul: shape mismatch"};
+    }
+    Matrix out(x.rows, y.cols);
+    for (int i = 0; i < x.rows; ++i) {
+        for (int j = 0; j < y.cols; ++j) {
+            std::uint64_t acc = 0;
+            for (int t = 0; t < x.cols; ++t) {
+                acc ^= ops.mul(x.at(i, t), y.at(t, j));
+            }
+            out.at(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+}  // namespace gfr::rs

@@ -1,0 +1,71 @@
+#ifndef GFR_RS_RS_MATRIX_H
+#define GFR_RS_RS_MATRIX_H
+
+// Dense element matrices over a single-word GF(2^m) — the linear-algebra
+// tier of the Reed-Solomon codec (src/rs/codec.h).
+//
+// Two generator families, both systematic ([I ; P] with P the parity rows
+// returned here) and both MDS, so any k of the n code shards reconstruct
+// the stripe:
+//
+//   - Cauchy: P[r][c] = 1 / (x_r + y_c) with x_r = k+r, y_c = c as field
+//     elements — every square submatrix of a Cauchy matrix is itself
+//     Cauchy (nonsingular), which makes the MDS property structural.
+//   - Vandermonde: rows i of V[i][j] = alpha_i^j (alpha_i = i) for
+//     i = 0..n-1, systematised as V * inv(V_top) — any k rows of V are a
+//     Vandermonde minor on distinct points, hence invertible, and right-
+//     multiplying by an invertible matrix preserves that.
+//
+// Both need n distinct field elements, so n <= 2^m.  The erasure decoder
+// inverts the k x k survivor submatrix with the Gauss-Jordan routine below
+// (exact arithmetic — no pivot-magnitude concerns in a finite field; any
+// nonzero pivot does).
+
+#include "field/field_ops.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gfr::rs {
+
+/// Row-major matrix of canonical single-word field elements.
+struct Matrix {
+    int rows = 0;
+    int cols = 0;
+    std::vector<std::uint64_t> a;  ///< rows * cols entries
+
+    Matrix() = default;
+    Matrix(int r, int c) : rows{r}, cols{c}, a(static_cast<std::size_t>(r) * c, 0) {}
+
+    [[nodiscard]] std::uint64_t& at(int r, int c) noexcept {
+        return a[static_cast<std::size_t>(r) * cols + c];
+    }
+    [[nodiscard]] std::uint64_t at(int r, int c) const noexcept {
+        return a[static_cast<std::size_t>(r) * cols + c];
+    }
+};
+
+/// The (n-k) x k Cauchy parity matrix described above.  Requires
+/// 1 <= k < n and n <= 2^m (n distinct elements split into k data points
+/// and n-k parity points); throws std::invalid_argument otherwise.
+[[nodiscard]] Matrix cauchy_parity_matrix(const field::FieldOps& ops, int n,
+                                          int k);
+
+/// The (n-k) x k systematic-Vandermonde parity matrix described above.
+/// Same preconditions as cauchy_parity_matrix.
+[[nodiscard]] Matrix vandermonde_parity_matrix(const field::FieldOps& ops,
+                                               int n, int k);
+
+/// Gauss-Jordan inverse over GF(2^m).  Throws std::invalid_argument when
+/// the matrix is not square or is singular ("rs::invert: matrix is
+/// singular" — an erasure pattern no MDS code could decode, so reaching it
+/// means the generator matrix was not MDS).
+[[nodiscard]] Matrix invert(const field::FieldOps& ops, const Matrix& m);
+
+/// Plain O(n^3) product, used by tests and the systematising step.
+[[nodiscard]] Matrix mat_mul(const field::FieldOps& ops, const Matrix& x,
+                             const Matrix& y);
+
+}  // namespace gfr::rs
+
+#endif  // GFR_RS_RS_MATRIX_H

@@ -78,15 +78,17 @@ std::vector<Field> byte_fields() {
 // --- Dispatch policy ---------------------------------------------------------
 
 TEST(BulkDispatch, NeverSelectsUnsupportedIsa) {
-    // All 16 feature combinations, forced and unforced: the selected
-    // kernels' ISAs must be within the features, and forcing scalar must
-    // pin scalar regardless of features.
-    for (int bits = 0; bits < 16; ++bits) {
+    // All 32 feature combinations (every CpuFeatures field, GFNI
+    // included), forced and unforced: the selected kernels' ISAs must be
+    // within the features, and forcing scalar must pin scalar regardless
+    // of features.
+    for (int bits = 0; bits < 32; ++bits) {
         CpuFeatures f;
         f.ssse3 = (bits & 1) != 0;
         f.avx2 = (bits & 2) != 0;
         f.pclmul = (bits & 4) != 0;
         f.vpclmulqdq = (bits & 8) != 0;
+        f.gfni = (bits & 16) != 0;
         for (const bool forced : {false, true}) {
             const Dispatch d = make_dispatch(f, forced);
             ASSERT_NE(d.byte, nullptr);
@@ -126,14 +128,16 @@ TEST(BulkDispatch, ForcingInapplicableOrUnsupportedKernelThrows) {
     const CpuFeatures cpu = detect_cpu();
 
     // Byte kernels never apply past m = 8; word kernels never past m = 64.
-    for (const KernelKind k : {KernelKind::Ssse3, KernelKind::Avx2}) {
+    for (const KernelKind k :
+         {KernelKind::Ssse3, KernelKind::Avx2, KernelKind::Gfni}) {
         EXPECT_THROW(RegionEngine(f64.ops(), k), std::invalid_argument);
     }
     EXPECT_THROW(RegionEngine(f163.ops(), KernelKind::Vpclmul),
                  std::invalid_argument);
 
     // Not compiled or not supported by this CPU → throw instead of SIGILL.
-    for (const KernelKind k : {KernelKind::Ssse3, KernelKind::Avx2}) {
+    for (const KernelKind k :
+         {KernelKind::Ssse3, KernelKind::Avx2, KernelKind::Gfni}) {
         if (byte_kernel(k) == nullptr || !kernel_supported(k, cpu)) {
             EXPECT_THROW(RegionEngine(f8.ops(), k), std::invalid_argument);
         } else {
@@ -213,6 +217,64 @@ TEST(BulkRegion, ByteKernelsBitIdenticalToScalarAllEdgeCases) {
                     ASSERT_EQ(inplace[i], ref[i]) << "scale n=" << n;
                     ASSERT_EQ(aliased[i], ref[i]) << "aliased n=" << n;
                 }
+            }
+        }
+    }
+}
+
+// --- u16-layout differential sweep -------------------------------------------
+
+TEST(BulkRegion, U16LayoutMatchesElementArithmetic) {
+    // The dense GF(2^16)-tier layout (8 < m <= 16, one symbol per u16):
+    // split-byte tables vs FieldOps::mul, plus in-place and scale forms.
+    Xorshift64Star rng{0x16B17EED16ULL};
+    std::vector<Field> fields;
+    fields.emplace_back(gf2::Poly::from_exponents({16, 12, 3, 1, 0}));
+    fields.emplace_back(gf2::Poly::from_exponents({13, 4, 3, 1, 0}));
+    for (const int m : {9, 11}) {
+        const auto mod = gf2::preferred_low_weight_modulus(m);
+        if (mod.has_value()) {
+            fields.emplace_back(*mod);
+        }
+    }
+    for (const Field& f : fields) {
+        const RegionEngine eng{f.ops()};
+        ASSERT_TRUE(eng.u16_capable()) << f.to_string();
+        for (const std::size_t n : edge_lengths()) {
+            std::vector<std::uint16_t> src(n);
+            for (auto& v : src) {
+                v = static_cast<std::uint16_t>(
+                    testutil::random_word_element(f, rng));
+            }
+            const std::uint64_t c = testutil::random_word_element(f, rng);
+            const auto prep = eng.prepare(c);
+
+            std::vector<std::uint16_t> dst(n, 0xAAAA);
+            eng.mul_region(prep, src, dst);
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(dst[i], f.ops().mul(c, src[i]))
+                    << f.to_string() << " u16 mul n=" << n << " i=" << i;
+            }
+
+            std::vector<std::uint16_t> acc(n);
+            for (auto& v : acc) {
+                v = static_cast<std::uint16_t>(
+                    testutil::random_word_element(f, rng));
+            }
+            const std::vector<std::uint16_t> acc0 = acc;
+            eng.addmul_region(prep, src, acc);
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(acc[i], acc0[i] ^ f.ops().mul(c, src[i]))
+                    << "u16 addmul n=" << n;
+            }
+
+            std::vector<std::uint16_t> inplace = src;
+            eng.scale_region(prep, inplace);
+            std::vector<std::uint16_t> aliased = src;
+            eng.mul_region(prep, aliased, aliased);
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(inplace[i], dst[i]) << "u16 scale n=" << n;
+                ASSERT_EQ(aliased[i], dst[i]) << "u16 aliased n=" << n;
             }
         }
     }

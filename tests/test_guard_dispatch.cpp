@@ -71,6 +71,10 @@ TEST(GuardDispatch, FaultSpecParsing) {
     EXPECT_TRUE(guard::fault_forced("avx2,vpclmul", KernelKind::Vpclmul));
     EXPECT_TRUE(guard::fault_forced("avx2,vpclmul", KernelKind::Avx2));
     EXPECT_FALSE(guard::fault_forced("avx2,vpclmul", KernelKind::Ssse3));
+    EXPECT_TRUE(guard::fault_forced("gfni", KernelKind::Gfni));
+    EXPECT_TRUE(guard::fault_forced("GFNI", KernelKind::Gfni));
+    EXPECT_FALSE(guard::fault_forced("gfni", KernelKind::Avx2));
+    EXPECT_TRUE(guard::fault_forced("all", KernelKind::Gfni));
     EXPECT_FALSE(guard::fault_forced("scalar", KernelKind::Scalar));
     EXPECT_FALSE(guard::fault_forced("bogus", KernelKind::Avx2));
 }
@@ -135,15 +139,18 @@ TEST(GuardDispatch, ForcedFaultWalksTheQuarantineLadder) {
     ASSERT_NE(all.dispatch.byte, nullptr);
     EXPECT_EQ(all.dispatch.byte->kind, bulk::KernelKind::Scalar);
     EXPECT_EQ(all.dispatch.word, nullptr);
+    // Under "all" every rung fails, so the quarantine count is the number
+    // of compiled+supported byte rungs from the base selection down
+    // (gfni > avx2 > ssse3), plus the word kernel if one was selected.
     std::size_t expected = 0;
-    if (base.byte->kind == bulk::KernelKind::Avx2) {
-        // avx2 fails, then ssse3 (forced too) fails, then scalar.
-        expected += (bulk::ssse3_byte_kernel() != nullptr &&
-                     bulk::kernel_supported(bulk::KernelKind::Ssse3, base.cpu))
-                        ? 2
-                        : 1;
-    } else if (base.byte->kind == bulk::KernelKind::Ssse3) {
-        expected += 1;
+    bool reached = false;
+    for (const auto kind : {bulk::KernelKind::Gfni, bulk::KernelKind::Avx2,
+                            bulk::KernelKind::Ssse3}) {
+        reached = reached || kind == base.byte->kind;
+        if (reached && bulk::byte_kernel(kind) != nullptr &&
+            bulk::kernel_supported(kind, base.cpu)) {
+            expected += 1;
+        }
     }
     if (base.word != nullptr) {
         expected += 1;
@@ -157,16 +164,29 @@ TEST(GuardDispatch, ForcedFaultWalksTheQuarantineLadder) {
     }
 
     // Quarantine only the top byte rung: the ladder stops at the next
-    // healthy kernel instead of falling all the way to scalar.
-    if (base.byte->kind == bulk::KernelKind::Avx2 &&
-        bulk::ssse3_byte_kernel() != nullptr &&
-        bulk::kernel_supported(bulk::KernelKind::Ssse3, base.cpu)) {
-        const auto one = guard::screen_dispatch(base, "avx2");
-        // Only avx2 is forced; the healthy ssse3 rung and the (unforced)
-        // word kernel survive.
+    // healthy compiled+supported kernel instead of falling to scalar.
+    if (base.byte->kind != bulk::KernelKind::Scalar) {
+        bulk::KernelKind next_healthy = bulk::KernelKind::Scalar;
+        bool past_top = false;
+        for (const auto kind : {bulk::KernelKind::Gfni, bulk::KernelKind::Avx2,
+                                bulk::KernelKind::Ssse3}) {
+            if (kind == base.byte->kind) {
+                past_top = true;
+                continue;
+            }
+            if (past_top && bulk::byte_kernel(kind) != nullptr &&
+                bulk::kernel_supported(kind, base.cpu)) {
+                next_healthy = kind;
+                break;
+            }
+        }
+        const auto one =
+            guard::screen_dispatch(base, bulk::kernel_name(base.byte->kind));
+        // Only the top rung is forced; the next healthy rung and the
+        // (unforced) word kernel survive.
         ASSERT_EQ(one.quarantined.size(), 1U);
-        EXPECT_EQ(one.quarantined[0].kind, bulk::KernelKind::Avx2);
-        EXPECT_EQ(one.dispatch.byte->kind, bulk::KernelKind::Ssse3);
+        EXPECT_EQ(one.quarantined[0].kind, base.byte->kind);
+        EXPECT_EQ(one.dispatch.byte->kind, next_healthy);
         EXPECT_EQ(one.dispatch.word, base.word);
     }
 }

@@ -171,7 +171,198 @@ TEST(RegionErrors, ForcedKernelConstruction) {
     }
 }
 
+TEST(RegionErrors, PartialOverlapRejectedOnEveryLayout) {
+    // The kernels stream vector-width blocks, so partially-overlapping
+    // src/dst would read a mix of stale and fresh symbols; exact aliasing
+    // (in place) is the one overlap every kernel guarantees.
+    const std::string mul_msg =
+        "RegionEngine::mul_region: src and dst overlap partially (dst must "
+        "alias src exactly or not at all)";
+    const std::string addmul_msg =
+        "RegionEngine::addmul_region: src and dst overlap partially (dst "
+        "must alias src exactly or not at all)";
+
+    // Byte layout.
+    {
+        const field::Field f = field::gf256_paper_field();
+        const RegionEngine eng{f.ops()};
+        const auto p = eng.prepare(0x37);
+        std::vector<std::uint8_t> buf(64, 1);
+        const std::span<std::uint8_t> whole{buf};
+        // In place: allowed, and equal to the out-of-place result.
+        std::vector<std::uint8_t> ref(64, 0);
+        eng.mul_region(p, whole, ref);
+        eng.mul_region(p, whole, whole);
+        EXPECT_EQ(buf, ref);
+        // Overlapping forward (dst ahead of src) and backward both throw.
+        expect_invalid(
+            [&] { eng.mul_region(p, whole.subspan(0, 32), whole.subspan(1, 32)); },
+            mul_msg);
+        expect_invalid(
+            [&] { eng.mul_region(p, whole.subspan(1, 32), whole.subspan(0, 32)); },
+            mul_msg);
+        expect_invalid(
+            [&] {
+                eng.addmul_region(p, whole.subspan(0, 32), whole.subspan(31, 32));
+            },
+            addmul_msg);
+        expect_invalid(
+            [&] {
+                eng.addmul_region(p, whole.subspan(31, 32), whole.subspan(0, 32));
+            },
+            addmul_msg);
+        // Checked variants route through the same gate.
+        std::uint64_t sum = 0;
+        expect_invalid(
+            [&] {
+                eng.mul_region_checked(p, whole.subspan(0, 32), 0,
+                                       whole.subspan(1, 32), sum);
+            },
+            mul_msg);
+    }
+
+    // u16 layout.
+    {
+        const field::Field f16{gf2::Poly::from_exponents({16, 12, 3, 1, 0})};
+        const RegionEngine eng{f16.ops()};
+        const auto p = eng.prepare(0x1234);
+        std::vector<std::uint16_t> buf(32, 7);
+        const std::span<std::uint16_t> whole{buf};
+        std::vector<std::uint16_t> ref(32, 0);
+        eng.mul_region(p, whole, ref);
+        eng.mul_region(p, whole, whole);
+        EXPECT_EQ(buf, ref);
+        expect_invalid(
+            [&] { eng.mul_region(p, whole.subspan(0, 16), whole.subspan(1, 16)); },
+            mul_msg);
+        expect_invalid(
+            [&] {
+                eng.addmul_region(p, whole.subspan(15, 16), whole.subspan(0, 16));
+            },
+            addmul_msg);
+    }
+
+    // u64 layout.
+    {
+        const field::Field f64 = field::table5_fields()[1].make();  // (64,23)
+        const RegionEngine eng{f64.ops()};
+        const auto p = eng.prepare(0xBEEF);
+        std::vector<std::uint64_t> buf(32, 3);
+        const std::span<std::uint64_t> whole{buf};
+        std::vector<std::uint64_t> ref(32, 0);
+        eng.mul_region(p, whole, ref);
+        eng.mul_region(p, whole, whole);
+        EXPECT_EQ(buf, ref);
+        expect_invalid(
+            [&] { eng.mul_region(p, whole.subspan(0, 16), whole.subspan(1, 16)); },
+            mul_msg);
+        expect_invalid(
+            [&] { eng.mul_region(p, whole.subspan(1, 16), whole.subspan(0, 16)); },
+            mul_msg);
+        expect_invalid(
+            [&] {
+                eng.addmul_region(p, whole.subspan(0, 16), whole.subspan(15, 16));
+            },
+            addmul_msg);
+        // Element-wise: out may alias neither input partially.
+        expect_invalid(
+            [&] {
+                eng.mul_region_elementwise(whole.subspan(0, 16),
+                                           whole.subspan(16, 16),
+                                           whole.subspan(1, 16));
+            },
+            "RegionEngine::mul_region_elementwise: src and dst overlap "
+            "partially (dst must alias src exactly or not at all)");
+    }
+
+    // Multi-word layout.
+    {
+        const field::Field f163 = field::table5_fields()[7].make();
+        const RegionEngine eng{f163.ops()};
+        const auto p = eng.prepare(gf2::Poly::from_exponents({2, 0}));
+        const std::size_t mw = f163.ops().elem_words();
+        std::vector<std::uint64_t> buf(4 * mw, 1);
+        const std::span<std::uint64_t> whole{buf};
+        expect_invalid(
+            [&] {
+                eng.mul_region_mw(p, whole.subspan(0, 2 * mw),
+                                  whole.subspan(mw, 2 * mw));
+            },
+            "RegionEngine::mul_region_mw: src and dst overlap partially (dst "
+            "must alias src exactly or not at all)");
+        expect_invalid(
+            [&] {
+                eng.addmul_region_mw(p, whole.subspan(mw, 2 * mw),
+                                     whole.subspan(0, 2 * mw));
+            },
+            "RegionEngine::addmul_region_mw: src and dst overlap partially "
+            "(dst must alias src exactly or not at all)");
+    }
+}
+
+TEST(RegionErrors, U16LayoutGateAndProvenance) {
+    // The dense u16 layout exists only for 8 < m <= 16; byte-capable
+    // fields must keep using the byte layout (their prepare never builds
+    // split16 tables), and larger fields overflow a u16 symbol.
+    const std::string gate_msg =
+        "RegionEngine: u16 layout requires 8 < m <= 16 (byte-capable fields "
+        "use the byte layout)";
+    std::vector<std::uint16_t> buf(8, 1);
+    {
+        const field::Field f8 = field::gf256_paper_field();
+        const RegionEngine eng{f8.ops()};
+        const auto p = eng.prepare(0x2A);
+        expect_invalid([&] { eng.mul_region(p, buf, buf); }, gate_msg);
+        expect_invalid([&] { eng.addmul_region(p, buf, buf); }, gate_msg);
+        expect_invalid([&] { eng.scale_region(p, buf); }, gate_msg);
+    }
+    {
+        const field::Field f64 = field::table5_fields()[1].make();  // (64,23)
+        const RegionEngine eng{f64.ops()};
+        const auto p = eng.prepare(5);
+        expect_invalid([&] { eng.mul_region(p, buf, buf); }, gate_msg);
+    }
+    // Prepared provenance across u16-capable fields: same layout, different
+    // modulus — the split tables would silently produce the wrong field's
+    // products, so pointer identity must throw first.
+    const field::Field f16{gf2::Poly::from_exponents({16, 12, 3, 1, 0})};
+    const field::Field f13{gf2::Poly::from_exponents({13, 4, 3, 1, 0})};
+    const RegionEngine eng16{f16.ops()};
+    const RegionEngine eng13{f13.ops()};
+    const auto p13 = eng13.prepare(0x7FF);
+    expect_invalid([&] { eng16.mul_region(p13, buf, buf); },
+                   "RegionEngine: Prepared was built for a different field");
+}
+
 // --- ABFT checksum lanes -----------------------------------------------------
+
+TEST(RegionChecked, ChecksumTracksStreamU16Layout) {
+    const field::Field f{gf2::Poly::from_exponents({16, 12, 3, 1, 0})};
+    const RegionEngine eng{f.ops()};
+    const auto p = eng.prepare(0x1D4B);
+    std::vector<std::uint16_t> src(321), dst(321, 0);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        src[i] = static_cast<std::uint16_t>(0x9E37 * (i + 1));
+    }
+    const std::uint64_t src_sum =
+        eng.region_checksum(std::span<const std::uint16_t>{src});
+    std::uint64_t dst_sum = 0;
+    eng.mul_region_checked(p, src, src_sum, dst, dst_sum);
+    EXPECT_TRUE(
+        eng.verify_region(std::span<const std::uint16_t>{dst}, dst_sum).ok());
+    eng.addmul_region_checked(p, src, src_sum, dst, dst_sum);
+    // dst = c*src ^ c*src = 0 region-wise; the checksum lane agrees.
+    const auto ok = eng.verify_region(std::span<const std::uint16_t>{dst}, dst_sum);
+    EXPECT_TRUE(ok.ok()) << ok.to_string();
+    EXPECT_EQ(dst_sum, 0U);
+    dst[100] ^= 0x800;
+    const auto bad =
+        eng.verify_region(std::span<const std::uint16_t>{dst}, dst_sum);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.fault, guard::Fault::RegionChecksum);
+    EXPECT_NE(bad.detail.find("321 u16 symbols"), std::string::npos)
+        << bad.detail;
+}
 
 TEST(RegionChecked, ChecksumTracksStreamByteLayout) {
     const field::Field f = field::gf256_paper_field();
