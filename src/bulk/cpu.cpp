@@ -46,6 +46,11 @@ CpuFeatures detect_cpu() noexcept {
         // the VEX 256-bit form, so usability is gated in kernel_supported
         // (gfni && avx2) rather than here — report the raw CPU bit.
         f.gfni = (c & (1U << 8)) != 0;
+        // AVX-512 needs the OS to save opmask + ZMM state on top of the
+        // YMM requirement: XCR0 bits 1-2 (SSE/AVX) and 5-7 (opmask,
+        // ZMM_Hi256, Hi16_ZMM) all set, i.e. XCR0 & 0xE6 == 0xE6.
+        const bool zmm_os = osxsave && (read_xcr0() & 0xE6) == 0xE6;
+        f.avx512f = zmm_os && (b & (1U << 16)) != 0;
     }
     return f;
 }

@@ -23,6 +23,7 @@ struct CpuFeatures {
     bool pclmul = false;      ///< PCLMULQDQ (128-bit carry-less multiply)
     bool vpclmulqdq = false;  ///< VPCLMULQDQ on YMM (implies avx2 usable here)
     bool gfni = false;        ///< GF2P8AFFINEQB (8x8 bit-matrix transform)
+    bool avx512f = false;     ///< AVX-512 Foundation, ZMM+opmask OS-enabled
 };
 
 /// Probe the running CPU.  Cheap (two CPUID leaves + one XGETBV), but

@@ -1,0 +1,92 @@
+// Tape-backend selection: the pure policy (make_exec_dispatch) plus the
+// process-wide singleton binding it to the detected CPU and the
+// GFR_EXEC_FORCE_SCALAR environment knob, screened through the guard
+// quarantine ladder before first use.
+
+#include "exec/run_kernels.h"
+
+#include "bulk/kernels.h"
+#include "guard/exec_check.h"
+
+#include <cstdlib>
+
+namespace gfr::exec {
+
+// Every switch over Backend in this file is exhaustive without a default
+// (-Werror=switch on the library target): a new backend fails to compile
+// until each table below names it — same discipline as bulk/dispatch.cpp.
+
+const char* backend_name(Backend backend) noexcept {
+    switch (backend) {
+        case Backend::Scalar: return "scalar";
+        case Backend::Avx2: return "avx2";
+        case Backend::Avx512: return "avx512";
+    }
+    __builtin_unreachable();
+}
+
+bool backend_supported(Backend backend, const bulk::CpuFeatures& f) noexcept {
+    switch (backend) {
+        case Backend::Scalar: return true;
+        case Backend::Avx2: return f.avx2;
+        case Backend::Avx512:
+            // avx512f already folds in the XCR0 opmask+ZMM OS check
+            // (detect_cpu), and the kernel issues only Foundation ops —
+            // no extra feature bits needed.
+            return f.avx512f;
+    }
+    __builtin_unreachable();
+}
+
+std::vector<Backend> compiled_tape_backends() {
+    std::vector<Backend> backends{Backend::Scalar};
+    if (avx2_tape_kernel() != nullptr) {
+        backends.push_back(Backend::Avx2);
+    }
+    if (avx512_tape_kernel() != nullptr) {
+        backends.push_back(Backend::Avx512);
+    }
+    return backends;
+}
+
+const TapeKernel* tape_kernel(Backend backend) noexcept {
+    switch (backend) {
+        case Backend::Scalar: return &kTapeScalar;
+        case Backend::Avx2: return avx2_tape_kernel();
+        case Backend::Avx512: return avx512_tape_kernel();
+    }
+    __builtin_unreachable();
+}
+
+ExecDispatch make_exec_dispatch(const bulk::CpuFeatures& f,
+                                bool force_scalar) noexcept {
+    ExecDispatch d;
+    d.cpu = f;
+    d.forced_scalar = force_scalar;
+    d.kernel = &kTapeScalar;
+    if (force_scalar) {
+        return d;
+    }
+    // Best compiled backend the running CPU supports, never beyond: each
+    // candidate requires both its TU (non-null registry) and the feature
+    // predicate in backend_supported — one source of truth.
+    for (const Backend backend : {Backend::Avx512, Backend::Avx2}) {
+        if (const TapeKernel* k = tape_kernel(backend);
+            k != nullptr && backend_supported(backend, f)) {
+            d.kernel = k;
+            break;
+        }
+    }
+    return d;
+}
+
+const ExecDispatch& dispatch() {
+    static const ExecDispatch d = guard::screen_exec_and_record(
+        make_exec_dispatch(bulk::detect_cpu(),
+                           bulk::env_flag_enabled(
+                               std::getenv(kExecForceScalarEnv))),
+        std::getenv("GFR_GUARD_FAULT"));
+    return d;
+}
+
+}  // namespace gfr::exec

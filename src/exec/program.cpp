@@ -1,8 +1,12 @@
 #include "exec/program.h"
 
+#include "bulk/cpu.h"
+#include "exec/run_kernels.h"
+
 #include <algorithm>
 #include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <unordered_map>
@@ -591,171 +595,87 @@ Program Program::compile(const fpga::LutNetwork& net) {
 }
 
 // --- Execution ---------------------------------------------------------------
+//
+// The executors themselves live in run_kernels_{scalar,avx2,avx512}.cpp;
+// run() validates the call shape, sizes the aligned slot arena to the
+// backend's vector stride, and hands a TapeView to the kernel.
 
-template <int B>
-void Program::run_impl(const std::uint64_t* in, std::uint64_t* out,
-                       std::uint64_t* slots) const {
-    const int n_in = n_inputs_;
-    const int n_out = n_outputs_;
-    if (uses_zero_slot_) {
-        for (int w = 0; w < B; ++w) {
-            slots[w] = 0;
-        }
+void Program::Scratch::ensure(std::size_t words) {
+    // Over-allocate by 7 words so the base can be rounded up to a 64-byte
+    // boundary.  Recompute the aligned pointer unconditionally (cheap, and
+    // the vector moves on growth); steady state never touches the backing
+    // vector, so sized scratches keep run() allocation-free.
+    if (words > words_) {
+        storage_.resize(words + 7);
+        words_ = words;
     }
-    for (const auto& [input_index, slot] : input_loads_) {
-        std::uint64_t* dst = slots + static_cast<std::size_t>(slot) * B;
-        for (int w = 0; w < B; ++w) {
-            dst[w] = in[static_cast<std::size_t>(w) * n_in + input_index];
-        }
-    }
-
-    const std::uint32_t* args = args_.data();
-    for (const Insn& insn : insns_) {
-        const std::uint32_t* a = args + insn.arg_begin;
-        std::uint64_t* dst = slots + static_cast<std::size_t>(insn.dst) * B;
-        switch (insn.op) {
-            case Op::And2: {
-                const std::uint64_t* x = slots + static_cast<std::size_t>(a[0]) * B;
-                const std::uint64_t* y = slots + static_cast<std::size_t>(a[1]) * B;
-                for (int w = 0; w < B; ++w) {
-                    dst[w] = x[w] & y[w];
-                }
-                break;
-            }
-            case Op::Xor2: {
-                const std::uint64_t* x = slots + static_cast<std::size_t>(a[0]) * B;
-                const std::uint64_t* y = slots + static_cast<std::size_t>(a[1]) * B;
-                for (int w = 0; w < B; ++w) {
-                    dst[w] = x[w] ^ y[w];
-                }
-                break;
-            }
-            case Op::XorN: {
-                std::uint64_t acc[B];
-                const std::uint64_t* x = slots + static_cast<std::size_t>(a[0]) * B;
-                for (int w = 0; w < B; ++w) {
-                    acc[w] = x[w];
-                }
-                for (std::uint32_t i = 1; i < insn.arg_count; ++i) {
-                    const std::uint64_t* y =
-                        slots + static_cast<std::size_t>(a[i]) * B;
-                    for (int w = 0; w < B; ++w) {
-                        acc[w] ^= y[w];
-                    }
-                }
-                for (int w = 0; w < B; ++w) {
-                    dst[w] = acc[w];
-                }
-                break;
-            }
-            case Op::AndXorN: {
-                std::uint64_t acc[B];
-                for (int w = 0; w < B; ++w) {
-                    acc[w] = 0;
-                }
-                const std::uint32_t pairs = insn.aux;
-                for (std::uint32_t i = 0; i < pairs; ++i) {
-                    const std::uint64_t* x =
-                        slots + static_cast<std::size_t>(a[2 * i]) * B;
-                    const std::uint64_t* y =
-                        slots + static_cast<std::size_t>(a[2 * i + 1]) * B;
-                    for (int w = 0; w < B; ++w) {
-                        acc[w] ^= x[w] & y[w];
-                    }
-                }
-                for (std::uint32_t i = 2 * pairs; i < insn.arg_count; ++i) {
-                    const std::uint64_t* y =
-                        slots + static_cast<std::size_t>(a[i]) * B;
-                    for (int w = 0; w < B; ++w) {
-                        acc[w] ^= y[w];
-                    }
-                }
-                for (int w = 0; w < B; ++w) {
-                    dst[w] = acc[w];
-                }
-                break;
-            }
-            case Op::Lut: {
-                const std::uint64_t truth = truths_[insn.aux];
-                const int k = static_cast<int>(insn.arg_count);
-                if (k == 0) {
-                    const std::uint64_t v = (truth & 1U) ? ~std::uint64_t{0} : 0;
-                    for (int w = 0; w < B; ++w) {
-                        dst[w] = v;
-                    }
-                    break;
-                }
-                // Shannon mux fold, bitsliced: fold fanin 0 straight out of
-                // the truth-table constants, then mux one fanin per level.
-                // No per-lane work anywhere.
-                std::uint64_t buf[32 * B];
-                {
-                    const std::uint64_t* x =
-                        slots + static_cast<std::size_t>(a[0]) * B;
-                    const int half = 1 << (k - 1);
-                    for (int t = 0; t < half; ++t) {
-                        const bool b0 = (truth >> (2 * t)) & 1U;
-                        const bool b1 = (truth >> (2 * t + 1)) & 1U;
-                        std::uint64_t* e = buf + static_cast<std::size_t>(t) * B;
-                        for (int w = 0; w < B; ++w) {
-                            e[w] = b0 ? (b1 ? ~std::uint64_t{0} : ~x[w])
-                                      : (b1 ? x[w] : 0);
-                        }
-                    }
-                }
-                int entries = 1 << (k - 1);
-                for (int j = 1; j < k; ++j) {
-                    const std::uint64_t* x =
-                        slots + static_cast<std::size_t>(a[j]) * B;
-                    entries >>= 1;
-                    for (int t = 0; t < entries; ++t) {
-                        const std::uint64_t* lo =
-                            buf + static_cast<std::size_t>(2 * t) * B;
-                        const std::uint64_t* hi =
-                            buf + static_cast<std::size_t>(2 * t + 1) * B;
-                        std::uint64_t* e = buf + static_cast<std::size_t>(t) * B;
-                        for (int w = 0; w < B; ++w) {
-                            e[w] = (lo[w] & ~x[w]) | (hi[w] & x[w]);
-                        }
-                    }
-                }
-                for (int w = 0; w < B; ++w) {
-                    dst[w] = buf[w];
-                }
-                break;
-            }
-        }
-    }
-
-    for (int o = 0; o < n_out; ++o) {
-        const std::uint64_t* src =
-            slots + static_cast<std::size_t>(output_slots_[o]) * B;
-        for (int w = 0; w < B; ++w) {
-            out[static_cast<std::size_t>(w) * n_out + o] = src[w];
-        }
-    }
+    const auto base = reinterpret_cast<std::uintptr_t>(storage_.data());
+    aligned_ = reinterpret_cast<std::uint64_t*>((base + 63) & ~std::uintptr_t{63});
 }
+
+TapeView Program::tape_view() const noexcept {
+    TapeView v;
+    v.insns = insns_.data();
+    v.n_insns = insns_.size();
+    v.args = args_.data();
+    v.truths = truths_.data();
+    v.input_loads = input_loads_.data();
+    v.n_input_loads = input_loads_.size();
+    v.output_slots = output_slots_.data();
+    v.n_inputs = n_inputs_;
+    v.n_outputs = n_outputs_;
+    v.slot_count = slot_count_;
+    v.uses_zero_slot = uses_zero_slot_;
+    return v;
+}
+
+namespace {
+
+void run_on_kernel(const TapeKernel& kernel, const TapeView& tape,
+                   std::span<const std::uint64_t> in,
+                   std::span<std::uint64_t> out, Program::Scratch& scratch,
+                   int blocks) {
+    if (blocks < 1 || blocks > Program::kMaxBlocks) {
+        throw std::invalid_argument{
+            "exec::Program::run: blocks must be in [1, 16]"};
+    }
+    if (in.size() != static_cast<std::size_t>(tape.n_inputs) * blocks) {
+        throw std::invalid_argument{
+            "exec::Program::run: wrong number of input words"};
+    }
+    if (out.size() != static_cast<std::size_t>(tape.n_outputs) * blocks) {
+        throw std::invalid_argument{
+            "exec::Program::run: wrong number of output words"};
+    }
+    const auto lanes = static_cast<std::size_t>(kernel.word_lanes);
+    const std::size_t stride =
+        (static_cast<std::size_t>(blocks) + lanes - 1) / lanes * lanes;
+    scratch.ensure(stride * tape.slot_count);
+    kernel.run(tape, in.data(), out.data(), scratch.data(), blocks);
+}
+
+}  // namespace
 
 void Program::run(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
                   Scratch& scratch, int blocks) const {
-    if (blocks < 1 || blocks > kMaxBlocks) {
-        throw std::invalid_argument{"exec::Program::run: blocks must be in [1, 4]"};
+    run_on_kernel(*dispatch().kernel, tape_view(), in, out, scratch, blocks);
+}
+
+void Program::run(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
+                  Scratch& scratch, int blocks, Backend backend) const {
+    const TapeKernel* kernel = tape_kernel(backend);
+    // Probe the CPU directly rather than via dispatch(): the guard screen
+    // runs *inside* dispatch()'s first-use initialisation and exercises
+    // candidate backends through this overload, so consulting the dispatch
+    // singleton here would recurse into its own construction.  Cache the
+    // probe — CPUID/XGETBV serialize (and VM-exit under hypervisors), and
+    // this overload sits on the per-sweep path of backend-pinned campaigns.
+    static const bulk::CpuFeatures cpu = bulk::detect_cpu();
+    if (kernel == nullptr || !backend_supported(backend, cpu)) {
+        throw std::invalid_argument{
+            "exec::Program::run: backend not available on this host"};
     }
-    if (in.size() != static_cast<std::size_t>(n_inputs_) * blocks) {
-        throw std::invalid_argument{"exec::Program::run: wrong number of input words"};
-    }
-    if (out.size() != static_cast<std::size_t>(n_outputs_) * blocks) {
-        throw std::invalid_argument{"exec::Program::run: wrong number of output words"};
-    }
-    scratch.slots.resize(static_cast<std::size_t>(slot_count_) * blocks);
-    std::uint64_t* slots = scratch.slots.data();
-    switch (blocks) {
-        case 1: run_impl<1>(in.data(), out.data(), slots); break;
-        case 2: run_impl<2>(in.data(), out.data(), slots); break;
-        case 3: run_impl<3>(in.data(), out.data(), slots); break;
-        case 4: run_impl<4>(in.data(), out.data(), slots); break;
-        default: break;  // unreachable: validated above
-    }
+    run_on_kernel(*kernel, tape_view(), in, out, scratch, blocks);
 }
 
 ProgramStats Program::stats() const {

@@ -24,8 +24,12 @@
 //     the *maximum live width* of the schedule, not node_count — sweeps over
 //     an m=163 multiplier run in a few KB instead of ~0.5 MB;
 //   - bitsliced execution over 1..kMaxBlocks blocks of 64 lanes per pass
-//     (up to 256 test vectors per sweep step): every instruction processes
-//     `blocks` words per slot, amortising tape decode across lanes.
+//     (up to 1024 test vectors per sweep step): every instruction processes
+//     `blocks` words per slot, amortising tape decode across lanes.  The
+//     executor behind run() is runtime-dispatched (exec/run_kernels.h):
+//     AVX-512 / AVX2 backends process a block group as 512- / 256-bit
+//     vectors, and the scalar u64 loop remains the always-available
+//     reference rung.
 //
 // A Program is immutable after compile and shares nothing mutable across
 // calls: run() draws all storage from a caller-owned Scratch, following the
@@ -52,6 +56,9 @@ namespace detail {
 struct Linker;  // compile-time helper (program.cpp) that assembles a Program
 }
 
+struct TapeView;                         // run_kernels.h: executor-facing tape
+enum class Backend : std::uint8_t;       // run_kernels.h: executor ISA ladder
+
 /// Tape opcodes.  And2/Xor2 are the binary fast cases; XorN is the fused
 /// XOR-accumulate over arg_count leaves; AndXorN additionally inlines
 /// single-use AND leaves as operand pairs (aux = pair count), so a whole
@@ -75,8 +82,11 @@ struct ProgramStats {
 
 class Program {
 public:
-    /// Blocks of 64 lanes a single pass may carry.
-    static constexpr int kMaxBlocks = 4;
+    /// Blocks of 64 lanes a single pass may carry (1024 lanes per sweep):
+    /// two full ZMM vectors per word-op for the AVX-512 backend, four YMM
+    /// for AVX2, and 4x less tape-decode overhead per lane than the PR-4
+    /// width of 4 even on the scalar rung.
+    static constexpr int kMaxBlocks = 16;
 
     /// One tape instruction.  args_[arg_begin .. arg_begin+arg_count) are
     /// the operand slots; aux indexes truths_ for Op::Lut.
@@ -117,10 +127,24 @@ public:
     /// bitsliced Op::Lut evaluations.
     static Program compile(const fpga::LutNetwork& net);
 
-    /// Caller-owned working memory for run(): slot_count() * blocks words.
-    /// Reused allocation-free across calls once sized.
-    struct Scratch {
-        std::vector<std::uint64_t> slots;
+    /// Caller-owned working memory for run(): a 64-byte-aligned slot arena
+    /// (vector backends load/store whole YMM/ZMM words per slot).  Reused
+    /// allocation-free across calls once sized — ensure() only touches the
+    /// backing vector when capacity grows.
+    class Scratch {
+    public:
+        /// Grow the arena to hold at least `words` u64 words, 64-byte
+        /// aligned.  No-op (and allocation-free) when capacity suffices.
+        void ensure(std::size_t words);
+
+        /// Arena base; valid until the next growing ensure().
+        [[nodiscard]] std::uint64_t* data() noexcept { return aligned_; }
+        [[nodiscard]] std::size_t size() const noexcept { return words_; }
+
+    private:
+        std::vector<std::uint64_t> storage_;  ///< over-allocated for alignment
+        std::uint64_t* aligned_ = nullptr;
+        std::size_t words_ = 0;
     };
 
     /// Execute the tape over `blocks` blocks of 64 lanes (block-major
@@ -128,8 +152,20 @@ public:
     /// block b at out[b * output_count() + o]).  Requires
     /// in.size() == input_count() * blocks and out.size() ==
     /// output_count() * blocks; throws std::invalid_argument otherwise.
+    /// Runs on the process-wide dispatched backend (exec::dispatch());
+    /// results are bit-identical across backends and block widths.
     void run(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
              Scratch& scratch, int blocks = 1) const;
+
+    /// As above on an explicitly chosen backend, bypassing the process-wide
+    /// dispatch (differential tests, guard self-tests, bench ladders).
+    /// Throws std::invalid_argument when that backend is not compiled in or
+    /// not supported by the running CPU.
+    void run(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
+             Scratch& scratch, int blocks, Backend backend) const;
+
+    /// The executor-facing flattening of this tape (exec/run_kernels.h).
+    [[nodiscard]] TapeView tape_view() const noexcept;
 
     [[nodiscard]] int input_count() const noexcept { return n_inputs_; }
     [[nodiscard]] int output_count() const noexcept { return n_outputs_; }
@@ -157,10 +193,6 @@ public:
 private:
     friend struct detail::Linker;
 
-    template <int B>
-    void run_impl(const std::uint64_t* in, std::uint64_t* out,
-                  std::uint64_t* slots) const;
-
     int n_inputs_ = 0;
     int n_outputs_ = 0;
     std::uint32_t slot_count_ = 0;
@@ -177,24 +209,33 @@ private:
 /// Batching of a linear space of 64-lane blocks into sweeps of up to
 /// Program::kMaxBlocks blocks per tape pass.  Shared by the campaign
 /// regimes in netlist::check_equivalence and mult::verify_multiplier so
-/// their sweep indexing can never diverge: exhaustive regimes batch
-/// (blocks are scanned in ascending order inside a sweep, preserving the
-/// globally-first counterexample), random regimes keep one block per sweep
-/// because sweep contents are pinned to (seed, sweep index) and a logged
-/// counterexample seed must replay forever.
+/// their sweep indexing can never diverge.  Both regimes batch: blocks are
+/// scanned in ascending order inside a sweep, preserving the globally-first
+/// counterexample, and random-regime block contents are seeded from the
+/// *block's own* width-1 index (first_block(sweep) + b), never from the
+/// batched sweep number — so a logged counterexample coordinate replays
+/// forever, at any block width and on any backend.
 struct BlockGrouping {
     std::uint64_t total_blocks = 0;
     int group = 1;  ///< blocks per full sweep
     std::uint64_t total_sweeps = 0;
 
-    /// batched=true groups up to kMaxBlocks blocks per sweep; false keeps
-    /// the 1:1 sweep-to-block layout.
-    static BlockGrouping over(std::uint64_t total_blocks, bool batched) noexcept {
+    /// batched=true groups up to min(kMaxBlocks, max_group) blocks per
+    /// sweep; false keeps the 1:1 sweep-to-block layout.
+    ///
+    /// Empty-space contract (pinned by tests): total_blocks == 0 yields
+    /// group == 1 and total_sweeps == 0 — a degenerate-but-valid grouping
+    /// whose sweep loop runs zero times, so first_block/blocks_in_sweep are
+    /// never consulted and the group value only has to satisfy the
+    /// "positive blocks-per-pass" invariant run() requires.
+    static BlockGrouping over(std::uint64_t total_blocks, bool batched,
+                              int max_group = Program::kMaxBlocks) noexcept {
         BlockGrouping g;
         g.total_blocks = total_blocks;
+        const auto cap = static_cast<std::uint64_t>(
+            std::clamp(max_group, 1, Program::kMaxBlocks));
         g.group = batched ? static_cast<int>(std::min<std::uint64_t>(
-                                Program::kMaxBlocks,
-                                total_blocks > 0 ? total_blocks : 1))
+                                cap, total_blocks > 0 ? total_blocks : 1))
                           : 1;
         g.total_sweeps = (total_blocks + static_cast<std::uint64_t>(g.group) - 1) /
                          static_cast<std::uint64_t>(g.group);

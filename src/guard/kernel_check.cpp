@@ -96,8 +96,8 @@ std::string KernelCheck::to_string() const {
     return s;
 }
 
-bool fault_forced(const char* spec, bulk::KernelKind kind) noexcept {
-    if (spec == nullptr || *spec == '\0' || kind == bulk::KernelKind::Scalar) {
+bool fault_spec_hits(const char* spec, const char* kernel_name) noexcept {
+    if (spec == nullptr || *spec == '\0') {
         return false;
     }
     const char* p = spec;
@@ -120,11 +120,18 @@ bool fault_forced(const char* spec, bulk::KernelKind kind) noexcept {
             token_matches(start, stop, "on") ||
             token_matches(start, stop, "true") ||
             token_matches(start, stop, "yes") ||
-            token_matches(start, stop, bulk::kernel_name(kind))) {
+            token_matches(start, stop, kernel_name)) {
             return true;
         }
     }
     return false;
+}
+
+bool fault_forced(const char* spec, bulk::KernelKind kind) noexcept {
+    if (kind == bulk::KernelKind::Scalar) {
+        return false;
+    }
+    return fault_spec_hits(spec, bulk::kernel_name(kind));
 }
 
 Status selftest_byte_kernel(const bulk::ByteKernel& k, bool force_fault) {

@@ -52,6 +52,14 @@ struct KernelCheck {
     [[nodiscard]] std::string to_string() const;
 };
 
+/// True when `spec` (a GFR_GUARD_FAULT value; nullptr/empty mean no forcing)
+/// names `kernel_name` — directly, or via the "all"/"1"/"simd"/"on"/"true"/
+/// "yes" umbrella tokens ("0"/"off"/"false"/"no" tokens are skipped).  The
+/// shared token parser behind fault_forced and the exec-tier
+/// exec_fault_forced, so one spec grammar drives every quarantine drill.
+[[nodiscard]] bool fault_spec_hits(const char* spec,
+                                   const char* kernel_name) noexcept;
+
 /// True when `spec` (a GFR_GUARD_FAULT value; nullptr/empty/"0"/"off" mean
 /// no forcing) demands a forced self-test failure for `kind`.  Scalar is
 /// never forced — it is the reference, not a screened kernel.

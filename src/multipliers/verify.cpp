@@ -1,6 +1,7 @@
 #include "multipliers/verify.h"
 
 #include "exec/program.h"
+#include "exec/run_kernels.h"
 #include "multipliers/product_layer.h"
 #include "netlist/simulate.h"
 #include "verify/campaign.h"
@@ -76,12 +77,16 @@ Poly element_from_lane(std::span<const std::uint64_t> words, int offset, int m,
 struct SweepWorker {
     SweepWorker(int m, int blocks)
         : in_words(static_cast<std::size_t>(2 * m) * blocks, 0),
-          out_words(static_cast<std::size_t>(m) * blocks, 0) {}
+          out_words(static_cast<std::size_t>(m) * blocks, 0),
+          oracle_diff(static_cast<std::size_t>(blocks), 0),
+          oracle_work(static_cast<std::size_t>(8 * m + 64), 0) {}
 
     exec::Program::Scratch exec_scratch;
     std::vector<std::uint64_t> in_words;
     std::vector<std::uint64_t> out_words;
     std::vector<std::uint64_t> want_words;      // lane-major reference products
+    std::vector<std::uint64_t> oracle_diff;     // per-block diff flags
+    std::vector<std::uint64_t> oracle_work;     // >= 8m+64 kernel scratch words
     verify::LaneReference::Scratch lane_scratch;
     std::vector<std::uint64_t> lane_bits;       // per-lane element extraction
     std::vector<std::uint64_t> got_bits;        // per-lane netlist gather
@@ -159,23 +164,71 @@ std::optional<VerifyFailure> check_block(SweepWorker& w, const Field& field,
     return std::nullopt;
 }
 
+/// Everything check_sweep needs beyond the worker: the shared tape, the
+/// oracle selection (fused kernel + reduction view when the lane oracle
+/// covers the field), and the backend pin.  Built once per campaign.
+struct SweepPlan {
+    const exec::Program* prog = nullptr;
+    const Field* field = nullptr;
+    const verify::LaneReference* laneref = nullptr;
+    /// Fused sweep oracle of the same backend rung as the tape executor
+    /// (scalar when forced or quarantined); only set when laneref is and
+    /// VerifyOptions::fused_sweep_oracle is on — null falls back to the
+    /// pre-PR-9 per-block check loop below.
+    exec::OracleRunFn oracle_fn = nullptr;
+    exec::SweepOracleView oracle_view;
+    std::optional<exec::Backend> backend;
+};
+
 /// Execute the tape over the `blocks` blocks loaded in w.in_words and check
 /// them in ascending order (so batching never changes which failure is
-/// first).
-std::optional<VerifyFailure> check_sweep(SweepWorker& w, const exec::Program& prog,
-                                         const Field& field,
-                                         const verify::LaneReference* laneref,
-                                         int blocks) {
+/// first).  The success path is one fused oracle call over the whole sweep
+/// (per-block diff flags); a flagged block is re-extracted through the
+/// scalar LaneReference in check_block, which stays the verdict authority —
+/// block order and the lane-major first-failure rule are untouched.  With
+/// the fused oracle off (plan.oracle_fn null), every block goes through
+/// check_block directly — the pre-PR-9 configuration.  On
+/// failure *failed_block is the in-sweep block index, letting the caller
+/// report width-1 coordinates.
+std::optional<VerifyFailure> check_sweep(SweepWorker& w, const SweepPlan& plan,
+                                         int blocks, int* failed_block) {
+    const Field& field = *plan.field;
     const std::size_t n_in = static_cast<std::size_t>(2 * field.degree());
     const std::size_t n_out = static_cast<std::size_t>(field.degree());
-    prog.run(std::span{w.in_words}.first(n_in * blocks),
-             std::span{w.out_words}.first(n_out * blocks), w.exec_scratch, blocks);
+    const auto in = std::span{w.in_words}.first(n_in * blocks);
+    const auto out = std::span{w.out_words}.first(n_out * blocks);
+    if (plan.backend.has_value()) {
+        plan.prog->run(in, out, w.exec_scratch, blocks, *plan.backend);
+    } else {
+        plan.prog->run(in, out, w.exec_scratch, blocks);
+    }
+    if (plan.laneref != nullptr && plan.oracle_fn != nullptr) {
+        plan.oracle_fn(plan.oracle_view, w.in_words.data(), w.out_words.data(),
+                       w.oracle_diff.data(), w.oracle_work.data(), blocks);
+        for (int b = 0; b < blocks; ++b) {
+            if (w.oracle_diff[static_cast<std::size_t>(b)] == 0) {
+                continue;
+            }
+            auto failure = check_block(
+                w, field, plan.laneref,
+                std::span{w.in_words}.subspan(b * n_in, n_in),
+                std::span{w.out_words}.subspan(b * n_out, n_out));
+            if (failure.has_value()) {
+                *failed_block = b;
+                return failure;
+            }
+            // The scalar re-check found nothing: a conservative vector
+            // flag never fails a verdict — keep scanning.
+        }
+        return std::nullopt;
+    }
     for (int b = 0; b < blocks; ++b) {
         auto failure = check_block(
-            w, field, laneref,
+            w, field, plan.laneref,
             std::span{w.in_words}.subspan(b * n_in, n_in),
             std::span{w.out_words}.subspan(b * n_out, n_out));
         if (failure.has_value()) {
+            *failed_block = b;
             return failure;
         }
     }
@@ -184,9 +237,28 @@ std::optional<VerifyFailure> check_sweep(SweepWorker& w, const exec::Program& pr
 
 }  // namespace
 
-std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
-                                               const Field& field,
-                                               const VerifyOptions& options) {
+/// Everything campaign-independent, prepared once at construction: the
+/// compiled tape, the anchored oracles, the resolved sweep plan and the
+/// block grouping.  run() shares all of it across campaigns.
+struct MultiplierVerifier::Impl {
+    const Field* field = nullptr;
+    VerifyOptions options;
+    int m = 0;
+    bool exhaustive = false;
+    exec::Program prog;
+    std::unique_ptr<verify::LaneReference> laneref;
+    SweepPlan plan;
+    exec::BlockGrouping grouping;
+};
+
+MultiplierVerifier::~MultiplierVerifier() = default;
+MultiplierVerifier::MultiplierVerifier(MultiplierVerifier&&) noexcept = default;
+MultiplierVerifier& MultiplierVerifier::operator=(MultiplierVerifier&&) noexcept =
+    default;
+
+MultiplierVerifier::MultiplierVerifier(const netlist::Netlist& nl,
+                                       const Field& field,
+                                       const VerifyOptions& options) {
     const int m = field.degree();
     if (static_cast<int>(nl.inputs().size()) != 2 * m ||
         static_cast<int>(nl.outputs().size()) != m) {
@@ -201,8 +273,14 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
         }
     }
 
-    // The netlist compiles once; every worker executes the shared tape.
-    const exec::Program prog = exec::Program::compile(nl);
+    impl_ = std::make_unique<Impl>();
+    impl_->field = &field;
+    impl_->options = options;
+    impl_->m = m;
+    impl_->exhaustive = 2 * m <= options.max_exhaustive_inputs;
+
+    // The netlist compiles once; every run() executes the shared tape.
+    impl_->prog = exec::Program::compile(nl);
 
     // The sweeps compare the netlist against the fast engine; anchor the
     // engine itself to the independent reference arithmetic first, so a
@@ -225,7 +303,7 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
     // sweep of random lanes before trusting it with the campaign.  The
     // anchor extracts each lane as a Poly, so it covers the multi-word
     // regime identically.
-    std::unique_ptr<verify::LaneReference> laneref;
+    std::unique_ptr<verify::LaneReference>& laneref = impl_->laneref;
     if (m <= options.lane_oracle_max_degree) {
         laneref = std::make_unique<verify::LaneReference>(field);
         verify::SweepRng rng{verify::Campaign::derive_sweep_seed(options.seed,
@@ -252,23 +330,62 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
         }
     }
 
-    const bool exhaustive = 2 * m <= options.max_exhaustive_inputs;
+    // Resolve the sweep plan once: the fused sweep oracle follows the same
+    // backend rung as the tape executor (the pinned backend for bench
+    // ladders and differential tests, otherwise the screened process-wide
+    // dispatch — which already reflects GFR_EXEC_FORCE_SCALAR and any
+    // quarantine), so a verdict never mixes an unscreened oracle with a
+    // screened tape.  An unavailable pinned backend still throws on the
+    // first tape run, before its oracle could execute.
+    SweepPlan& plan = impl_->plan;
+    plan.prog = &impl_->prog;
+    plan.field = &field;
+    plan.laneref = laneref.get();
+    plan.backend = options.exec_backend;
+    if (laneref != nullptr && options.fused_sweep_oracle) {
+        plan.oracle_fn = exec::kTapeScalar.oracle;
+        if (options.exec_backend.has_value()) {
+            if (const exec::TapeKernel* k =
+                    exec::tape_kernel(*options.exec_backend);
+                k != nullptr && k->oracle != nullptr) {
+                plan.oracle_fn = k->oracle;
+            }
+        } else {
+            plan.oracle_fn = exec::dispatch().kernel->oracle;
+        }
+        plan.oracle_view =
+            exec::SweepOracleView{laneref->reduction_indices().data(),
+                                  laneref->reduction_offsets().data(), m};
+    }
 
-    // Exhaustive sweeps batch enumeration blocks into bitsliced passes (256
-    // products per full pass); random sweeps stay one block per sweep (see
-    // exec::BlockGrouping for the replay rationale).
+    // Both regimes batch blocks into bitsliced passes (up to 1024 products
+    // per full pass — what the SIMD backends feed on); random block contents
+    // stay pinned to their width-1 index (see exec::BlockGrouping), so the
+    // batching width never changes a verdict or a repro coordinate.
     const std::uint64_t total_blocks =
-        exhaustive ? ((2 * m <= 6) ? 1 : (std::uint64_t{1} << (2 * m - 6)))
-                   : static_cast<std::uint64_t>(options.random_sweeps);
-    const exec::BlockGrouping grouping =
-        exec::BlockGrouping::over(total_blocks, exhaustive);
+        impl_->exhaustive ? ((2 * m <= 6) ? 1 : (std::uint64_t{1} << (2 * m - 6)))
+                          : static_cast<std::uint64_t>(options.random_sweeps);
+    impl_->grouping = exec::BlockGrouping::over(
+        total_blocks, true,
+        options.max_batch_blocks > 0 ? options.max_batch_blocks
+                                     : exec::Program::kMaxBlocks);
+}
+
+std::optional<VerifyFailure> MultiplierVerifier::run() const {
+    const Impl& im = *impl_;
+    const int m = im.m;
+    const bool exhaustive = im.exhaustive;
+    const VerifyOptions& options = im.options;
+    const SweepPlan& plan = im.plan;
+    const exec::BlockGrouping& grouping = im.grouping;
     const std::uint64_t total_sweeps = grouping.total_sweeps;
 
-    // Random sweeps cost a tape execution plus 64 reference products —
-    // worth sharding even at the default 64 sweeps.  Exhaustive sweeps are
-    // microsecond-cheap; keep the default floor so tiny spaces run inline.
+    // Random sweeps cost a batched tape execution plus 64 reference
+    // products per block — worth sharding at a floor of one batched sweep
+    // per worker.  Exhaustive sweeps are microsecond-cheap; keep the higher
+    // floor so tiny spaces run inline.
     verify::Campaign campaign{{.threads = options.threads,
-                               .min_sweeps_per_worker = exhaustive ? 64U : 4U}};
+                               .min_sweeps_per_worker = exhaustive ? 64U : 1U}};
     const int workers = campaign.worker_count(total_sweeps);
     std::vector<std::optional<VerifyFailure>> payload(static_cast<std::size_t>(workers));
     std::vector<std::uint64_t> payload_sweep(static_cast<std::size_t>(workers),
@@ -277,10 +394,9 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
     const auto factory = [&](int worker_id) -> verify::Campaign::SweepFn {
         auto worker = std::make_shared<SweepWorker>(m, grouping.group);
         return [&, worker_id, worker](std::uint64_t sweep) -> bool {
-            int blocks = 1;
+            const std::uint64_t first_block = grouping.first_block(sweep);
+            const int blocks = grouping.blocks_in_sweep(sweep);
             if (exhaustive) {
-                const std::uint64_t first_block = grouping.first_block(sweep);
-                blocks = grouping.blocks_in_sweep(sweep);
                 for (int b = 0; b < blocks; ++b) {
                     for (int i = 0; i < 2 * m; ++i) {
                         worker->in_words[static_cast<std::size_t>(b * 2 * m + i)] =
@@ -289,16 +405,27 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
                     }
                 }
             } else {
-                verify::SweepRng rng{
-                    verify::Campaign::derive_sweep_seed(options.seed, sweep)};
-                for (int i = 0; i < 2 * m; ++i) {
-                    worker->in_words[static_cast<std::size_t>(i)] = rng();
+                // Each block's contents derive from its own width-1 index,
+                // never the batched sweep number — a logged sweep_index
+                // replays at any batching width.
+                for (int b = 0; b < blocks; ++b) {
+                    verify::SweepRng rng{verify::Campaign::derive_sweep_seed(
+                        options.seed,
+                        first_block + static_cast<std::uint64_t>(b))};
+                    for (int i = 0; i < 2 * m; ++i) {
+                        worker->in_words[static_cast<std::size_t>(b * 2 * m + i)] =
+                            rng();
+                    }
                 }
             }
-            auto failure = check_sweep(*worker, prog, field, laneref.get(), blocks);
+            int failed_block = 0;
+            auto failure = check_sweep(*worker, plan, blocks, &failed_block);
             if (failure.has_value()) {
                 failure->campaign_seed = options.seed;
-                failure->sweep_index = sweep;
+                // Width-1 coordinates for both regimes: the failing block's
+                // own index, invariant across batching widths and backends.
+                failure->sweep_index =
+                    first_block + static_cast<std::uint64_t>(failed_block);
                 failure->random_regime = !exhaustive;
                 payload[static_cast<std::size_t>(worker_id)] = std::move(failure);
                 payload_sweep[static_cast<std::size_t>(worker_id)] = sweep;
@@ -318,6 +445,12 @@ std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
         }
     }
     return std::nullopt;  // unreachable: the failing worker recorded its payload
+}
+
+std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
+                                               const Field& field,
+                                               const VerifyOptions& options) {
+    return MultiplierVerifier{nl, field, options}.run();
 }
 
 opt::OptResult optimize_and_verify(const netlist::Netlist& nl,

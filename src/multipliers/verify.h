@@ -10,9 +10,12 @@
 // random sweeps, each verifying 64 random products bit-exactly.
 //
 // The netlist compiles once into an exec::Program tape (DCE'd, fused,
-// liveness-scheduled); every sweep executes the tape instead of
-// interpreting the node vector, and exhaustive regimes batch up to four
-// enumeration blocks (256 test vectors) into one bitsliced pass.
+// liveness-scheduled); every sweep executes the tape — on the dispatched
+// SIMD backend by default — and both regimes batch up to
+// exec::Program::kMaxBlocks blocks (1024 test vectors) into one bitsliced
+// pass.  Batching and backend choice never move a counterexample: blocks
+// are checked in ascending order within a sweep, and random block contents
+// are seeded from the block's own width-1 index.
 //
 // The sweep space is driven through verify::Campaign: it is sharded across
 // worker threads (each owning its execution scratch over the one shared
@@ -26,8 +29,13 @@
 #include "opt/opt.h"
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+
+namespace gfr::exec {
+enum class Backend : std::uint8_t;  // exec/run_kernels.h
+}
 
 namespace gfr::mult {
 
@@ -45,6 +53,25 @@ struct VerifyOptions {
     /// degree — so the default covers the whole differential tier.  0
     /// forces the engine fallback (differential tests exercise both).
     int lane_oracle_max_degree = 1024;
+    /// Blocks per batched tape pass (clamped to [1, exec::Program::
+    /// kMaxBlocks]); 0 = full width.  The verdict and counterexample
+    /// coordinates are invariant across widths — this knob only trades
+    /// tape-decode amortisation against sweep granularity, and the
+    /// differential tests sweep it.
+    int max_batch_blocks = 0;
+    /// Execute sweeps on this specific tape backend instead of the
+    /// process-wide exec::dispatch() selection (bench ladders, differential
+    /// tests).  Throws like Program::run when the backend is unavailable.
+    std::optional<exec::Backend> exec_backend{};
+    /// Check each sweep with one fused oracle call (the kernel-tier
+    /// schoolbook + reduction + compare over all blocks, following the tape
+    /// backend's rung) instead of the pre-PR-9 per-block
+    /// LaneReference::products + compare loop.  Verdicts and counterexample
+    /// coordinates are identical either way — the differential tests sweep
+    /// it (the bench freezes its PR-5 baseline as a standalone verbatim
+    /// loop instead).  Ignored in the engine-fallback regime (laneref
+    /// absent).
+    bool fused_sweep_oracle = true;
 };
 
 /// A failing product: the operands and the first differing coefficient.
@@ -55,11 +82,13 @@ struct VerifyFailure {
     bool netlist_bit = false;
     bool reference_bit = false;
 
-    /// Reproduction coordinates, filled by verify_multiplier: rerun with
-    /// VerifyOptions.seed = campaign_seed and this sweep regenerates the
-    /// failing vectors (random regime contents are a pure function of
+    /// Reproduction coordinates, filled by verify_multiplier.  sweep_index
+    /// is always the WIDTH-1 index of the failing 64-lane block (batching
+    /// groups blocks into wider sweeps, but coordinates stay in the
+    /// unbatched numbering so they replay at any max_batch_blocks): random
+    /// regime contents are a pure function of
     /// Campaign::derive_sweep_seed(campaign_seed, sweep_index), which
-    /// to_string() prints as a one-line repro recipe).
+    /// to_string() prints as a one-line repro recipe.
     std::uint64_t campaign_seed = 0;
     std::uint64_t sweep_index = ~std::uint64_t{0};  ///< ~0 = not recorded
     bool random_regime = false;
@@ -67,8 +96,37 @@ struct VerifyFailure {
     [[nodiscard]] std::string to_string() const;
 };
 
+/// Reusable campaign verifier.  Construction does everything that is
+/// independent of an individual campaign run: validates the multiplier
+/// interface, compiles the netlist into the execution tape, anchors the
+/// engine and the lane oracle against the reference arithmetic, and
+/// resolves the sweep plan (backend rung, fused oracle, batching).  Each
+/// run() then executes one full campaign over the prepared plan and
+/// reports exactly what verify_multiplier would.  Callers that verify the
+/// same design repeatedly (bench ladders, differential sweeps) amortise
+/// the preparation; one-shot callers use verify_multiplier below.  The
+/// netlist and the field must outlive the verifier; options are fixed at
+/// construction.
+class MultiplierVerifier {
+public:
+    MultiplierVerifier(const netlist::Netlist& nl, const field::Field& field,
+                       const VerifyOptions& options = {});
+    ~MultiplierVerifier();
+    MultiplierVerifier(MultiplierVerifier&&) noexcept;
+    MultiplierVerifier& operator=(MultiplierVerifier&&) noexcept;
+
+    /// One full campaign; std::nullopt on success.  Deterministic for fixed
+    /// construction options at any thread count.
+    [[nodiscard]] std::optional<VerifyFailure> run() const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
 /// std::nullopt on success.  Throws std::invalid_argument when the netlist
 /// interface does not look like an m-bit multiplier for this field.
+/// One-shot wrapper over MultiplierVerifier (prepare + one campaign).
 std::optional<VerifyFailure> verify_multiplier(const netlist::Netlist& nl,
                                                const field::Field& field,
                                                const VerifyOptions& options = {});

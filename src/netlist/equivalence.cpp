@@ -99,10 +99,12 @@ struct SweepContext {
 /// Runs both tapes over `blocks` blocks loaded in ctx and scans the blocks
 /// in ascending order, so the reported mismatch is the first one a
 /// block-at-a-time scan would find — grouping blocks into one pass never
-/// changes the counterexample.
+/// changes the counterexample.  On mismatch *failed_block is the in-sweep
+/// block index, letting the caller report width-1 coordinates.
 std::optional<Mismatch> compare_sweep(SweepContext& ctx, const exec::Program& lhs_prog,
                                       const exec::Program& rhs_prog, const Netlist& lhs,
-                                      const std::vector<int>& out_map, int blocks) {
+                                      const std::vector<int>& out_map, int blocks,
+                                      int* failed_block) {
     const std::size_t n = static_cast<std::size_t>(lhs_prog.input_count());
     const std::size_t n_out = static_cast<std::size_t>(lhs_prog.output_count());
     lhs_prog.run(std::span{ctx.lhs_in}.first(n * blocks),
@@ -130,6 +132,7 @@ std::optional<Mismatch> compare_sweep(SweepContext& ctx, const exec::Program& lh
                 mm.input_bits[i] = static_cast<std::uint8_t>((lhs_in[i] >> lane) & 1U);
                 mm.input_names[i] = lhs.inputs()[i].name;
             }
+            *failed_block = b;
             return mm;
         }
     }
@@ -151,20 +154,22 @@ std::optional<Mismatch> check_equivalence(const Netlist& lhs, const Netlist& rhs
     const exec::Program lhs_prog = exec::Program::compile(lhs);
     const exec::Program rhs_prog = exec::Program::compile(rhs);
 
-    // Exhaustive sweeps batch enumeration blocks into bitsliced passes;
-    // random sweeps stay one block per sweep (see exec::BlockGrouping).
+    // Both regimes batch blocks into bitsliced passes (the SIMD backends
+    // feed on wide sweeps); random block contents stay pinned to their
+    // width-1 index (see exec::BlockGrouping), so batching never changes a
+    // verdict or a repro coordinate.
     const std::uint64_t total_blocks =
         exhaustive ? ((n <= 6) ? 1 : (std::uint64_t{1} << (n - 6)))
                    : static_cast<std::uint64_t>(options.random_sweeps);
     const exec::BlockGrouping grouping =
-        exec::BlockGrouping::over(total_blocks, exhaustive);
+        exec::BlockGrouping::over(total_blocks, true);
     const std::uint64_t total_sweeps = grouping.total_sweeps;
 
-    // Same floor policy as verify_multiplier: random sweeps (two
-    // simulations over dense vectors) shard even at small sweep counts,
+    // Same floor policy as verify_multiplier: random sweeps (two batched
+    // simulations over dense vectors) shard down to one sweep per worker,
     // tiny exhaustive spaces stay inline.
     verify::Campaign campaign{{.threads = options.threads,
-                               .min_sweeps_per_worker = exhaustive ? 64U : 4U}};
+                               .min_sweeps_per_worker = exhaustive ? 64U : 1U}};
     const int workers = campaign.worker_count(total_sweeps);
     std::vector<std::optional<Mismatch>> payload(static_cast<std::size_t>(workers));
     std::vector<std::uint64_t> payload_sweep(static_cast<std::size_t>(workers),
@@ -174,10 +179,9 @@ std::optional<Mismatch> check_equivalence(const Netlist& lhs, const Netlist& rhs
         auto ctx = std::make_shared<SweepContext>(n, static_cast<int>(lhs.outputs().size()),
                                                   grouping.group);
         return [&, worker_id, ctx](std::uint64_t sweep) -> bool {
-            int blocks = 1;
+            const std::uint64_t first_block = grouping.first_block(sweep);
+            const int blocks = grouping.blocks_in_sweep(sweep);
             if (exhaustive) {
-                const std::uint64_t first_block = grouping.first_block(sweep);
-                blocks = grouping.blocks_in_sweep(sweep);
                 for (int b = 0; b < blocks; ++b) {
                     for (int i = 0; i < n; ++i) {
                         const std::uint64_t w = exhaustive_pattern(
@@ -187,18 +191,29 @@ std::optional<Mismatch> check_equivalence(const Netlist& lhs, const Netlist& rhs
                     }
                 }
             } else {
-                verify::SweepRng rng{
-                    verify::Campaign::derive_sweep_seed(options.seed, sweep)};
-                for (int i = 0; i < n; ++i) {
-                    const std::uint64_t w = rng();
-                    ctx->lhs_in[static_cast<std::size_t>(i)] = w;
-                    ctx->rhs_in[static_cast<std::size_t>(in_map[i])] = w;
+                // Each block's contents derive from its own width-1 index,
+                // never the batched sweep number — a logged sweep_index
+                // replays at any batching width.
+                for (int b = 0; b < blocks; ++b) {
+                    verify::SweepRng rng{verify::Campaign::derive_sweep_seed(
+                        options.seed,
+                        first_block + static_cast<std::uint64_t>(b))};
+                    for (int i = 0; i < n; ++i) {
+                        const std::uint64_t w = rng();
+                        ctx->lhs_in[static_cast<std::size_t>(b * n + i)] = w;
+                        ctx->rhs_in[static_cast<std::size_t>(b * n + in_map[i])] = w;
+                    }
                 }
             }
-            auto mm = compare_sweep(*ctx, lhs_prog, rhs_prog, lhs, out_map, blocks);
+            int failed_block = 0;
+            auto mm = compare_sweep(*ctx, lhs_prog, rhs_prog, lhs, out_map,
+                                    blocks, &failed_block);
             if (mm.has_value()) {
                 mm->campaign_seed = options.seed;
-                mm->sweep_index = sweep;
+                // Width-1 coordinates for both regimes: the failing block's
+                // own index, invariant across batching widths and backends.
+                mm->sweep_index =
+                    first_block + static_cast<std::uint64_t>(failed_block);
                 mm->random_regime = !exhaustive;
                 payload[static_cast<std::size_t>(worker_id)] = std::move(mm);
                 payload_sweep[static_cast<std::size_t>(worker_id)] = sweep;

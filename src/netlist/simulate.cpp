@@ -65,18 +65,4 @@ std::vector<std::uint64_t> simulate_interpreted(
     return out;
 }
 
-std::uint64_t exhaustive_pattern(int input_index, std::uint64_t block) {
-    // The six in-word variables use the classic truth-table masks.
-    static constexpr std::uint64_t kMasks[6] = {
-        0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
-        0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
-    if (input_index < 0) {
-        throw std::invalid_argument{"exhaustive_pattern: negative input index"};
-    }
-    if (input_index < 6) {
-        return kMasks[input_index];
-    }
-    return ((block >> (input_index - 6)) & 1U) ? ~std::uint64_t{0} : 0;
-}
-
 }  // namespace gfr::netlist

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace gfr::netlist {
@@ -67,7 +68,21 @@ std::vector<std::uint64_t> simulate_interpreted(
 /// enumeration assigns lanes 0..63 the assignments with index
 /// 64*block .. 64*block+63, where assignment bit i drives input i.
 /// (Inputs 0..5 cycle within a word; inputs >= 6 are constant per block.)
-std::uint64_t exhaustive_pattern(int input_index, std::uint64_t block);
+/// Inline: exhaustive campaigns call this 2m times per 64-lane block, so
+/// the fill loop must compile down to stores, not cross-TU calls.
+inline std::uint64_t exhaustive_pattern(int input_index, std::uint64_t block) {
+    // The six in-word variables use the classic truth-table masks.
+    constexpr std::uint64_t kMasks[6] = {
+        0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+        0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+    if (input_index < 0) {
+        throw std::invalid_argument{"exhaustive_pattern: negative input index"};
+    }
+    if (input_index < 6) {
+        return kMasks[input_index];
+    }
+    return ((block >> (input_index - 6)) & 1U) ? ~std::uint64_t{0} : 0;
+}
 
 }  // namespace gfr::netlist
 

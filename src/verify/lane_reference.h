@@ -46,6 +46,19 @@ public:
 
     [[nodiscard]] int m() const noexcept { return m_; }
 
+    /// The flattened reduction structure, exactly as exec::SweepOracleView
+    /// wants it: indices[offsets[k] .. offsets[k+1]) are the i with
+    /// Q[i][k] = 1.  Exposed so verify sweeps can hand the structure to the
+    /// fused sweep-oracle kernels; the kernels recompute this class's exact
+    /// word-op sequence, and products() below stays the scalar authority
+    /// for failure extraction.
+    [[nodiscard]] std::span<const std::int32_t> reduction_indices() const noexcept {
+        return reduction_indices_;
+    }
+    [[nodiscard]] std::span<const std::int32_t> reduction_offsets() const noexcept {
+        return reduction_offsets_;
+    }
+
     /// Scratch for products(): the 2m-1 partial-product words.  One per
     /// worker; reused allocation-free across sweeps.
     struct Scratch {

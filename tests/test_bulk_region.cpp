@@ -78,17 +78,18 @@ std::vector<Field> byte_fields() {
 // --- Dispatch policy ---------------------------------------------------------
 
 TEST(BulkDispatch, NeverSelectsUnsupportedIsa) {
-    // All 32 feature combinations (every CpuFeatures field, GFNI
-    // included), forced and unforced: the selected kernels' ISAs must be
-    // within the features, and forcing scalar must pin scalar regardless
-    // of features.
-    for (int bits = 0; bits < 32; ++bits) {
+    // All 64 feature combinations (every CpuFeatures field, GFNI and
+    // AVX-512F included), forced and unforced: the selected kernels' ISAs
+    // must be within the features, and forcing scalar must pin scalar
+    // regardless of features.
+    for (int bits = 0; bits < 64; ++bits) {
         CpuFeatures f;
         f.ssse3 = (bits & 1) != 0;
         f.avx2 = (bits & 2) != 0;
         f.pclmul = (bits & 4) != 0;
         f.vpclmulqdq = (bits & 8) != 0;
         f.gfni = (bits & 16) != 0;
+        f.avx512f = (bits & 32) != 0;
         for (const bool forced : {false, true}) {
             const Dispatch d = make_dispatch(f, forced);
             ASSERT_NE(d.byte, nullptr);

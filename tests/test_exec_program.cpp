@@ -10,9 +10,10 @@
 //     derived only from the reduction matrix;
 //
 // across every generator family x every Table V field (random sweeps), the
-// exhaustive GF(2^8) space, all block widths 1..4, LUT-network compilation,
-// and the compiler's structural guarantees (DCE, fusion, liveness width,
-// allocation-free steady state).
+// exhaustive GF(2^8) space, all block widths 1..kMaxBlocks, LUT-network
+// compilation, and the compiler's structural guarantees (DCE, fusion,
+// liveness width, allocation-free steady state).  Backend-vs-backend
+// differentials (scalar vs AVX2/AVX-512) live in test_exec_backends.cpp.
 
 #include "exec/program.h"
 #include "field/field_catalog.h"
@@ -95,8 +96,8 @@ TEST(ExecProgram, AllFamiliesAllTable5FieldsMatchInterpreterAndLaneReference) {
 
 TEST(ExecProgram, ExhaustiveGf256EveryFamilyEveryBlockWidth) {
     // The full 2^16 operand space of the paper's worked field, swept with
-    // 4-block passes: compiled tape vs interpreter vs lane reference on all
-    // 65536 products, for every generator family.
+    // full-width passes (1024 lanes each): compiled tape vs interpreter vs
+    // lane reference on all 65536 products, for every generator family.
     const field::Field f = field::gf256_paper_field();
     const verify::LaneReference laneref{f};
     verify::LaneReference::Scratch lane_scratch;
@@ -105,7 +106,8 @@ TEST(ExecProgram, ExhaustiveGf256EveryFamilyEveryBlockWidth) {
         const auto nl = mult::build_multiplier(info.method, f);
         const Program prog = Program::compile(nl);
         Program::Scratch scratch;
-        constexpr int kBlocks = 4;
+        constexpr int kBlocks = Program::kMaxBlocks;
+        static_assert(1024 % kBlocks == 0);
         const std::size_t n_in = 16;
         const std::size_t n_out = 8;
         std::vector<std::uint64_t> in(n_in * kBlocks, 0);
@@ -440,6 +442,17 @@ TEST(ExecProgram, OutputAliasesAndConstants) {
     EXPECT_EQ(out[2], 0ULL);
 }
 
+/// EXPECT_THROW with the exact what() string (test_region_errors.cpp style).
+template <typename Fn>
+void expect_invalid(Fn&& fn, const std::string& message) {
+    try {
+        fn();
+        ADD_FAILURE() << "expected std::invalid_argument: " << message;
+    } catch (const std::invalid_argument& e) {
+        EXPECT_EQ(std::string{e.what()}, message);
+    }
+}
+
 TEST(ExecProgram, RunValidatesShapes) {
     Netlist nl;
     const auto a = nl.add_input("a");
@@ -452,11 +465,41 @@ TEST(ExecProgram, RunValidatesShapes) {
                  std::invalid_argument);
     EXPECT_THROW(prog.run(std::vector<std::uint64_t>{1, 2}, out, scratch, 0),
                  std::invalid_argument);
-    EXPECT_THROW(prog.run(std::vector<std::uint64_t>{1, 2}, out, scratch, 5),
-                 std::invalid_argument);
+    EXPECT_THROW(
+        prog.run(std::vector<std::uint64_t>{1, 2}, out, scratch,
+                 Program::kMaxBlocks + 1),
+        std::invalid_argument);
     std::vector<std::uint64_t> out_bad(3);
     EXPECT_THROW(prog.run(std::vector<std::uint64_t>{1, 2}, out_bad, scratch, 1),
                  std::invalid_argument);
+}
+
+TEST(ExecProgram, RunPreconditionMessagesArePinned) {
+    // The exact what() strings of every run() precondition: the blocks
+    // range must state the widened maximum, and the shape messages must not
+    // drift — campaign drivers log them verbatim.
+    Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    nl.add_output("y", nl.make_xor(a, b));
+    const Program prog = Program::compile(nl);
+    Program::Scratch scratch;
+    std::vector<std::uint64_t> in(2);
+    std::vector<std::uint64_t> out(1);
+    expect_invalid([&] { prog.run(in, out, scratch, 0); },
+                   "exec::Program::run: blocks must be in [1, 16]");
+    expect_invalid([&] { prog.run(in, out, scratch, Program::kMaxBlocks + 1); },
+                   "exec::Program::run: blocks must be in [1, 16]");
+    std::vector<std::uint64_t> in_bad(3);
+    expect_invalid([&] { prog.run(in_bad, out, scratch, 1); },
+                   "exec::Program::run: wrong number of input words");
+    std::vector<std::uint64_t> out_bad(3);
+    expect_invalid([&] { prog.run(in, out_bad, scratch, 1); },
+                   "exec::Program::run: wrong number of output words");
+    // The explicit-backend overload validates availability first; blocks
+    // beyond kMaxBlocks were valid on no backend, so the widened range is
+    // accepted by every compiled one (run shapes checked in
+    // test_exec_backends.cpp).
 }
 
 TEST(ExecProgram, CompiledCampaignMatchesAcrossThreadCountsAndOracles) {
