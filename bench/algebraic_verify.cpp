@@ -1,0 +1,222 @@
+// Algebraic-verification bench behind BENCH_10.json: every Table V cell
+// (family x field, flat and optimized) is PROVED by acv::prove_multiplier —
+// backward rewriting to canonical ANF, zero simulation — and timed against
+// the simulation campaign (verify_multiplier) on the same netlist.  The
+// point of the comparison: beyond 2m = 22 inputs the campaign samples
+// (64 sweeps x 64 lanes) while the proof is exhaustive-for-all-inputs at
+// any m, so the proof column is the cost of FULL confidence where the
+// campaign's equal-cost answer is statistical.  Both run single-threaded so
+// the ratio is a per-core fact, not a scheduling artefact.
+//
+// The process exits nonzero if any cell fails its proof or its pipeline
+// gate — this binary is the algebraic Table V proof gate in CI.
+//
+// GFR_ACV_FAST=1 (or the existing GFR_TABLE5_FAST=1) restricts the sweep to
+// the two smallest fields; the full run covers all nine.
+
+#include "acv/acv.h"
+#include "field/field_catalog.h"
+#include "multipliers/generator.h"
+#include "multipliers/verify.h"
+#include "opt/opt.h"
+#include "report/table.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gfr {
+namespace {
+
+struct Cell {
+    std::string family;
+    std::string field;
+    int m = 0;
+    bool sampled = false;  ///< campaign regime: random sweeps (vs exhaustive)
+    std::int64_t gates_flat = 0;
+    std::int64_t gates_opt = 0;
+    double prove_flat_ms = 0.0;
+    double campaign_flat_ms = 0.0;
+    double prove_opt_ms = 0.0;
+    double campaign_opt_ms = 0.0;
+    std::size_t spec_monomials = 0;
+    std::size_t peak_monomials = 0;  ///< worst in-flight count, flat netlist
+    bool proved = false;
+    std::string error;
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+}  // namespace
+}  // namespace gfr
+
+int main(int argc, char** argv) {
+    using namespace gfr;
+    const std::string json_path = (argc > 1) ? argv[1] : "BENCH_10.json";
+    const bool fast = (std::getenv("GFR_ACV_FAST") != nullptr) ||
+                      (std::getenv("GFR_TABLE5_FAST") != nullptr);
+
+    std::vector<field::FieldSpec> fields = field::table5_fields();
+    if (fast && fields.size() > 2) {
+        fields.resize(2);  // (8,2) and (64,23)
+    }
+
+    acv::ProveOptions prove_options;
+    prove_options.threads = 1;
+    mult::VerifyOptions campaign_options;
+    campaign_options.threads = 1;
+
+    std::vector<Cell> cells;
+    bool failed = false;
+    for (const auto& spec : fields) {
+        const field::Field f = spec.make();
+        const auto run_cell = [&](const std::string& family,
+                                  const netlist::Netlist& flat) {
+            Cell cell;
+            cell.family = family;
+            cell.field = spec.label();
+            cell.m = f.degree();
+            cell.sampled = 2 * f.degree() > campaign_options.max_exhaustive_inputs;
+            cell.gates_flat = flat.stats().gates();
+            try {
+                acv::ProofStats stats;
+                auto t0 = std::chrono::steady_clock::now();
+                const auto flat_proof =
+                    acv::prove_multiplier(flat, f, prove_options, &stats);
+                cell.prove_flat_ms = ms_since(t0);
+                if (flat_proof.has_value()) {
+                    throw std::runtime_error{"flat proof failed: " +
+                                             flat_proof->to_string()};
+                }
+                cell.spec_monomials = stats.spec_monomials;
+                cell.peak_monomials = stats.peak_column_monomials;
+
+                t0 = std::chrono::steady_clock::now();
+                const auto flat_campaign =
+                    mult::verify_multiplier(flat, f, campaign_options);
+                cell.campaign_flat_ms = ms_since(t0);
+                if (flat_campaign.has_value()) {
+                    throw std::runtime_error{"flat campaign failed: " +
+                                             flat_campaign->to_string()};
+                }
+
+                const opt::OptResult optimized = opt::optimize(flat);
+                cell.gates_opt = optimized.netlist.stats().gates();
+
+                t0 = std::chrono::steady_clock::now();
+                const auto opt_proof = acv::prove_multiplier(
+                    optimized.netlist, f, prove_options);
+                cell.prove_opt_ms = ms_since(t0);
+                if (opt_proof.has_value()) {
+                    throw std::runtime_error{"optimized proof failed: " +
+                                             opt_proof->to_string()};
+                }
+
+                t0 = std::chrono::steady_clock::now();
+                const auto opt_campaign = mult::verify_multiplier(
+                    optimized.netlist, f, campaign_options);
+                cell.campaign_opt_ms = ms_since(t0);
+                if (opt_campaign.has_value()) {
+                    throw std::runtime_error{"optimized campaign failed: " +
+                                             opt_campaign->to_string()};
+                }
+                cell.proved = true;
+            } catch (const std::exception& e) {
+                cell.error = e.what();
+                failed = true;
+            }
+            cells.push_back(std::move(cell));
+            const Cell& c = cells.back();
+            std::fprintf(stderr,
+                         "%-14s %-10s flat %7.2fms proof / %7.2fms campaign  "
+                         "opt %7.2fms proof / %7.2fms campaign (%s)%s\n",
+                         c.family.c_str(), c.field.c_str(), c.prove_flat_ms,
+                         c.campaign_flat_ms, c.prove_opt_ms, c.campaign_opt_ms,
+                         c.proved ? "proved" : "FAILED",
+                         c.error.empty() ? "" : " !");
+        };
+        for (const auto& info : mult::all_methods()) {
+            if (!info.in_table5) {
+                continue;
+            }
+            run_cell(std::string{info.key},
+                     mult::build_multiplier(info.method, f));
+        }
+        run_cell("date2018-raw",
+                 mult::build_multiplier(mult::Method::Date2018Flat, f,
+                                        mult::Elaboration::Literal));
+    }
+
+    report::TextTable table({"Family", "Field", "Regime", "Gates", "Proof",
+                             "Campaign", "OptGates", "OptProof", "OptCampaign",
+                             "SpecMono", "Peak"});
+    std::string prev_field;
+    for (const auto& c : cells) {
+        if (!prev_field.empty() && c.field != prev_field) {
+            table.add_rule();
+        }
+        prev_field = c.field;
+        char buf[4][32];
+        std::snprintf(buf[0], sizeof buf[0], "%.2fms", c.prove_flat_ms);
+        std::snprintf(buf[1], sizeof buf[1], "%.2fms", c.campaign_flat_ms);
+        std::snprintf(buf[2], sizeof buf[2], "%.2fms", c.prove_opt_ms);
+        std::snprintf(buf[3], sizeof buf[3], "%.2fms", c.campaign_opt_ms);
+        table.add_row({c.family, c.field,
+                       c.sampled ? "sampled" : "exhaustive",
+                       std::to_string(c.gates_flat), buf[0], buf[1],
+                       std::to_string(c.gates_opt), buf[2], buf[3],
+                       std::to_string(c.spec_monomials),
+                       std::to_string(c.peak_monomials)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::FILE* json = std::fopen(json_path.c_str(), "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n  \"bench\": \"algebraic_verify\",\n  \"fast\": %s,\n",
+                 fast ? "true" : "false");
+    std::fprintf(json, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell& c = cells[i];
+        std::fprintf(
+            json,
+            "    {\"family\": \"%s\", \"field\": \"%s\", \"m\": %d, "
+            "\"campaign_regime\": \"%s\", "
+            "\"gates_flat\": %lld, \"gates_opt\": %lld, "
+            "\"prove_flat_ms\": %.3f, \"campaign_flat_ms\": %.3f, "
+            "\"prove_opt_ms\": %.3f, \"campaign_opt_ms\": %.3f, "
+            "\"spec_monomials\": %zu, \"peak_monomials\": %zu, "
+            "\"proved\": %s}%s\n",
+            c.family.c_str(), c.field.c_str(), c.m,
+            c.sampled ? "sampled" : "exhaustive",
+            static_cast<long long>(c.gates_flat),
+            static_cast<long long>(c.gates_opt), c.prove_flat_ms,
+            c.campaign_flat_ms, c.prove_opt_ms, c.campaign_opt_ms,
+            c.spec_monomials, c.peak_monomials, c.proved ? "true" : "false",
+            (i + 1 < cells.size()) ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+
+    if (failed) {
+        std::fprintf(stderr, "algebraic_verify: PROOF GATE FAILED\n");
+        for (const auto& c : cells) {
+            if (!c.error.empty()) {
+                std::fprintf(stderr, "  %s %s: %s\n", c.family.c_str(),
+                             c.field.c_str(), c.error.c_str());
+            }
+        }
+        return 1;
+    }
+    return 0;
+}

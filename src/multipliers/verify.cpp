@@ -1,5 +1,6 @@
 #include "multipliers/verify.h"
 
+#include "acv/acv.h"
 #include "exec/program.h"
 #include "exec/run_kernels.h"
 #include "multipliers/product_layer.h"
@@ -242,6 +243,7 @@ std::optional<VerifyFailure> check_sweep(SweepWorker& w, const SweepPlan& plan,
 /// block grouping.  run() shares all of it across campaigns.
 struct MultiplierVerifier::Impl {
     const Field* field = nullptr;
+    const netlist::Netlist* nl = nullptr;  ///< algebraic modes prove against it
     VerifyOptions options;
     int m = 0;
     bool exhaustive = false;
@@ -260,6 +262,30 @@ MultiplierVerifier::MultiplierVerifier(const netlist::Netlist& nl,
                                        const Field& field,
                                        const VerifyOptions& options) {
     const int m = field.degree();
+    if (options.mode == VerifyMode::Algebraic) {
+        // Pure algebraic mode needs no tape, no oracles, no sweep plan — and
+        // it is the one mode that admits guarded netlists (extra checker
+        // outputs; ports resolve by name inside prove_multiplier).  Validate
+        // the interface now so construction throws like the other modes.
+        if (static_cast<int>(nl.inputs().size()) != 2 * m) {
+            throw std::invalid_argument{
+                "verify_multiplier: port count does not match field"};
+        }
+        for (int i = 0; i < m; ++i) {
+            if (nl.input_index("a" + std::to_string(i)) < 0 ||
+                nl.input_index("b" + std::to_string(i)) < 0 ||
+                nl.output_index("c" + std::to_string(i)) < 0) {
+                throw std::invalid_argument{
+                    "verify_multiplier: unexpected port naming"};
+            }
+        }
+        impl_ = std::make_unique<Impl>();
+        impl_->field = &field;
+        impl_->nl = &nl;
+        impl_->options = options;
+        impl_->m = m;
+        return;
+    }
     if (static_cast<int>(nl.inputs().size()) != 2 * m ||
         static_cast<int>(nl.outputs().size()) != m) {
         throw std::invalid_argument{"verify_multiplier: port count does not match field"};
@@ -275,6 +301,7 @@ MultiplierVerifier::MultiplierVerifier(const netlist::Netlist& nl,
 
     impl_ = std::make_unique<Impl>();
     impl_->field = &field;
+    impl_->nl = &nl;
     impl_->options = options;
     impl_->m = m;
     impl_->exhaustive = 2 * m <= options.max_exhaustive_inputs;
@@ -373,6 +400,25 @@ MultiplierVerifier::MultiplierVerifier(const netlist::Netlist& nl,
 
 std::optional<VerifyFailure> MultiplierVerifier::run() const {
     const Impl& im = *impl_;
+    if (im.options.mode != VerifyMode::Simulation) {
+        acv::ProveOptions prove_options;
+        prove_options.threads = im.options.threads;
+        if (const auto proof =
+                acv::prove_multiplier(*im.nl, *im.field, prove_options)) {
+            VerifyFailure failure;
+            failure.a = proof->witness_a;
+            failure.b = proof->witness_b;
+            failure.coefficient = proof->column;
+            failure.netlist_bit = proof->netlist_bit;
+            failure.reference_bit = proof->reference_bit;
+            // sweep_index stays unrecorded: there is no sweep to replay —
+            // to_string() prints the counterexample without repro coords.
+            return failure;
+        }
+        if (im.options.mode == VerifyMode::Algebraic) {
+            return std::nullopt;  // proved for all inputs
+        }
+    }
     const int m = im.m;
     const bool exhaustive = im.exhaustive;
     const VerifyOptions& options = im.options;

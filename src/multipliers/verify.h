@@ -39,6 +39,19 @@ enum class Backend : std::uint8_t;  // exec/run_kernels.h
 
 namespace gfr::mult {
 
+/// Which check(s) a verifier runs.  Simulation is the campaign described
+/// above.  Algebraic replaces it with acv::prove_multiplier — backward
+/// rewriting to canonical ANF, a *proof* over all inputs with zero
+/// simulation, and the only mode that accepts CED-guarded netlists (ports
+/// resolve by name; checker output lanes are excluded from the signature).
+/// Both runs the algebraic proof first and the simulation campaign after
+/// it, failing on whichever trips.
+enum class VerifyMode : std::uint8_t {
+    Simulation,
+    Algebraic,
+    Both,
+};
+
 struct VerifyOptions {
     int max_exhaustive_inputs = 22;  ///< exhaustive iff 2m <= this (m=11 -> 2^22)
     int random_sweeps = 64;          ///< 64 random products per sweep
@@ -72,6 +85,10 @@ struct VerifyOptions {
     /// loop instead).  Ignored in the engine-fallback regime (laneref
     /// absent).
     bool fused_sweep_oracle = true;
+    /// See VerifyMode.  Algebraic failures surface as VerifyFailure with the
+    /// proof's synthesized witness operands and divergent coefficient;
+    /// sweep_index stays unrecorded (there is no sweep to replay).
+    VerifyMode mode = VerifyMode::Simulation;
 };
 
 /// A failing product: the operands and the first differing coefficient.

@@ -52,6 +52,10 @@
 #include <string>
 #include <vector>
 
+namespace gfr::field {
+class Field;  // field/gf2m.h
+}
+
 namespace gfr::opt {
 
 /// Result of one pass: the rebuilt netlist plus an old-id -> new-id map
@@ -137,6 +141,14 @@ struct OptOptions {
     /// switch exists for benchmarking the passes themselves.
     bool verify_each_pass = true;
     netlist::EquivalenceOptions verify{};
+    /// Opt-in algebraic post-gate: after the last pass, PROVE the optimized
+    /// netlist computes A*B in this field via acv::prove_multiplier — a
+    /// zero-simulation check of the end result against the word-level spec,
+    /// independent of the per-pass equivalence campaigns (which compare
+    /// netlist to netlist, not netlist to spec).  Failure throws
+    /// VerificationError with pass name "algebraic".  The Field must
+    /// outlive the call.  nullptr (default) skips the gate.
+    const field::Field* algebraic_spec = nullptr;
 };
 
 struct OptResult {
